@@ -1,0 +1,48 @@
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one paper table or figure from a shared
+// full-window world (built once per process) and prints paper-reported
+// values alongside measured ones. Absolute magnitudes are scaled (~1/100 of
+// the paper's event volume, ~1/1000 of its namespace); the reproduction
+// target is the *shape*: orderings, shares, ratios, crossovers.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+
+namespace dosm::bench {
+
+/// The default full-window scenario used by all reproduction benches.
+inline sim::ScenarioConfig default_config() {
+  sim::ScenarioConfig config;
+  config.seed = 20170301;
+  return config;  // paper window (731 days), default scale
+}
+
+/// Builds (once) and returns the shared world.
+inline const sim::World& shared_world() {
+  static const std::unique_ptr<sim::World> world = [] {
+    std::cerr << "[bench] building 731-day world (this runs once)...\n";
+    auto w = sim::build_world(default_config());
+    std::cerr << "[bench] world ready: " << w->store.size() << " events, "
+              << w->dns.num_domains() << " domains\n";
+    return w;
+  }();
+  return *world;
+}
+
+/// Prints the standard bench header.
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::cout << "=====================================================\n";
+  std::cout << experiment << "\n";
+  std::cout << "Paper: " << paper_claim << "\n";
+  std::cout << "=====================================================\n";
+}
+
+}  // namespace dosm::bench

@@ -1,0 +1,63 @@
+// Figure 10 — days-to-migration CDFs per attack-intensity class: intensity
+// sharply accelerates migration to a DPS.
+#include "bench_common.h"
+#include "core/migration_analysis.h"
+#include "dps/classifier.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Figure 10: migration delay by attack intensity",
+      "within 6 days: all 29.9%, top 5% 67.1%, top 1% 77.1%, top 0.1% 98.6%; "
+      "within 1 day: all 23.2% vs top 0.1% 80.7%");
+
+  const auto& world = bench::shared_world();
+  const dps::Classifier classifier(world.providers, world.names);
+  const auto timelines = dps::all_timelines(world.dns, classifier);
+  const core::ImpactAnalysis impact(world.store, world.dns);
+  const core::MigrationAnalysis migration(impact, timelines);
+
+  struct Class {
+    const char* label;
+    double top_fraction;
+    double paper_within6;
+  };
+  const Class classes[] = {{"All", 1.0, 0.299},
+                           {"Top 5%", 0.05, 0.671},
+                           {"Top 1%", 0.01, 0.771},
+                           {"Top 0.1%", 0.001, 0.986}};
+
+  TextTable table({"class", "sites", "<=1d", "<=3d", "<=6d", "<=16d",
+                   "paper <=6d"});
+  std::vector<double> within6;  // only classes large enough to be meaningful
+  for (const auto& c : classes) {
+    const auto delays = migration.delays_for_intensity_class(c.top_fraction);
+    if (delays.empty()) {
+      table.add_row({c.label, "0", "-", "-", "-", "-", percent(c.paper_within6, 1)});
+      continue;
+    }
+    // Classes under 10 sites are pure small-sample noise at this scale
+    // (the paper's top 0.1% covers thousands of sites at 210M domains).
+    if (delays.size() >= 10) within6.push_back(delays.cdf(6));
+    table.add_row({c.label, std::to_string(delays.size()),
+                   percent(delays.cdf(1), 1), percent(delays.cdf(3), 1),
+                   percent(delays.cdf(6), 1), percent(delays.cdf(16), 1),
+                   percent(c.paper_within6, 1)});
+  }
+  std::cout << table;
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < within6.size(); ++i)
+    if (within6[i] + 1e-9 < within6[i - 1]) monotone = false;
+  std::cout << "\nShape: urgency grows with intensity class (CDF@6d monotone "
+            << "across classes with >=10 sites): "
+            << (monotone ? "holds" : "VIOLATED") << "\n";
+  const auto all = migration.delays_for_intensity_class(1.0);
+  const auto top = migration.delays_for_intensity_class(0.001);
+  if (!all.empty() && !top.empty()) {
+    std::cout << "Within-1-day contrast: all " << percent(all.cdf(1), 1)
+              << " vs top 0.1% " << percent(top.cdf(1), 1)
+              << " (paper: 23.2% vs 80.7%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 11 — migration delay after long (>= 4 h, honeypot-observed)
+// attacks: duration helps but is not by itself decisive.
+#include "bench_common.h"
+#include "core/migration_analysis.h"
+#include "dps/classifier.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Figure 11: migration delay after >=4h attacks",
+      "67.6% migrate within a day, 76% within 5 days, ~18% take 2+ weeks "
+      "(duration alone is not always the deciding factor)");
+
+  const auto& world = bench::shared_world();
+  const dps::Classifier classifier(world.providers, world.names);
+  const auto timelines = dps::all_timelines(world.dns, classifier);
+  const core::ImpactAnalysis impact(world.store, world.dns);
+  const core::MigrationAnalysis migration(impact, timelines);
+
+  const auto delays = migration.delays_for_long_attacks(4.0 * 3600.0);
+  if (delays.empty()) {
+    std::cout << "No migrating sites hit by >=4h honeypot attacks in this "
+                 "run (rare at reduced scale); rerun with a different seed "
+                 "or larger world.\n";
+    return 0;
+  }
+
+  TextTable table({"days to migration (<=)", "CDF", "paper"});
+  const std::pair<int, const char*> paper_rows[] = {
+      {1, "67.6%"}, {3, "-"}, {5, "76.0%"}, {8, "-"}, {14, "~82%"}, {16, "-"}};
+  for (const auto& [days, paper] : paper_rows)
+    table.add_row({std::to_string(days), percent(delays.cdf(days), 1), paper});
+  std::cout << table;
+
+  std::cout << "\nSites in the >=4h class: " << delays.size() << "\n";
+  std::cout << "Long-tail share (2+ weeks): " << percent(1.0 - delays.cdf(14), 1)
+            << " (paper: ~18%, the eNom 101-day case)\n";
+
+  // Contrast with duration-agnostic delays: long attacks migrate faster
+  // than the average case but not as decisively as top intensity.
+  const auto all = migration.delays_for_intensity_class(1.0);
+  const auto top = migration.delays_for_intensity_class(0.01);
+  std::cout << "Within-1-day: >=4h " << percent(delays.cdf(1), 1) << " vs all "
+            << percent(all.cdf(1), 1) << " vs top-1% intensity "
+            << (top.empty() ? "n/a" : percent(top.cdf(1), 1))
+            << " (paper: duration helps, intensity decides)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 4 — intensity distribution of honeypot events (average requests/sec
+// to one reflector), overall and per top-five reflection protocol.
+#include "bench_common.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Figure 4: honeypot intensity CDF per protocol",
+      "overall mean 413 / median 77 rps; NTP has the heaviest tail (top 10% "
+      "beyond ~2000 rps); 70-90% of attacks below a couple thousand rps");
+
+  const auto& world = bench::shared_world();
+
+  // Build the overall + per-protocol distributions.
+  EmpiricalDistribution overall;
+  std::map<amppot::ReflectionProtocol, EmpiricalDistribution> per_protocol;
+  for (const auto& event : world.store.events()) {
+    if (!event.is_honeypot()) continue;
+    overall.add(event.intensity);
+    per_protocol[event.reflection].add(event.intensity);
+  }
+
+  const amppot::ReflectionProtocol top5[] = {
+      amppot::ReflectionProtocol::kNtp, amppot::ReflectionProtocol::kDns,
+      amppot::ReflectionProtocol::kCharGen, amppot::ReflectionProtocol::kSsdp,
+      amppot::ReflectionProtocol::kRipv1};
+
+  TextTable table({"rps", "Overall", "NTP", "DNS", "CharGen", "SSDP", "RIPv1"});
+  for (const double x : {1.0, 10.0, 77.0, 100.0, 1000.0, 2000.0, 10000.0, 100000.0}) {
+    std::vector<std::string> row{human_count(x, 0), percent(overall.cdf(x), 1)};
+    for (const auto protocol : top5)
+      row.push_back(percent(per_protocol[protocol].cdf(x), 1));
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+
+  std::cout << "\noverall mean " << fixed(overall.mean(), 1)
+            << " (paper 413), median " << fixed(overall.median(), 1)
+            << " (paper 77)\n";
+  const auto& ntp = per_protocol[amppot::ReflectionProtocol::kNtp];
+  const auto& rip = per_protocol[amppot::ReflectionProtocol::kRipv1];
+  std::cout << "NTP P90: " << human_count(ntp.percentile(90), 0)
+            << " rps (paper: ~2000; tail to 100k+)\n";
+  std::cout << "Shape: NTP median > RIPv1 median (per-protocol offsets): "
+            << (ntp.median() > rip.median() ? "holds" : "VIOLATED") << "\n";
+  return 0;
+}

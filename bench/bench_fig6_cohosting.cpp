@@ -1,0 +1,41 @@
+// Figure 6 — Web-site associations with attacked IPs: the co-hosting group
+// histogram (how many sites shared each attacked hosting IP at the time of
+// its first attack).
+#include "bench_common.h"
+#include "core/impact.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Figure 6: co-hosting groups of attacked target IPs",
+      "n=1: 210,966 IPs; 1<n<=10: 199,369; 10-100: 110,416; 100-1k: 42,500; "
+      "1k-10k: 7,283; 10k-100k: 1,028; 100k-1M: 429; 1M-3.6M: 169");
+
+  const auto& world = bench::shared_world();
+  const core::ImpactAnalysis impact(world.store, world.dns);
+  const auto& hist = impact.cohosting_histogram();
+
+  // Paper bins at full scale (210M domains); ours is ~1/3500 scale, so the
+  // upper bins shift left by ~3.5 decades — the shape target is the decay.
+  const double paper[] = {210966, 199369, 110416, 42500, 7283, 1028, 429, 169};
+
+  TextTable table({"co-hosting bin", "target IPs", "share", "paper IPs",
+                   "paper share"});
+  double paper_total = 0;
+  for (const double p : paper) paper_total += p;
+  for (std::size_t i = 0; i < hist.num_bins(); ++i) {
+    table.add_row({hist.bin_label(i), std::to_string(hist.bin(i)),
+                   percent(double(hist.bin(i)) / double(hist.total()), 1),
+                   human_count(paper[i], 0), percent(paper[i] / paper_total, 1)});
+  }
+  std::cout << table;
+
+  std::cout << "\nWeb-hosting targets among attacked IPs: "
+            << impact.web_hosting_targets() << " (paper: 572k of 6.34M = 9%)\n";
+  std::cout << "Shape: counts decay with group size (n=1 largest): "
+            << (hist.bin(0) >= hist.bin(1) && hist.bin(1) >= hist.bin(3)
+                    ? "holds"
+                    : "VIOLATED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9 — attack-frequency CDFs for all attacked sites vs sites that
+// migrate to a DPS after an attack (repetition is not a migration driver).
+#include "bench_common.h"
+#include "core/migration_analysis.h"
+#include "dps/classifier.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Figure 9: attack frequency, all vs migrating Web sites",
+      "all sites: 92.35% attacked <= 5 times; migrating sites: 97.83% <= 5 "
+      "times -> repetition does NOT drive migration");
+
+  const auto& world = bench::shared_world();
+  const dps::Classifier classifier(world.providers, world.names);
+  const auto timelines = dps::all_timelines(world.dns, classifier);
+  const core::ImpactAnalysis impact(world.store, world.dns);
+  const core::MigrationAnalysis migration(impact, timelines);
+
+  const auto& all = migration.attack_counts_all();
+  const auto& migrating = migration.attack_counts_migrating();
+
+  TextTable table({"#attacks (<=)", "all sites", "migrating sites"});
+  for (int k = 1; k <= 10; ++k) {
+    table.add_row({std::to_string(k), percent(all.cdf(k), 2),
+                   migrating.empty() ? "n/a" : percent(migrating.cdf(k), 2)});
+  }
+  std::cout << table;
+
+  std::cout << "\nall sites <= 5 attacks: " << percent(all.cdf(5), 2)
+            << " (paper: 92.35%)\n";
+  std::cout << "migrating sites <= 5 attacks: "
+            << percent(migrating.cdf(5), 2) << " (paper: 97.83%)\n";
+  std::cout << "attacked more than once: " << percent(1.0 - all.cdf(1), 1)
+            << " (paper: ~14%)\n";
+  std::cout << "Shape: migrating sites are not more repeatedly attacked: "
+            << (migrating.cdf(5) >= all.cdf(5) - 0.02 ? "holds" : "VIOLATED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks of the hot pipeline kernels (google-benchmark), plus the
+// two-tier ablation: packet-level detection vs analytic observation on the
+// same ground truth.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "dns/snapshot.h"
+#include "meta/prefix_map.h"
+#include "net/pcap.h"
+#include "sim/observe.h"
+#include "telescope/pipeline.h"
+#include "telescope/synthesizer.h"
+
+namespace {
+
+using namespace dosm;
+
+std::vector<net::PacketRecord> synth_capture(std::size_t target_packets) {
+  telescope::TelescopeSynthesizer synthesizer(1);
+  telescope::SpoofedAttackSpec spec;
+  spec.victim = net::Ipv4Addr(9, 9, 9, 9);
+  spec.start = 0.0;
+  spec.duration_s = 600.0;
+  spec.victim_pps = static_cast<double>(target_packets) / 600.0 * 256.0;
+  spec.ports = {80};
+  return synthesizer.synthesize({&spec, 1}, 0.0, 600.0,
+                                {.scan_pps = 10.0, .misconfig_pps = 5.0});
+}
+
+void BM_PacketEncode(benchmark::State& state) {
+  net::PacketRecord rec;
+  rec.src = net::Ipv4Addr(1, 2, 3, 4);
+  rec.dst = net::Ipv4Addr(44, 0, 0, 1);
+  rec.proto = 6;
+  rec.src_port = 80;
+  rec.dst_port = 4242;
+  rec.tcp_flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+  for (auto _ : state) benchmark::DoNotOptimize(net::encode_packet(rec));
+}
+BENCHMARK(BM_PacketEncode);
+
+void BM_PacketDecode(benchmark::State& state) {
+  net::PacketRecord rec;
+  rec.src = net::Ipv4Addr(1, 2, 3, 4);
+  rec.dst = net::Ipv4Addr(44, 0, 0, 1);
+  rec.proto = 6;
+  rec.src_port = 80;
+  rec.tcp_flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+  const auto bytes = net::encode_packet(rec);
+  for (auto _ : state) benchmark::DoNotOptimize(net::decode_packet(bytes));
+}
+BENCHMARK(BM_PacketDecode);
+
+void BM_MoorePipeline(benchmark::State& state) {
+  const auto packets = synth_capture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    telescope::Pipeline pipeline;
+    auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
+    pipeline.replay(packets);
+    pipeline.finish();
+    benchmark::DoNotOptimize(rsdos.events().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_MoorePipeline)->Arg(10000)->Arg(100000);
+
+void BM_PcapRoundTrip(benchmark::State& state) {
+  const auto packets = synth_capture(10000);
+  for (auto _ : state) {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    net::PcapWriter writer(stream);
+    for (const auto& rec : packets) writer.write_packet(rec);
+    net::PcapReader reader(stream);
+    std::size_t count = 0;
+    while (reader.next_packet()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_PcapRoundTrip);
+
+void BM_PrefixMapLookup(benchmark::State& state) {
+  meta::PrefixMap<int> map;
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    const auto addr =
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64()));
+    map.insert(net::Prefix(addr, 8 + static_cast<int>(rng.next_below(17))), i);
+  }
+  Rng query_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.lookup(
+        net::Ipv4Addr(static_cast<std::uint32_t>(query_rng.next_u64()))));
+  }
+}
+BENCHMARK(BM_PrefixMapLookup);
+
+void BM_ReverseDnsJoin(benchmark::State& state) {
+  dns::SnapshotStore store(365);
+  Rng rng(5);
+  for (int d = 0; d < 20000; ++d) {
+    const auto id = store.add_domain("site" + std::to_string(d) + ".com", 0);
+    dns::WebsiteRecord rec;
+    rec.www_a = net::Ipv4Addr(
+        static_cast<std::uint32_t>(0x0a000000u + rng.next_below(4000)));
+    store.record_change(id, 0, rec);
+  }
+  store.build_reverse_index();
+  Rng query_rng(6);
+  for (auto _ : state) {
+    const auto ip = net::Ipv4Addr(
+        static_cast<std::uint32_t>(0x0a000000u + query_rng.next_below(4000)));
+    benchmark::DoNotOptimize(
+        store.count_sites_on(ip, static_cast<int>(query_rng.next_below(365))));
+  }
+}
+BENCHMARK(BM_ReverseDnsJoin);
+
+// Ablation: the analytic observation tier vs full packet-level synthesis +
+// detection of the same attack.
+void BM_AblationAnalyticTier(benchmark::State& state) {
+  sim::GroundTruthAttack attack;
+  attack.kind = sim::AttackKind::kDirect;
+  attack.target = net::Ipv4Addr(9, 9, 9, 9);
+  attack.duration_s = 600.0;
+  attack.victim_pps = 25600.0;
+  attack.ports = {80};
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::observe_telescope(attack, rng));
+}
+BENCHMARK(BM_AblationAnalyticTier);
+
+void BM_AblationPacketTier(benchmark::State& state) {
+  telescope::SpoofedAttackSpec spec;
+  spec.victim = net::Ipv4Addr(9, 9, 9, 9);
+  spec.duration_s = 600.0;
+  spec.victim_pps = 25600.0;
+  spec.ports = {80};
+  std::uint64_t seed = 8;
+  for (auto _ : state) {
+    telescope::TelescopeSynthesizer synthesizer(seed++);
+    const auto packets = synthesizer.synthesize({&spec, 1}, 0.0, 600.0);
+    telescope::Pipeline pipeline;
+    auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
+    pipeline.replay(packets);
+    pipeline.finish();
+    benchmark::DoNotOptimize(rsdos.events().size());
+  }
+}
+BENCHMARK(BM_AblationPacketTier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

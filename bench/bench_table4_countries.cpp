@@ -1,0 +1,65 @@
+// Table 4 — per-country target rankings for both datasets, with the paper's
+// notable exceptions (Japan low despite address-space rank; Russia/France
+// high; France driven by OVH).
+#include "bench_common.h"
+
+namespace {
+
+void print_ranking(const dosm::core::EventStore& store,
+                   dosm::core::SourceFilter filter,
+                   const dosm::meta::GeoDatabase& geo,
+                   const std::vector<std::pair<const char*, double>>& paper) {
+  using namespace dosm;
+  const auto ranking = store.country_ranking(filter, geo);
+  TextTable table({"rank", "country", "#targets", "share", "paper"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranking.size()); ++i) {
+    const std::string paper_cell =
+        i < paper.size() ? std::string(paper[i].first) + " " +
+                               percent(paper[i].second, 2)
+                         : "-";
+    table.add_row({std::to_string(i + 1), ranking[i].country.to_string(),
+                   human_count(double(ranking[i].targets)),
+                   percent(ranking[i].share, 2), paper_cell});
+  }
+  std::cout << table;
+
+  // The Japan exception: find its rank.
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].country.to_string() == "JP") {
+      std::cout << "Japan rank: " << (i + 1)
+                << " (paper: 25th telescope / 14th honeypot despite 3rd in "
+                   "address usage)\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dosm;
+  bench::print_header("Table 4: targeted IP addresses per country",
+                      "telescope: US 25.56%, CN 10.47%, RU 5.72%, FR 5.14%, "
+                      "DE 4.20%; honeypot: US 29.50%, CN 9.96%, FR 7.73%, GB "
+                      "6.37%, DE 5.18%");
+
+  const auto& world = bench::shared_world();
+  const auto& geo = world.population.geo();
+
+  std::cout << "\n(a) Telescope (randomly spoofed attacks)\n";
+  print_ranking(world.store, core::SourceFilter::kTelescope, geo,
+                {{"US", 0.2556},
+                 {"China", 0.1047},
+                 {"Russia", 0.0572},
+                 {"France", 0.0514},
+                 {"Germany", 0.0420}});
+
+  std::cout << "\n(b) Honeypot (reflection attacks)\n";
+  print_ranking(world.store, core::SourceFilter::kHoneypot, geo,
+                {{"US", 0.2950},
+                 {"China", 0.0996},
+                 {"France", 0.0773},
+                 {"GB", 0.0637},
+                 {"Germany", 0.0518}});
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 7 — single-port vs multi-port split of randomly-spoofed attacks,
+// plus the joint-attack contrast of §4 (joint attacks are more single-port).
+#include "bench_common.h"
+#include "core/joint.h"
+#include "core/ports.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header("Table 7: target-port cardinality (telescope)",
+                      "single-port 60.6% / multi-port 39.4%; joint attacks "
+                      "rise to 77.1% single-port");
+
+  const auto& world = bench::shared_world();
+  const auto all = core::port_cardinality(world.store.events());
+
+  TextTable table({"type", "#events", "share", "paper share"});
+  table.add_row({"single-port", human_count(double(all.single_port)),
+                 percent(all.single_share(), 1), "60.6%"});
+  table.add_row({"multi-port", human_count(double(all.multi_port)),
+                 percent(1.0 - all.single_share(), 1), "39.4%"});
+  std::cout << table;
+
+  const core::JointAttackAnalysis joint(world.store);
+  const auto joint_split = core::port_cardinality(joint.telescope_joint_events());
+  std::cout << "\nJoint-attack contrast: single-port share "
+            << percent(joint_split.single_share(), 1) << " (paper: 77.1%, up "
+            << "from 60.6%) -> "
+            << (joint_split.single_share() > all.single_share()
+                    ? "shift direction holds"
+                    : "shift direction VIOLATED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 8 — top targeted services among single-port randomly-spoofed
+// attacks, per transport.
+#include "bench_common.h"
+#include "core/ports.h"
+
+namespace {
+
+void print_service_table(
+    const std::vector<dosm::core::ProtocolShare>& rows,
+    const std::vector<std::pair<const char*, double>>& paper) {
+  using namespace dosm;
+  TextTable table({"service", "#events", "share", "paper"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string paper_cell =
+        i < paper.size() ? std::string(paper[i].first) + " " +
+                               percent(paper[i].second, 2)
+                         : "-";
+    table.add_row({rows[i].label, human_count(double(rows[i].events)),
+                   percent(rows[i].share, 2), paper_cell});
+  }
+  std::cout << table;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Table 8: top targeted services, single-port attacks (telescope)",
+      "TCP: HTTP 48.68%, HTTPS 20.68%, MySQL 1.12%, DNS 1.07%, PPTP 0.99%; "
+      "UDP: 27015 18.54%, then scattered game ports; ~75% long tail");
+
+  const auto& world = bench::shared_world();
+
+  std::cout << "\n(a) TCP\n";
+  const auto tcp = core::service_distribution(world.store.events(), true);
+  print_service_table(tcp, {{"HTTP", 0.4868},
+                            {"HTTPS", 0.2068},
+                            {"MySQL", 0.0112},
+                            {"DNS", 0.0107},
+                            {"VPN PPTP", 0.0099},
+                            {"Other", 0.2746}});
+  std::cout << "Web share of single-port TCP: "
+            << percent(core::web_port_share(world.store.events()), 2)
+            << " (paper: 69.36%)\n";
+
+  std::cout << "\n(b) UDP\n";
+  const auto udp = core::service_distribution(world.store.events(), false);
+  print_service_table(udp, {{"27015", 0.1854},
+                            {"37547", 0.0204},
+                            {"32124", 0.0141},
+                            {"28183", 0.0139},
+                            {"MySQL", 0.0130},
+                            {"Other", 0.7532}});
+  std::cout << "Shape: UDP long tail dominates (paper: 75.32% outside top 5): "
+            << percent(udp.back().share, 1) << "\n";
+  return 0;
+}

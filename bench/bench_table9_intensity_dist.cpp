@@ -1,0 +1,39 @@
+// Table 9 — the normalized attack-intensity distribution over attacked Web
+// sites (per-site max across its attacks; the highest value for joint
+// attacks), at the paper's select percentiles.
+#include "bench_common.h"
+#include "core/impact.h"
+#include "core/migration_analysis.h"
+#include "dps/classifier.h"
+
+int main() {
+  using namespace dosm;
+  bench::print_header(
+      "Table 9: normalized attack intensity over Web sites",
+      "percentile -> intensity: 11.1% at 0.0, 95% <= 0.07, 97.5% <= 0.13, "
+      "99% <= 0.52, 99.9% <= 0.85, 100% = 1.0");
+
+  const auto& world = bench::shared_world();
+  const core::ImpactAnalysis impact(world.store, world.dns);
+  const dps::Classifier classifier(world.providers, world.names);
+  const auto timelines = dps::all_timelines(world.dns, classifier);
+  const core::MigrationAnalysis migration(impact, timelines);
+  const auto& intensities = migration.site_intensities();
+
+  TextTable table({"percentile", "intensity (<=)", "paper"});
+  const std::pair<double, double> paper_rows[] = {
+      {95.0, 0.07}, {97.5, 0.13}, {99.0, 0.52}, {99.9, 0.85}, {100.0, 1.0}};
+  // The paper's first column: the fraction of sites at (rounded) zero.
+  const double at_zero = intensities.cdf(0.005);
+  table.add_row({"(share at ~0.0)", percent(at_zero, 1), "11.1% of sites"});
+  for (const auto& [p, expected] : paper_rows) {
+    table.add_row({fixed(p, 1) + "%", fixed(intensities.percentile(p), 3),
+                   fixed(expected, 2)});
+  }
+  std::cout << table;
+  std::cout << "\nSites in the distribution: " << intensities.size()
+            << "; shape: heavy concentration at tiny normalized intensity "
+            << (intensities.percentile(95.0) < 0.3 ? "holds" : "VIOLATED")
+            << "\n";
+  return 0;
+}

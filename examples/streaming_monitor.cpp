@@ -1,0 +1,60 @@
+// Near-realtime monitoring demo (§9): replay a simulated year of fused
+// detector output through the StreamingFusion engine and print the day
+// summaries worth looking at plus every anomaly alert — the situational-
+// awareness loop the paper proposes operating continuously.
+//
+//   $ ./streaming_monitor [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strings.h"
+#include "core/streaming.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace dosm;
+
+  sim::ScenarioConfig config = sim::ScenarioConfig::small();
+  config.window.end = {2016, 2, 24};  // 361 days
+  config.attacker.num_campaigns = 5;
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  const auto world = sim::build_world(config);
+  std::cout << "Replaying " << world->store.size()
+            << " fused events through the streaming monitor...\n\n";
+
+  core::StreamingFusion::Config stream_config;
+  stream_config.spike_factor = 1.6;
+  stream_config.baseline_days = 21;
+
+  double baseline_attacks = 0.0;
+  int summaries = 0;
+  core::StreamingFusion fusion(
+      world->window, stream_config,
+      [&](const core::DaySummary& s) {
+        baseline_attacks += static_cast<double>(s.attacks);
+        ++summaries;
+        if (s.co_targeted >= 3) {
+          std::cout << to_string(world->window.date_of_day(s.day))
+                    << "  co-targeted day: " << s.attacks << " attacks, "
+                    << s.co_targeted
+                    << " target(s) hit by both detectors simultaneously\n";
+        }
+      },
+      [&](const core::StreamAlert& alert) {
+        std::cout << to_string(world->window.date_of_day(alert.day)) << "  *** "
+                  << alert.kind << ": " << fixed(alert.value, 0)
+                  << " vs trailing baseline " << fixed(alert.baseline, 1)
+                  << " (x" << fixed(alert.value / alert.baseline, 1) << ")\n";
+      });
+
+  for (const auto& event : world->store.events()) fusion.ingest(event);
+  fusion.finish();
+
+  std::cout << "\nDays summarized: " << fusion.days_emitted()
+            << ", mean attacks/day: "
+            << fixed(baseline_attacks / std::max(summaries, 1), 1)
+            << ", alerts fired: " << fusion.alerts_fired() << "\n";
+  std::cout << "(The alert days line up with the simulated mega-hoster "
+               "campaign days.)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Packet-level telescope pipeline demo — the Corsaro-plugin use case.
+//
+// Synthesizes one hour of /8 darknet traffic (three ground-truth attacks
+// plus scan/misconfiguration noise), writes it through our pcap writer,
+// reads it back with the pcap reader, and replays it through the RS-DoS
+// plugin pipeline, printing the inferred attack events.
+//
+//   $ ./telescope_pipeline
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/time.h"
+#include "net/pcap.h"
+#include "telescope/flowtuple.h"
+#include "telescope/geo_plugin.h"
+#include "telescope/pipeline.h"
+#include "telescope/synthesizer.h"
+
+int main() {
+  using namespace dosm;
+  const double t0 = static_cast<double>(StudyWindow{}.start_time());
+
+  // Ground truth: a SYN flood on a Web server, a UDP flood on a game
+  // server, and a ping flood — plus one attack too weak to pass the Moore
+  // thresholds.
+  std::vector<telescope::SpoofedAttackSpec> attacks{
+      {.victim = net::Ipv4Addr(93, 184, 216, 34),
+       .start = t0 + 300,
+       .duration_s = 1200,
+       .victim_pps = 60000,
+       .ip_proto = 6,
+       .ports = {80}},
+      {.victim = net::Ipv4Addr(162, 254, 197, 36),
+       .start = t0 + 900,
+       .duration_s = 600,
+       .victim_pps = 40000,
+       .ip_proto = 17,
+       .ports = {27015}},
+      {.victim = net::Ipv4Addr(198, 41, 209, 124),
+       .start = t0 + 1800,
+       .duration_s = 900,
+       .victim_pps = 30000,
+       .ip_proto = 1,
+       .ports = {}},
+      {.victim = net::Ipv4Addr(10, 11, 12, 13),
+       .start = t0 + 600,
+       .duration_s = 45,  // under the 60 s threshold: filtered out
+       .victim_pps = 90,  // ~16 backscatter packets: under the 25 threshold
+       .ip_proto = 6,
+       .ports = {443}},
+  };
+
+  telescope::TelescopeSynthesizer synthesizer(/*seed=*/7);
+  const auto packets = synthesizer.synthesize(
+      attacks, t0, t0 + 3600,
+      {.scan_pps = 40.0, .misconfig_pps = 15.0, .benign_icmp_pps = 5.0});
+  std::cout << "Synthesized " << packets.size()
+            << " darknet packets over one hour\n";
+
+  // Round-trip through the pcap format, as a real deployment would.
+  std::stringstream pcap(std::ios::in | std::ios::out | std::ios::binary);
+  net::PcapWriter writer(pcap);
+  for (const auto& rec : packets) writer.write_packet(rec);
+  std::cout << "Wrote " << writer.frames_written() << " pcap frames ("
+            << pcap.str().size() << " bytes)\n";
+
+  // The full Corsaro-style chain: traffic stats, flowtuple aggregation,
+  // geo/ASN tagging, and the RS-DoS detector, side by side.
+  meta::GeoDatabase geo;
+  geo.add(net::Prefix::parse("93.0.0.0/8"), meta::CountryCode("US"));
+  geo.add(net::Prefix::parse("162.0.0.0/8"), meta::CountryCode("DE"));
+  geo.add(net::Prefix::parse("198.0.0.0/8"), meta::CountryCode("FR"));
+  meta::PrefixToAsMap pfx2as;
+  pfx2as.announce(net::Prefix::parse("93.184.0.0/16"), 15133);
+  pfx2as.announce(net::Prefix::parse("162.254.0.0/16"), 32590);
+  pfx2as.announce(net::Prefix::parse("198.41.0.0/16"), 13335);
+
+  net::PcapReader reader(pcap);
+  telescope::Pipeline pipeline;
+  auto& stats = pipeline.emplace_plugin<telescope::TrafficStatsPlugin>();
+  auto& flowtuple = pipeline.emplace_plugin<telescope::FlowTuplePlugin>();
+  auto& geotag = pipeline.emplace_plugin<telescope::GeoTaggingPlugin>(geo, pfx2as);
+  auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
+  pipeline.replay(reader);
+  pipeline.finish();
+
+  std::cout << "\nPipeline: " << stats.total_packets() << " packets, "
+            << stats.backscatter_packets() << " backscatter ("
+            << percent(static_cast<double>(stats.backscatter_packets()) /
+                           static_cast<double>(stats.total_packets()),
+                       1)
+            << ")\n";
+  std::cout << "FlowTuple: " << flowtuple.intervals().size()
+            << " one-minute intervals; tuple cardinality ~= packet count "
+               "(the random-spoofing signature)\n";
+  std::cout << "Geo tagging: ";
+  for (const auto& [country, count] : geotag.country_ranking())
+    std::cout << country.to_string() << "=" << count << " ";
+  std::cout << "\n";
+  std::cout << "Inferred " << rsdos.events().size()
+            << " randomly-spoofed attack events:\n";
+  for (const auto& event : rsdos.events()) {
+    std::cout << "  victim " << event.victim.to_string() << "  proto "
+              << int(event.attack_proto) << "  port " << event.top_port
+              << "  packets " << event.packets << "  duration "
+              << format_duration(event.duration()) << "  max "
+              << fixed(event.max_pps, 2) << " pps (x256 = "
+              << fixed(event.max_pps * 256.0, 0) << " pps at victim)\n";
+  }
+  return 0;
+}

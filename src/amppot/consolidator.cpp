@@ -1,0 +1,100 @@
+#include "amppot/consolidator.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace dosm::amppot {
+
+namespace {
+
+struct Session {
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t requests = 0;
+};
+
+}  // namespace
+
+std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
+                                         const ConsolidatorConfig& config) {
+  std::vector<AmpPotEvent> events;
+  // Keyed by (victim, protocol); logs are time-ordered so a linear pass with
+  // open sessions suffices.
+  std::map<std::pair<std::uint32_t, std::uint8_t>, Session> open;
+
+  auto close = [&](net::Ipv4Addr victim, ReflectionProtocol protocol,
+                   const Session& s) {
+    if (s.requests <= config.min_requests) return;  // "exceeding 100 requests"
+    AmpPotEvent event;
+    event.victim = victim;
+    event.protocol = protocol;
+    event.start = s.start;
+    event.end = s.end;
+    event.requests = s.requests;
+    event.honeypots = 1;
+    events.push_back(event);
+  };
+
+  for (const auto& req : log) {
+    const auto key = std::make_pair(req.source.value(),
+                                    static_cast<std::uint8_t>(req.protocol));
+    auto it = open.find(key);
+    if (it != open.end()) {
+      Session& s = it->second;
+      const bool gap = req.ts - s.end > config.gap_timeout_s;
+      const bool capped = req.ts - s.start > config.max_duration_s;
+      if (gap || capped) {
+        close(req.source, req.protocol, s);
+        s = Session{req.ts, req.ts, 1};
+        continue;
+      }
+      s.end = req.ts;
+      ++s.requests;
+    } else {
+      open.emplace(key, Session{req.ts, req.ts, 1});
+    }
+  }
+  for (const auto& [key, s] : open) {
+    close(net::Ipv4Addr(key.first),
+          static_cast<ReflectionProtocol>(key.second), s);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const AmpPotEvent& a, const AmpPotEvent& b) {
+              return std::tie(a.start, a.victim, a.protocol) <
+                     std::tie(b.start, b.victim, b.protocol);
+            });
+  return events;
+}
+
+std::vector<AmpPotEvent> merge_fleet_events(std::vector<AmpPotEvent> events) {
+  // Group by (victim, protocol), sort each group by start, merge overlaps.
+  std::sort(events.begin(), events.end(),
+            [](const AmpPotEvent& a, const AmpPotEvent& b) {
+              return std::tie(a.victim, a.protocol, a.start) <
+                     std::tie(b.victim, b.protocol, b.start);
+            });
+  std::vector<AmpPotEvent> merged;
+  for (const auto& event : events) {
+    if (!merged.empty()) {
+      AmpPotEvent& last = merged.back();
+      if (last.victim == event.victim && last.protocol == event.protocol &&
+          event.start <= last.end) {
+        last.end = std::max(last.end, event.end);
+        last.requests += event.requests;
+        last.honeypots += event.honeypots;
+        continue;
+      }
+    }
+    merged.push_back(event);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const AmpPotEvent& a, const AmpPotEvent& b) {
+              return std::tie(a.start, a.victim, a.protocol) <
+                     std::tie(b.start, b.victim, b.protocol);
+            });
+  return merged;
+}
+
+}  // namespace dosm::amppot

@@ -1,0 +1,60 @@
+// Turning honeypot request logs into attack events.
+//
+// Stage 1 (per honeypot): requests are grouped by (victim, protocol) into
+// sessions separated by an inactivity gap; sessions are capped at 24 h (the
+// operational cap the paper notes in §4) and only sessions exceeding the
+// request threshold (100, §3.1.2) become events — everything below is
+// scanner traffic or noise.
+//
+// Stage 2 (fleet): per-honeypot events for the same victim and protocol
+// that overlap in time are merged into a single attack event, since one
+// attack sprays requests across many reflectors at once. The intensity
+// metric is the paper's: the *average requests per second seen by one
+// honeypot* (total requests / duration / honeypots involved).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "amppot/honeypot.h"
+
+namespace dosm::amppot {
+
+/// A reflection/amplification attack event (fleet-level).
+struct AmpPotEvent {
+  net::Ipv4Addr victim;
+  ReflectionProtocol protocol = ReflectionProtocol::kOther;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t requests = 0;   // total across contributing honeypots
+  std::uint32_t honeypots = 1;  // distinct honeypots contributing
+
+  double duration() const { return end - start; }
+
+  /// Average requests/sec to a single reflector (the paper's intensity).
+  double avg_rps() const {
+    const double d = duration();
+    if (d <= 0.0) return static_cast<double>(requests);
+    return static_cast<double>(requests) / d / static_cast<double>(honeypots);
+  }
+};
+
+/// Consolidation knobs; defaults follow the paper.
+struct ConsolidatorConfig {
+  std::uint64_t min_requests = 100;  // per-honeypot event threshold
+  double gap_timeout_s = 3600.0;     // inactivity gap that splits sessions
+  double max_duration_s = 24.0 * 3600.0;  // 24 h event cap
+};
+
+/// Stage 1: per-honeypot session extraction. `log` must be time-ordered.
+/// Emitted events have honeypots == 1.
+std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
+                                         const ConsolidatorConfig& config = {});
+
+/// Stage 2: merges overlapping per-honeypot events (same victim+protocol)
+/// into fleet-level attack events. Input order is arbitrary.
+std::vector<AmpPotEvent> merge_fleet_events(std::vector<AmpPotEvent> events);
+
+}  // namespace dosm::amppot

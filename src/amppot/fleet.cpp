@@ -1,0 +1,127 @@
+#include "amppot/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dosm::amppot {
+
+namespace {
+
+/// Deployment mix per the paper (§3.1.2 fn. 3): 11 America, 8 Europe,
+/// 4 Asia, 1 Australia. Repeats if the fleet is larger than 24.
+meta::CountryCode location_for(int index) {
+  static const char* kLocations[24] = {
+      // America (11)
+      "US", "US", "US", "US", "US", "US", "US", "US", "CA", "BR", "US",
+      // Europe (8)
+      "DE", "DE", "NL", "NL", "GB", "FR", "IE", "SE",
+      // Asia (4)
+      "JP", "SG", "IN", "HK",
+      // Australia (1)
+      "AU"};
+  return meta::CountryCode(kLocations[index % 24]);
+}
+
+}  // namespace
+
+HoneypotFleet::HoneypotFleet(std::uint64_t seed, int num_honeypots)
+    : rng_(seed) {
+  if (num_honeypots < 1)
+    throw std::invalid_argument("HoneypotFleet: need at least one honeypot");
+  honeypots_.reserve(static_cast<std::size_t>(num_honeypots));
+  for (int i = 0; i < num_honeypots; ++i) {
+    // Honeypot addresses live in distinct cloud/volunteer networks; use
+    // spread-out documentation-style addresses.
+    const auto addr = net::Ipv4Addr(
+        static_cast<std::uint32_t>(0xc6336400u + 256u * static_cast<std::uint32_t>(i) + 10u));
+    honeypots_.emplace_back(i, addr, location_for(i));
+  }
+}
+
+void HoneypotFleet::run(std::span<const ReflectionAttackSpec> attacks,
+                        double window_start, double window_end,
+                        const ScannerNoiseConfig& noise) {
+  const auto n = honeypots_.size();
+  std::vector<std::vector<RequestRecord>> pending(n);
+
+  for (const auto& spec : attacks) {
+    const double begin = std::max(spec.start, window_start);
+    const double end = std::min(spec.start + spec.duration_s, window_end);
+    if (end <= begin || spec.per_reflector_rps <= 0.0 || spec.honeypots_hit <= 0)
+      continue;
+    // Choose which honeypots are on the attacker's reflector list
+    // (partial Fisher-Yates over indices).
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    const auto hit = std::min<std::size_t>(
+        static_cast<std::size_t>(spec.honeypots_hit), n);
+    for (std::size_t i = 0; i < hit; ++i) {
+      const auto j = i + rng_.next_below(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    const std::uint16_t req_bytes = protocol_info(spec.protocol).request_bytes;
+    for (std::size_t i = 0; i < hit; ++i) {
+      auto& log = pending[idx[i]];
+      double t = begin + rng_.exponential(spec.per_reflector_rps);
+      while (t < end) {
+        log.push_back(RequestRecord{t, spec.victim, spec.protocol, req_bytes});
+        t += rng_.exponential(spec.per_reflector_rps);
+      }
+    }
+  }
+
+  if (noise.scans_per_hour_per_honeypot > 0.0) {
+    const double rate = noise.scans_per_hour_per_honeypot / 3600.0;
+    for (std::size_t h = 0; h < n; ++h) {
+      double t = window_start + rng_.exponential(rate);
+      while (t < window_end) {
+        // A scanner probes each protocol a handful of times from its own
+        // (non-spoofed) address.
+        const auto scanner =
+            net::Ipv4Addr(static_cast<std::uint32_t>(rng_.next_u64()));
+        for (int p = 0; p < noise.probes_per_scan; ++p) {
+          const auto& info =
+              all_protocols()[rng_.next_below(kNumReflectionProtocols)];
+          pending[h].push_back(RequestRecord{
+              t + 0.1 * p, scanner, info.protocol, info.request_bytes});
+        }
+        t += rng_.exponential(rate);
+      }
+    }
+  }
+
+  for (std::size_t h = 0; h < n; ++h) {
+    auto& log = pending[h];
+    std::sort(log.begin(), log.end(),
+              [](const RequestRecord& a, const RequestRecord& b) {
+                return a.ts < b.ts;
+              });
+    for (const auto& req : log) honeypots_[h].receive(req);
+  }
+}
+
+std::vector<AmpPotEvent> HoneypotFleet::harvest(const ConsolidatorConfig& config) {
+  std::vector<AmpPotEvent> all;
+  for (auto& honeypot : honeypots_) {
+    auto events = consolidate_log(honeypot.log(), config);
+    all.insert(all.end(), events.begin(), events.end());
+    honeypot.clear_log();
+  }
+  return merge_fleet_events(std::move(all));
+}
+
+std::uint64_t HoneypotFleet::total_requests() const {
+  std::uint64_t sum = 0;
+  for (const auto& honeypot : honeypots_) sum += honeypot.requests_received();
+  return sum;
+}
+
+std::uint64_t HoneypotFleet::total_replies() const {
+  std::uint64_t sum = 0;
+  for (const auto& honeypot : honeypots_) sum += honeypot.replies_sent();
+  return sum;
+}
+
+}  // namespace dosm::amppot

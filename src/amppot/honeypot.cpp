@@ -1,0 +1,38 @@
+#include "amppot/honeypot.h"
+
+namespace dosm::amppot {
+
+bool ReplyRateLimiter::on_packet(double ts, net::Ipv4Addr source) {
+  Window& w = windows_[source];
+  if (ts - w.minute_start >= 60.0) {
+    w.minute_start = ts;
+    w.in_window = 0;
+  }
+  w.last_seen = ts;
+  ++w.in_window;
+  return w.in_window < max_per_minute_;
+}
+
+void ReplyRateLimiter::compact(double now) {
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (now - it->second.last_seen > 120.0)
+      it = windows_.erase(it);
+    else
+      ++it;
+  }
+}
+
+Honeypot::Honeypot(int id, net::Ipv4Addr address, meta::CountryCode location)
+    : id_(id), address_(address), location_(location) {}
+
+bool Honeypot::receive(const RequestRecord& request) {
+  log_.push_back(request);
+  ++requests_received_;
+  const bool reply = limiter_.on_packet(request.ts, request.source);
+  if (reply) ++replies_sent_;
+  return reply;
+}
+
+void Honeypot::clear_log() { log_.clear(); }
+
+}  // namespace dosm::amppot

@@ -1,0 +1,87 @@
+// A single AmpPot honeypot instance.
+//
+// An AmpPot mimics an open reflector: it answers protocol requests so that
+// scanners list it, but rate-limits replies to at most a trickle per source
+// ("AmpPot only replies to sources sending fewer than three packets per
+// minute", §3.1.2) so it cannot contribute meaningful attack bandwidth.
+// Every incoming request is logged; the consolidator later turns logs into
+// attack events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amppot/protocols.h"
+#include "meta/geo.h"
+#include "net/ipv4.h"
+
+namespace dosm::amppot {
+
+/// One logged request (a spoofed datagram claiming to come from `source`).
+struct RequestRecord {
+  double ts = 0.0;             // unix seconds
+  net::Ipv4Addr source;        // alleged (spoofed) source = the victim
+  ReflectionProtocol protocol = ReflectionProtocol::kOther;
+  std::uint16_t request_bytes = 0;
+};
+
+/// Sliding-window reply rate limiter: a source gets replies only while it
+/// has sent fewer than `max_per_minute` packets in the trailing 60 s.
+class ReplyRateLimiter {
+ public:
+  explicit ReplyRateLimiter(std::uint32_t max_per_minute = 3)
+      : max_per_minute_(max_per_minute) {}
+
+  /// Registers a packet from `source` at `ts` and reports whether the
+  /// honeypot replies to it. Timestamps must be non-decreasing per source.
+  bool on_packet(double ts, net::Ipv4Addr source);
+
+  /// Drops per-source state idle since before `ts - 120 s` (memory bound).
+  void compact(double now);
+
+  std::size_t tracked_sources() const { return windows_.size(); }
+
+ private:
+  struct Window {
+    double minute_start = 0.0;
+    std::uint32_t in_window = 0;
+    double last_seen = 0.0;
+  };
+  std::uint32_t max_per_minute_;
+  std::unordered_map<net::Ipv4Addr, Window> windows_;
+};
+
+/// A honeypot instance: identity + request log + reply accounting.
+class Honeypot {
+ public:
+  Honeypot(int id, net::Ipv4Addr address, meta::CountryCode location);
+
+  int id() const { return id_; }
+  net::Ipv4Addr address() const { return address_; }
+  meta::CountryCode location() const { return location_; }
+
+  /// Ingests one request; returns true if the honeypot replied (rate
+  /// limiter permitting).
+  bool receive(const RequestRecord& request);
+
+  const std::vector<RequestRecord>& log() const { return log_; }
+  /// Lifetime request count (survives clear_log()).
+  std::uint64_t requests_received() const { return requests_received_; }
+  std::uint64_t replies_sent() const { return replies_sent_; }
+
+  /// Clears the request log (after consolidation) keeping counters.
+  void clear_log();
+
+ private:
+  int id_;
+  net::Ipv4Addr address_;
+  meta::CountryCode location_;
+  ReplyRateLimiter limiter_;
+  std::vector<RequestRecord> log_;
+  std::uint64_t replies_sent_ = 0;
+  std::uint64_t requests_received_ = 0;
+};
+
+}  // namespace dosm::amppot

@@ -1,0 +1,100 @@
+#include "amppot/packet_ingest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace dosm::amppot {
+
+PacketIngest::PacketIngest(HoneypotFleet& fleet) : fleet_(fleet) {
+  for (std::size_t i = 0; i < fleet.honeypots().size(); ++i)
+    by_address_[fleet.honeypots()[i].address()] = i;
+}
+
+bool PacketIngest::ingest(const net::PacketRecord& rec) {
+  ++stats_.packets;
+  if (!rec.is_udp()) {
+    ++stats_.non_udp;
+    return false;
+  }
+  const auto it = by_address_.find(rec.dst);
+  if (it == by_address_.end()) {
+    ++stats_.unknown_address;
+    return false;
+  }
+  const auto protocol = protocol_for_port(rec.dst_port);
+  if (!protocol) {
+    ++stats_.unknown_port;
+    return false;
+  }
+  RequestRecord request;
+  request.ts = rec.timestamp();
+  request.source = rec.src;  // the spoofed victim
+  request.protocol = *protocol;
+  request.request_bytes = rec.ip_len;
+  fleet_.deliver(it->second, request);
+  ++stats_.requests;
+  return true;
+}
+
+IngestStats PacketIngest::replay(net::PcapReader& reader) {
+  while (auto rec = reader.next_packet()) ingest(*rec);
+  return stats_;
+}
+
+IngestStats PacketIngest::replay(std::span<const net::PacketRecord> packets) {
+  for (const auto& rec : packets) ingest(rec);
+  return stats_;
+}
+
+std::vector<net::PacketRecord> synthesize_reflection_requests(
+    const HoneypotFleet& fleet, std::span<const ReflectionAttackSpec> attacks,
+    double window_start, double window_end, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<net::PacketRecord> out;
+  const auto honeypots = fleet.honeypots();
+
+  for (const auto& spec : attacks) {
+    const double begin = std::max(spec.start, window_start);
+    const double end = std::min(spec.start + spec.duration_s, window_end);
+    if (end <= begin || spec.per_reflector_rps <= 0.0 || spec.honeypots_hit <= 0)
+      continue;
+    const auto& info = protocol_info(spec.protocol);
+
+    // Partial Fisher-Yates pick of the honeypots on the reflector list.
+    std::vector<std::size_t> idx(honeypots.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    const auto hit =
+        std::min<std::size_t>(static_cast<std::size_t>(spec.honeypots_hit),
+                              honeypots.size());
+    for (std::size_t i = 0; i < hit; ++i) {
+      const auto j = i + rng.next_below(idx.size() - i);
+      std::swap(idx[i], idx[j]);
+    }
+    for (std::size_t i = 0; i < hit; ++i) {
+      double t = begin + rng.exponential(spec.per_reflector_rps);
+      while (t < end) {
+        net::PacketRecord rec;
+        rec.ts_sec = static_cast<UnixSeconds>(std::floor(t));
+        rec.ts_usec = static_cast<std::uint32_t>((t - std::floor(t)) * 1e6);
+        rec.src = spec.victim;  // spoofed
+        rec.dst = honeypots[idx[i]].address();
+        rec.proto = 17;  // UDP
+        rec.src_port = info.udp_port;  // victims "reply" from the service port
+        rec.dst_port = info.udp_port;
+        rec.ip_len = static_cast<std::uint16_t>(28 + info.request_bytes);
+        out.push_back(rec);
+        t += rng.exponential(spec.per_reflector_rps);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp() < b.timestamp();
+            });
+  return out;
+}
+
+}  // namespace dosm::amppot

@@ -1,0 +1,63 @@
+// Packet-level ingestion for AmpPot — the honeypot-side counterpart of the
+// telescope's pcap replay path.
+//
+// A real AmpPot instance receives raw UDP datagrams; the emulated protocol
+// is identified by the destination port and the (spoofed) victim is the
+// source address. This module decodes captured packets into RequestRecords
+// and routes them to the fleet instance owning the destination address, so
+// a honeypot deployment can be driven end-to-end from pcap bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amppot/fleet.h"
+#include "net/headers.h"
+#include "net/pcap.h"
+
+namespace dosm::amppot {
+
+/// Statistics of one ingestion run.
+struct IngestStats {
+  std::uint64_t packets = 0;        // total frames examined
+  std::uint64_t requests = 0;       // UDP datagrams delivered to a honeypot
+  std::uint64_t non_udp = 0;        // dropped: not UDP
+  std::uint64_t unknown_port = 0;   // dropped: no emulated protocol there
+  std::uint64_t unknown_address = 0;  // dropped: not one of our honeypots
+};
+
+/// Routes decoded packets to fleet honeypots. Packets must be in
+/// non-decreasing time order (pcap replay order), as Honeypot::receive's
+/// rate limiter requires.
+class PacketIngest {
+ public:
+  /// The fleet must outlive the ingester.
+  explicit PacketIngest(HoneypotFleet& fleet);
+
+  /// Ingests one decoded packet; returns true if it became a request.
+  bool ingest(const net::PacketRecord& rec);
+
+  /// Replays an entire pcap stream.
+  IngestStats replay(net::PcapReader& reader);
+
+  /// Replays an in-memory packet vector.
+  IngestStats replay(std::span<const net::PacketRecord> packets);
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  HoneypotFleet& fleet_;
+  std::unordered_map<net::Ipv4Addr, std::size_t> by_address_;
+  IngestStats stats_;
+};
+
+/// Synthesizes the raw request datagrams a reflection attack sprays at the
+/// fleet (the packet-level counterpart of HoneypotFleet::run): each chosen
+/// honeypot receives a Poisson stream of protocol requests with the victim
+/// as spoofed source. Returns time-sorted packets, window-clipped.
+std::vector<net::PacketRecord> synthesize_reflection_requests(
+    const HoneypotFleet& fleet, std::span<const ReflectionAttackSpec> attacks,
+    double window_start, double window_end, std::uint64_t seed);
+
+}  // namespace dosm::amppot

@@ -1,0 +1,44 @@
+#include "amppot/protocols.h"
+
+#include <array>
+
+namespace dosm::amppot {
+
+namespace {
+
+// BAFs follow Rossow (NDSS 2014), Table 3 (NTP uses the monlist figure that
+// made it the dominant vector in the paper's window).
+constexpr std::array<ProtocolInfo, kNumReflectionProtocols + 1> kProtocols{{
+    {ReflectionProtocol::kQotd, "QOTD", 17, 140.3, 1},
+    {ReflectionProtocol::kCharGen, "CharGen", 19, 358.8, 1},
+    {ReflectionProtocol::kDns, "DNS", 53, 54.6, 64},
+    {ReflectionProtocol::kNtp, "NTP", 123, 556.9, 8},
+    {ReflectionProtocol::kSsdp, "SSDP", 1900, 30.8, 90},
+    {ReflectionProtocol::kMssql, "MSSQL", 1434, 25.3, 1},
+    {ReflectionProtocol::kRipv1, "RIPv1", 520, 131.2, 24},
+    {ReflectionProtocol::kTftp, "TFTP", 69, 60.0, 20},
+    {ReflectionProtocol::kOther, "Other", 0, 10.0, 32},
+}};
+
+}  // namespace
+
+const ProtocolInfo& protocol_info(ReflectionProtocol p) {
+  const auto idx = static_cast<std::size_t>(p);
+  return kProtocols[idx < kProtocols.size() ? idx : kProtocols.size() - 1];
+}
+
+std::span<const ProtocolInfo> all_protocols() {
+  return std::span(kProtocols.data(), kNumReflectionProtocols);
+}
+
+std::optional<ReflectionProtocol> protocol_for_port(std::uint16_t port) {
+  for (const auto& info : all_protocols())
+    if (info.udp_port == port) return info.protocol;
+  return std::nullopt;
+}
+
+std::string to_string(ReflectionProtocol p) {
+  return std::string(protocol_info(p).name);
+}
+
+}  // namespace dosm::amppot

@@ -1,0 +1,53 @@
+// Reflection/amplification protocol registry.
+//
+// AmpPot emulates the eight UDP protocols the paper lists (§3.1.2 fn. 2):
+// QOTD, CharGen, DNS, NTP, SSDP, MSSQL, RIPv1, and TFTP. Each entry carries
+// the protocol's well-known UDP port and a representative bandwidth
+// amplification factor (BAF) from Rossow, "Amplification Hell" (NDSS 2014);
+// the BAF drives how attractive each vector is to simulated attackers and
+// how much reflected traffic a request generates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace dosm::amppot {
+
+enum class ReflectionProtocol : std::uint8_t {
+  kQotd,
+  kCharGen,
+  kDns,
+  kNtp,
+  kSsdp,
+  kMssql,
+  kRipv1,
+  kTftp,
+  kOther,
+};
+
+/// Number of concrete protocols (excluding kOther).
+inline constexpr std::size_t kNumReflectionProtocols = 8;
+
+struct ProtocolInfo {
+  ReflectionProtocol protocol;
+  std::string_view name;
+  std::uint16_t udp_port;
+  double amplification;  // bandwidth amplification factor
+  std::uint16_t request_bytes;  // typical request datagram size
+};
+
+/// Static info for a protocol; kOther gets a generic entry.
+const ProtocolInfo& protocol_info(ReflectionProtocol p);
+
+/// All eight concrete protocols.
+std::span<const ProtocolInfo> all_protocols();
+
+/// Protocol listening on the given UDP port, if any.
+std::optional<ReflectionProtocol> protocol_for_port(std::uint16_t port);
+
+std::string to_string(ReflectionProtocol p);
+
+}  // namespace dosm::amppot

@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation for all simulation layers.
+//
+// Every stochastic component in dosmeter takes an explicit seed so that
+// identical configurations reproduce identical tables and figures. We avoid
+// std::mt19937 plus std::*_distribution because their outputs are not
+// guaranteed to be identical across standard-library implementations; the
+// generators and samplers here are fully specified by this code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dosm {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+/// All dosmeter randomness flows through this generator.
+class Rng {
+ public:
+  /// Seeds the four state words via SplitMix64 so that any 64-bit seed,
+  /// including 0, yields a valid (non-zero) state.
+  explicit Rng(std::uint64_t seed = 0xd05a11e5ULL);
+
+  /// Uniform random 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method to
+  /// avoid modulo bias. bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (no state caching; deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(normal(mu, sigma)). Heavy-tailed durations/intensities.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Type I) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Poisson-distributed count with the given mean. Uses inversion for small
+  /// means and the PTRS transformed-rejection algorithm for large means.
+  std::uint64_t poisson(double mean);
+
+  /// Binomial(n, p) sample. Exact inversion for small n*p; normal
+  /// approximation with continuity correction for large n (n > 10000) where
+  /// the approximation error is far below our reproduction tolerances.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Derive an independent child generator; `tag` separates named streams
+  /// with the same parent (e.g. per-module sub-streams).
+  Rng fork(std::string_view tag);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+/// Weights need not be normalized; they must be non-negative with a positive
+/// sum.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Sample a category index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Bounded Zipf(s) sampler over ranks {1..n} via rejection-inversion
+/// (Hörmann & Derflinger). Used for hoster sizes, attack-target popularity,
+/// and co-hosting group magnitudes.
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Sample a rank in [1, n].
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_ = 1;
+  double s_ = 1.0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash of a byte string; used for stream derivation and
+/// hash-based sharding (never for security).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace dosm

@@ -1,0 +1,170 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dosm {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+void EmpiricalDistribution::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+double EmpiricalDistribution::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalDistribution::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double EmpiricalDistribution::percentile(double p) const {
+  if (values_.empty())
+    throw std::logic_error("EmpiricalDistribution::percentile on empty sample");
+  ensure_sorted();
+  if (p <= 0.0) return values_.front();
+  if (p >= 100.0) return values_.back();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::span<const double> EmpiricalDistribution::sorted() const {
+  ensure_sorted();
+  return values_;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+std::vector<CdfPoint> cdf_at(const EmpiricalDistribution& dist,
+                             std::span<const double> xs) {
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back({x, dist.cdf(x)});
+  return out;
+}
+
+LogBinHistogram::LogBinHistogram(int max_exponent) {
+  if (max_exponent < 1)
+    throw std::invalid_argument("LogBinHistogram: max_exponent must be >= 1");
+  bins_.assign(static_cast<std::size_t>(max_exponent) + 1, 0);
+}
+
+void LogBinHistogram::add(std::uint64_t value) {
+  if (value < 1) return;
+  if (value == 1) {
+    ++bins_[0];
+    return;
+  }
+  std::size_t bin = 1;
+  std::uint64_t upper = 10;
+  while (value > upper && bin + 1 < bins_.size()) {
+    ++bin;
+    // Saturate rather than overflow for absurdly large exponents.
+    upper = upper > (UINT64_MAX / 10) ? UINT64_MAX : upper * 10;
+  }
+  ++bins_[bin];
+}
+
+std::uint64_t LogBinHistogram::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), std::uint64_t{0});
+}
+
+std::string LogBinHistogram::bin_label(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range("LogBinHistogram::bin_label");
+  if (i == 0) return "n=1";
+  const auto lo = static_cast<int>(i) - 1;
+  const auto hi = static_cast<int>(i);
+  std::string label = "10^";
+  if (lo == 0) label = "1";
+  else label += std::to_string(lo);
+  return label + "<n<=10^" + std::to_string(hi);
+}
+
+void DailySeries::add(int day, double amount) {
+  values_.at(static_cast<std::size_t>(day)) += amount;
+}
+
+void DailySeries::set(int day, double value) {
+  values_.at(static_cast<std::size_t>(day)) = value;
+}
+
+double DailySeries::total() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double DailySeries::daily_mean() const {
+  return values_.empty() ? 0.0 : total() / static_cast<double>(values_.size());
+}
+
+double DailySeries::max() const {
+  return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+}
+
+int DailySeries::argmax() const {
+  if (values_.empty()) return -1;
+  return static_cast<int>(std::max_element(values_.begin(), values_.end()) -
+                          values_.begin());
+}
+
+DailySeries DailySeries::smoothed(int window) const {
+  if (window < 1) throw std::invalid_argument("DailySeries::smoothed: window >= 1");
+  DailySeries out(num_days());
+  const int half = window / 2;
+  const int n = num_days();
+  for (int d = 0; d < n; ++d) {
+    const int lo = std::max(0, d - half);
+    const int hi = std::min(n - 1, d + half);
+    double sum = 0.0;
+    for (int i = lo; i <= hi; ++i) sum += values_[static_cast<std::size_t>(i)];
+    out.set(d, sum / static_cast<double>(hi - lo + 1));
+  }
+  return out;
+}
+
+}  // namespace dosm

@@ -1,0 +1,133 @@
+// Statistical summaries used by every analysis: percentiles/CDFs (Figures 2,
+// 3, 4, 9, 10, 11), log-binned histograms (Figure 6), and running summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dosm {
+
+/// Streaming summary of a scalar sample (count/mean/min/max/variance via
+/// Welford). Median and percentiles require the full sample; see
+/// EmpiricalDistribution.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Holds a full sample and answers percentile / CDF queries. Sorting is done
+/// lazily on first query.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> values);
+
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Percentile p in [0, 100]; linear interpolation between order statistics.
+  /// Throws std::logic_error on an empty sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Empirical CDF at x: fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// The sorted sample (forces the sort).
+  std::span<const double> sorted() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// One point of a rendered CDF curve.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;  // in [0, 1]
+};
+
+/// Evaluates the empirical CDF of `dist` at each x in `xs` (xs need not be
+/// sorted). Used to print the figure curves at paper-matching tick values.
+std::vector<CdfPoint> cdf_at(const EmpiricalDistribution& dist,
+                             std::span<const double> xs);
+
+/// Logarithmically-binned histogram over positive counts, matching Figure 6:
+/// bins are {n==1, 1<n<=10, 10<n<=100, ...} up to 10^max_exponent.
+class LogBinHistogram {
+ public:
+  /// Bins: [1,1], (1,10], (10,100], … , (10^(max_exponent-1), 10^max_exponent].
+  explicit LogBinHistogram(int max_exponent = 7);
+
+  /// Adds a count; values < 1 are ignored, values above the top bin clamp
+  /// into it.
+  void add(std::uint64_t value);
+
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  std::uint64_t total() const;
+
+  /// Human-readable label for bin i ("n=1", "1<n<=10^1", ...).
+  std::string bin_label(std::size_t i) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+};
+
+/// Fixed-width daily time series over a window of `num_days` days.
+/// Used for Figures 1, 5, and 7.
+class DailySeries {
+ public:
+  explicit DailySeries(int num_days) : values_(static_cast<std::size_t>(num_days), 0.0) {}
+
+  void add(int day, double amount);
+  void set(int day, double value);
+  double at(int day) const { return values_.at(static_cast<std::size_t>(day)); }
+  int num_days() const { return static_cast<int>(values_.size()); }
+
+  double total() const;
+  double daily_mean() const;
+  double max() const;
+  /// Day index of the maximum value (first one on ties).
+  int argmax() const;
+
+  /// Centered moving average with the given full window width (odd widths
+  /// recommended); edges use the available partial window. Mirrors the
+  /// paper's smoothed overlay in Figure 7.
+  DailySeries smoothed(int window) const;
+
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace dosm

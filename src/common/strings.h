@@ -1,0 +1,32 @@
+// Small string/formatting helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosm {
+
+/// "12.47M", "8.4k", "731" — compact human magnitudes as in the paper tables.
+std::string human_count(double value, int decimals = 2);
+
+/// Percentage with the given number of decimals: "25.56%".
+std::string percent(double fraction, int decimals = 2);
+
+/// Fixed-point formatting.
+std::string fixed(double value, int decimals);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string_view s);
+
+/// True if `s` ends with `suffix` (ASCII case-insensitive).
+bool iends_with(std::string_view s, std::string_view suffix);
+
+}  // namespace dosm

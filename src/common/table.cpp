@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dosm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  aligns_.at(column) = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - s.size();
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << pad(headers_[c], c);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      os << pad(row[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace dosm

@@ -1,0 +1,47 @@
+// Plain-text table rendering for the bench harness. Every bench binary
+// prints its paper table/figure as an aligned text table plus a CSV block so
+// results can be both eyeballed and machine-diffed.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dosm {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple rectangular text table. Rows may be ragged; short rows are
+/// padded with empty cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Per-column alignment; defaults to left for column 0 and right otherwise.
+  void set_align(std::size_t column, Align align);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  /// Renders as RFC-4180-style CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Prints a titled section banner for bench output.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace dosm

@@ -1,0 +1,83 @@
+#include "common/time.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dosm {
+
+std::int64_t days_from_civil(CivilDate d) {
+  // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  auto y = static_cast<std::int64_t>(d.year);
+  const unsigned m = d.month;
+  const unsigned dd = d.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;       // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(days - era * 146097);      // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;        // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);     // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                          // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                  // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                       // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), m, d};
+}
+
+UnixSeconds unix_from_civil(CivilDate d) {
+  return days_from_civil(d) * kSecondsPerDay;
+}
+
+CivilDate civil_from_unix(UnixSeconds t) { return civil_from_days(day_index(t)); }
+
+std::int64_t day_index(UnixSeconds t) {
+  return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay;
+}
+
+std::string to_string(CivilDate d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+CivilDate parse_civil(const std::string& s) {
+  int y = 0;
+  unsigned m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%u-%u", &y, &m, &d) != 3 || m < 1 || m > 12 ||
+      d < 1 || d > 31) {
+    throw std::invalid_argument("parse_civil: malformed date: " + s);
+  }
+  return CivilDate{y, m, d};
+}
+
+std::string format_duration(double seconds) {
+  char buf[48];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  } else if (seconds < 3600.0) {
+    const int m = static_cast<int>(seconds) / 60;
+    const int s = static_cast<int>(seconds) % 60;
+    if (s == 0)
+      std::snprintf(buf, sizeof(buf), "%dm", m);
+    else
+      std::snprintf(buf, sizeof(buf), "%dm%02ds", m, s);
+  } else {
+    const int h = static_cast<int>(seconds) / 3600;
+    const int m = (static_cast<int>(seconds) % 3600) / 60;
+    if (m == 0)
+      std::snprintf(buf, sizeof(buf), "%dh", h);
+    else
+      std::snprintf(buf, sizeof(buf), "%dh%02dm", h, m);
+  }
+  return buf;
+}
+
+}  // namespace dosm

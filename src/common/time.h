@@ -1,0 +1,89 @@
+// Civil-calendar time for the measurement window.
+//
+// All dosmeter timestamps are UTC seconds since the Unix epoch
+// (`UnixSeconds`). Analyses aggregate by civil day; `CivilDate` provides the
+// proleptic-Gregorian day arithmetic (Howard Hinnant's algorithms) without
+// any dependence on the process clock or timezone database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dosm {
+
+using UnixSeconds = std::int64_t;
+
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// A proleptic-Gregorian calendar date.
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1..12
+  unsigned day = 1;    // 1..31
+
+  auto operator<=>(const CivilDate&) const = default;
+};
+
+/// Days since 1970-01-01 for the given civil date (may be negative).
+std::int64_t days_from_civil(CivilDate d);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days);
+
+/// Midnight UTC of the given civil date.
+UnixSeconds unix_from_civil(CivilDate d);
+
+/// Civil date containing the given timestamp.
+CivilDate civil_from_unix(UnixSeconds t);
+
+/// Day index (days since epoch) containing the timestamp; floor division so
+/// negative timestamps land on the correct day.
+std::int64_t day_index(UnixSeconds t);
+
+/// "YYYY-MM-DD".
+std::string to_string(CivilDate d);
+
+/// Parses "YYYY-MM-DD"; throws std::invalid_argument on malformed input.
+CivilDate parse_civil(const std::string& s);
+
+/// The paper's two-year measurement window: 2015-03-01 .. 2017-02-28
+/// inclusive (731 days).
+struct StudyWindow {
+  CivilDate start{2015, 3, 1};
+  CivilDate end{2017, 2, 28};  // inclusive
+
+  /// Number of civil days covered (731 for the default window).
+  int num_days() const {
+    return static_cast<int>(days_from_civil(end) - days_from_civil(start)) + 1;
+  }
+
+  UnixSeconds start_time() const { return unix_from_civil(start); }
+
+  /// One past the last covered second.
+  UnixSeconds end_time() const {
+    return unix_from_civil(end) + kSecondsPerDay;
+  }
+
+  bool contains(UnixSeconds t) const {
+    return t >= start_time() && t < end_time();
+  }
+
+  /// Day offset within the window (0-based); t must be inside the window.
+  int day_of(UnixSeconds t) const {
+    return static_cast<int>(day_index(t) - days_from_civil(start));
+  }
+
+  /// Midnight of the day at the given 0-based offset.
+  UnixSeconds day_start(int day_offset) const {
+    return start_time() + static_cast<UnixSeconds>(day_offset) * kSecondsPerDay;
+  }
+
+  CivilDate date_of_day(int day_offset) const {
+    return civil_from_days(days_from_civil(start) + day_offset);
+  }
+};
+
+/// Formats a duration in seconds as a compact human string ("4h12m", "255s").
+std::string format_duration(double seconds);
+
+}  // namespace dosm

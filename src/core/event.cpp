@@ -1,0 +1,43 @@
+#include "core/event.h"
+
+namespace dosm::core {
+
+std::string to_string(EventSource source) {
+  switch (source) {
+    case EventSource::kTelescope:
+      return "Network Telescope";
+    case EventSource::kHoneypot:
+      return "Amplification Honeypot";
+  }
+  return "Unknown";
+}
+
+AttackEvent from_telescope(const telescope::TelescopeEvent& event) {
+  AttackEvent out;
+  out.source = EventSource::kTelescope;
+  out.target = event.victim;
+  out.start = event.start;
+  out.end = event.end;
+  out.intensity = event.max_pps;
+  out.packets = event.packets;
+  out.ip_proto = event.attack_proto;
+  out.num_ports = event.num_ports;
+  out.top_port = event.top_port;
+  out.unique_sources = event.unique_sources;
+  return out;
+}
+
+AttackEvent from_amppot(const amppot::AmpPotEvent& event) {
+  AttackEvent out;
+  out.source = EventSource::kHoneypot;
+  out.target = event.victim;
+  out.start = event.start;
+  out.end = event.end;
+  out.intensity = event.avg_rps();
+  out.packets = event.requests;
+  out.reflection = event.protocol;
+  out.honeypots = event.honeypots;
+  return out;
+}
+
+}  // namespace dosm::core

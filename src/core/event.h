@@ -1,0 +1,71 @@
+// The unified attack-event model — the fusion layer's common currency.
+//
+// The paper correlates two independent event datasets: randomly-spoofed
+// attacks from the telescope and reflection attacks from the honeypots.
+// Both are lifted into AttackEvent, which keeps the source-specific
+// attributes needed by the analyses (protocol/ports for the telescope,
+// reflection vector for the honeypots) plus the shared ones (target, time
+// span, intensity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "amppot/consolidator.h"
+#include "common/time.h"
+#include "net/ipv4.h"
+#include "telescope/flow_table.h"
+
+namespace dosm::core {
+
+enum class EventSource : std::uint8_t {
+  kTelescope,  // randomly-spoofed attacks (backscatter inference)
+  kHoneypot,   // reflection & amplification attacks (AmpPot)
+};
+
+std::string to_string(EventSource source);
+
+struct AttackEvent {
+  EventSource source = EventSource::kTelescope;
+  net::Ipv4Addr target;
+  double start = 0.0;  // unix seconds
+  double end = 0.0;
+
+  /// Telescope: maximum backscatter packets/sec in any minute.
+  /// Honeypot: average requests/sec to a single reflector.
+  /// The two scales are incomparable; normalization happens per-source in
+  /// the EventStore.
+  double intensity = 0.0;
+
+  std::uint64_t packets = 0;  // backscatter packets / reflector requests
+
+  // --- telescope-only attributes ---
+  std::uint8_t ip_proto = 0;   // protocol of the attack traffic
+  std::uint16_t num_ports = 0; // distinct victim ports (0 = unknown)
+  std::uint16_t top_port = 0;  // dominant victim port
+  std::uint32_t unique_sources = 0;
+
+  // --- honeypot-only attributes ---
+  amppot::ReflectionProtocol reflection = amppot::ReflectionProtocol::kOther;
+  std::uint32_t honeypots = 0;
+
+  double duration() const { return end - start; }
+
+  /// True when the two events overlap in time (used for joint attacks and
+  /// same-day co-targeting).
+  bool overlaps(const AttackEvent& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  bool is_telescope() const { return source == EventSource::kTelescope; }
+  bool is_honeypot() const { return source == EventSource::kHoneypot; }
+  bool single_port() const { return is_telescope() && num_ports == 1; }
+};
+
+/// Lifts a telescope event into the unified model.
+AttackEvent from_telescope(const telescope::TelescopeEvent& event);
+
+/// Lifts a honeypot event into the unified model.
+AttackEvent from_amppot(const amppot::AmpPotEvent& event);
+
+}  // namespace dosm::core

@@ -1,0 +1,83 @@
+#include "core/joint.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dosm::core {
+
+JointAttackAnalysis::JointAttackAnalysis(const EventStore& store)
+    : store_(store) {
+  const auto events = store.events();
+  for (const auto& target : store.targets(SourceFilter::kCombined)) {
+    const auto indices = store.events_for(target);
+    bool has_telescope = false, has_honeypot = false;
+    for (const auto i : indices) {
+      if (events[i].is_telescope()) has_telescope = true;
+      if (events[i].is_honeypot()) has_honeypot = true;
+    }
+    if (!has_telescope || !has_honeypot) continue;
+    ++common_targets_;
+
+    // Pairwise overlap check; per-target event counts are small.
+    bool joint = false;
+    std::vector<bool> telescope_used(indices.size(), false);
+    std::vector<bool> honeypot_used(indices.size(), false);
+    for (std::size_t a = 0; a < indices.size(); ++a) {
+      const auto& ea = events[indices[a]];
+      if (!ea.is_telescope()) continue;
+      for (std::size_t b = 0; b < indices.size(); ++b) {
+        const auto& eb = events[indices[b]];
+        if (!eb.is_honeypot()) continue;
+        if (ea.overlaps(eb)) {
+          joint = true;
+          telescope_used[a] = true;
+          honeypot_used[b] = true;
+        }
+      }
+    }
+    if (!joint) continue;
+    joint_targets_.push_back(target);
+    for (std::size_t a = 0; a < indices.size(); ++a)
+      if (telescope_used[a]) telescope_joint_.push_back(events[indices[a]]);
+    for (std::size_t b = 0; b < indices.size(); ++b)
+      if (honeypot_used[b]) honeypot_joint_.push_back(events[indices[b]]);
+  }
+  std::sort(joint_targets_.begin(), joint_targets_.end());
+}
+
+std::vector<AsnCount> JointAttackAnalysis::asn_ranking(
+    const meta::PrefixToAsMap& pfx2as) const {
+  std::map<meta::Asn, std::uint64_t> counts;
+  for (const auto& target : joint_targets_) {
+    const auto asn = pfx2as.origin(target);
+    if (asn != meta::kUnknownAsn) ++counts[asn];
+  }
+  std::vector<AsnCount> out;
+  const auto total = static_cast<double>(joint_targets_.size());
+  for (const auto& [asn, count] : counts)
+    out.push_back({asn, count, total > 0 ? static_cast<double>(count) / total : 0.0});
+  std::sort(out.begin(), out.end(), [](const AsnCount& a, const AsnCount& b) {
+    if (a.targets != b.targets) return a.targets > b.targets;
+    return a.asn < b.asn;
+  });
+  return out;
+}
+
+std::vector<CountryCount> JointAttackAnalysis::country_ranking(
+    const meta::GeoDatabase& geo) const {
+  std::map<meta::CountryCode, std::uint64_t> counts;
+  for (const auto& target : joint_targets_) ++counts[geo.locate(target)];
+  std::vector<CountryCount> out;
+  const auto total = static_cast<double>(joint_targets_.size());
+  for (const auto& [country, count] : counts)
+    out.push_back(
+        {country, count, total > 0 ? static_cast<double>(count) / total : 0.0});
+  std::sort(out.begin(), out.end(),
+            [](const CountryCount& a, const CountryCount& b) {
+              if (a.targets != b.targets) return a.targets > b.targets;
+              return a.country < b.country;
+            });
+  return out;
+}
+
+}  // namespace dosm::core

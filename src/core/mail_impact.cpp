@@ -1,0 +1,68 @@
+#include "core/mail_impact.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace dosm::core {
+
+MailImpactAnalysis::MailImpactAnalysis(const EventStore& store,
+                                       const dns::SnapshotStore& dns)
+    : affected_daily_(store.window().num_days()) {
+  const auto& window = store.window();
+
+  std::unordered_set<dns::DomainId> day_domains;
+  std::unordered_set<dns::DomainId> ever;
+  std::unordered_set<std::uint32_t> seen_targets;
+  std::map<net::Ipv4Addr, std::uint64_t> involvement_counts;
+  int current_day = -1;
+
+  auto flush_day = [&]() {
+    if (current_day < 0) return;
+    affected_daily_.set(current_day, static_cast<double>(day_domains.size()));
+    day_domains.clear();
+  };
+
+  for (const auto& event : store.events()) {
+    const auto t = static_cast<UnixSeconds>(event.start);
+    if (!window.contains(t)) continue;
+    const int day = window.day_of(t);
+    if (day != current_day) {
+      flush_day();
+      current_day = day;
+    }
+    const auto domains = dns.mail_domains_on(event.target, day);
+    if (domains.empty()) continue;
+    if (seen_targets.insert(event.target.value()).second)
+      ++mail_hosting_targets_;
+    involvement_counts[event.target] += domains.size();
+    for (const auto domain : domains) {
+      day_domains.insert(domain);
+      ever.insert(domain);
+    }
+  }
+  flush_day();
+  affected_domains_ = ever.size();
+
+  dns.for_each_domain([&](dns::DomainId, const dns::DomainEntry& entry) {
+    for (const auto& change : entry.changes) {
+      if (change.record.mx != dns::kNoName) {
+        ++mail_domains_;
+        return;
+      }
+    }
+  });
+
+  involvements_.assign(involvement_counts.begin(), involvement_counts.end());
+  std::sort(involvements_.begin(), involvements_.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+}
+
+std::vector<std::pair<net::Ipv4Addr, std::uint64_t>>
+MailImpactAnalysis::top_mail_targets(std::size_t n) const {
+  auto out = involvements_;
+  out.resize(std::min(n, out.size()));
+  return out;
+}
+
+}  // namespace dosm::core

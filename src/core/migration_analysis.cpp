@@ -1,0 +1,69 @@
+#include "core/migration_analysis.h"
+
+#include <algorithm>
+
+namespace dosm::core {
+
+MigrationAnalysis::MigrationAnalysis(
+    const ImpactAnalysis& impact,
+    std::span<const dps::ProtectionTimeline> timelines)
+    : impact_(impact), timelines_(timelines) {
+  const auto all_info = impact.all_domain_info();
+  for (dns::DomainId id = 0; id < all_info.size(); ++id) {
+    const auto& info = all_info[id];
+    if (!info.attacked()) continue;
+    attack_counts_all_.add(static_cast<double>(info.attack_count()));
+    site_intensities_.add(info.max_norm_intensity());
+
+    const auto& timeline = timelines_[id];
+    if (timeline.preexisting || !timeline.first_protected_day) continue;
+    const int migration_day = *timeline.first_protected_day;
+    const int trigger = info.latest_attack_on_or_before(migration_day);
+    if (trigger < 0) continue;  // protected before any observed attack
+
+    attack_counts_migrating_.add(static_cast<double>(info.attack_count()));
+    MigrationCase mc;
+    mc.domain = id;
+    mc.migration_day = migration_day;
+    mc.trigger_attack_day = trigger;
+    mc.delay_days = migration_day - trigger;
+    mc.site_max_intensity = info.max_norm_intensity();
+    cases_.push_back(mc);
+  }
+}
+
+EmpiricalDistribution MigrationAnalysis::delays_for_intensity_class(
+    double top_fraction) const {
+  EmpiricalDistribution delays;
+  if (cases_.empty()) return delays;
+  double threshold = 0.0;
+  if (top_fraction < 1.0 && !site_intensities_.empty()) {
+    threshold = site_intensities_.percentile(100.0 * (1.0 - top_fraction));
+  }
+  for (const auto& mc : cases_) {
+    if (mc.site_max_intensity >= threshold)
+      delays.add(static_cast<double>(mc.delay_days));
+  }
+  return delays;
+}
+
+EmpiricalDistribution MigrationAnalysis::delays_for_long_attacks(
+    double min_duration_s) const {
+  EmpiricalDistribution delays;
+  for (const auto& mc : cases_) {
+    const auto& info = impact_.domain_info(mc.domain);
+    const int long_attack =
+        info.latest_long_attack_on_or_before(mc.migration_day, min_duration_s);
+    if (long_attack < 0) continue;
+    delays.add(static_cast<double>(mc.migration_day - long_attack));
+  }
+  return delays;
+}
+
+double MigrationAnalysis::fraction_within(const EmpiricalDistribution& delays,
+                                          int days) {
+  if (delays.empty()) return 0.0;
+  return delays.cdf(static_cast<double>(days));
+}
+
+}  // namespace dosm::core

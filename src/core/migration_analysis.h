@@ -1,0 +1,83 @@
+// Migration-determinant analyses (§6): what drives a Web site to a DPS?
+//
+//  - Figure 9:  attack-frequency CDFs for all attacked sites vs sites that
+//               migrate after an attack (repetition is *not* a determinant).
+//  - Table 9:   the normalized attack-intensity distribution over attacked
+//               Web sites (per-site max across its attacks).
+//  - Figure 10: days-to-migration CDFs per intensity class (all / top 5% /
+//               top 1% / top 0.1%) — intensity *accelerates* migration.
+//  - Figure 11: days-to-migration CDF for sites hit by long (>= 4 h,
+//               honeypot-observed) attacks — duration alone is not decisive.
+//
+// Migration delay is measured in days from the latest attack on or before
+// the migration day to the migration day (0 = same day; the paper's
+// "within a day" bucket covers delays <= 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/impact.h"
+#include "dps/migration.h"
+
+namespace dosm::core {
+
+/// One migrating-after-attack site, with its migration context.
+struct MigrationCase {
+  dns::DomainId domain = 0;
+  int migration_day = 0;
+  int trigger_attack_day = 0;  // latest attack on or before migration
+  int delay_days = 0;          // migration_day - trigger_attack_day
+  double site_max_intensity = 0.0;  // max normalized intensity over attacks
+};
+
+class MigrationAnalysis {
+ public:
+  /// `timelines` indexed by DomainId; references must outlive the analysis.
+  MigrationAnalysis(const ImpactAnalysis& impact,
+                    std::span<const dps::ProtectionTimeline> timelines);
+
+  /// Figure 9 (top): per-site attack counts, all attacked sites.
+  const EmpiricalDistribution& attack_counts_all() const {
+    return attack_counts_all_;
+  }
+  /// Figure 9 (bottom): per-site attack counts, migrating sites only.
+  const EmpiricalDistribution& attack_counts_migrating() const {
+    return attack_counts_migrating_;
+  }
+
+  /// Table 9: per-site max normalized intensity over all attacked sites.
+  const EmpiricalDistribution& site_intensities() const {
+    return site_intensities_;
+  }
+
+  std::span<const MigrationCase> cases() const { return cases_; }
+
+  /// Figure 10: delay distribution for sites whose max intensity is at or
+  /// above the `top_fraction` quantile of site_intensities() (1.0 = all
+  /// sites). E.g. top_fraction = 0.01 is the paper's "Top 1%" curve.
+  EmpiricalDistribution delays_for_intensity_class(double top_fraction) const;
+
+  /// Figure 11: delay distribution for migrating sites whose triggering
+  /// history includes a honeypot attack of at least `min_duration_s`; the
+  /// delay is measured from the latest such long attack.
+  EmpiricalDistribution delays_for_long_attacks(
+      double min_duration_s = 4.0 * 3600.0) const;
+
+  /// Fraction of a delay distribution at or below `days` (CDF helper).
+  static double fraction_within(const EmpiricalDistribution& delays, int days);
+
+ private:
+  const ImpactAnalysis& impact_;
+  std::span<const dps::ProtectionTimeline> timelines_;
+  EmpiricalDistribution attack_counts_all_;
+  EmpiricalDistribution attack_counts_migrating_;
+  EmpiricalDistribution site_intensities_;
+  std::vector<MigrationCase> cases_;
+};
+
+}  // namespace dosm::core

@@ -1,0 +1,162 @@
+#include "core/ports.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/headers.h"
+
+namespace dosm::core {
+
+std::string service_name(std::uint16_t port, bool tcp) {
+  switch (port) {
+    case 80:
+      return "HTTP";
+    case 443:
+      return "HTTPS";
+    case 3306:
+      return "MySQL";
+    case 53:
+      return "DNS";
+    case 1723:
+      return "VPN PPTP";
+    case 22:
+      return "SSH";
+    case 25:
+      return "SMTP";
+    case 123:
+      return tcp ? "123" : "NTP";
+    case 138:
+      return tcp ? "138" : "NetBIOS";
+    case 6667:
+      return "IRC";
+    case 8080:
+      return "HTTP-alt";
+    default:
+      // Game ports the paper surfaces in Table 8b stay numeric (27015 is
+      // Source-engine/Steam); other unknown ports also render numerically.
+      return std::to_string(port);
+  }
+}
+
+bool is_web_port(std::uint16_t port) { return port == 80 || port == 443; }
+
+std::vector<ProtocolShare> ip_protocol_distribution(const EventStore& store) {
+  std::uint64_t tcp = 0, udp = 0, icmp = 0, other = 0, total = 0;
+  for (const auto& event : store.events()) {
+    if (!event.is_telescope()) continue;
+    ++total;
+    switch (static_cast<net::IpProto>(event.ip_proto)) {
+      case net::IpProto::kTcp:
+        ++tcp;
+        break;
+      case net::IpProto::kUdp:
+        ++udp;
+        break;
+      case net::IpProto::kIcmp:
+        ++icmp;
+        break;
+      default:
+        ++other;
+        break;
+    }
+  }
+  auto share = [total](std::uint64_t n) {
+    return total ? static_cast<double>(n) / static_cast<double>(total) : 0.0;
+  };
+  return {{"TCP", tcp, share(tcp)},
+          {"UDP", udp, share(udp)},
+          {"ICMP", icmp, share(icmp)},
+          {"Other", other, share(other)}};
+}
+
+std::vector<ProtocolShare> reflection_distribution(const EventStore& store) {
+  std::map<amppot::ReflectionProtocol, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& event : store.events()) {
+    if (!event.is_honeypot()) continue;
+    ++counts[event.reflection];
+    ++total;
+  }
+  std::vector<std::pair<amppot::ReflectionProtocol, std::uint64_t>> ranked(
+      counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::vector<ProtocolShare> out;
+  std::uint64_t other = 0;
+  constexpr std::size_t kNamed = 5;  // Table 6 names five vectors
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i < kNamed && ranked[i].first != amppot::ReflectionProtocol::kOther) {
+      out.push_back({amppot::to_string(ranked[i].first), ranked[i].second,
+                     total ? static_cast<double>(ranked[i].second) /
+                                 static_cast<double>(total)
+                           : 0.0});
+    } else {
+      other += ranked[i].second;
+    }
+  }
+  out.push_back({"Other", other,
+                 total ? static_cast<double>(other) / static_cast<double>(total)
+                       : 0.0});
+  return out;
+}
+
+PortCardinality port_cardinality(std::span<const AttackEvent> events) {
+  PortCardinality out;
+  for (const auto& event : events) {
+    if (!event.is_telescope() || event.num_ports == 0) continue;
+    if (event.num_ports == 1)
+      ++out.single_port;
+    else
+      ++out.multi_port;
+  }
+  return out;
+}
+
+std::vector<ProtocolShare> service_distribution(
+    std::span<const AttackEvent> events, bool tcp, std::size_t top_n) {
+  const auto wanted = tcp ? net::IpProto::kTcp : net::IpProto::kUdp;
+  std::map<std::uint16_t, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& event : events) {
+    if (!event.is_telescope() || !event.single_port()) continue;
+    if (event.ip_proto != static_cast<std::uint8_t>(wanted)) continue;
+    ++counts[event.top_port];
+    ++total;
+  }
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> ranked(counts.begin(),
+                                                              counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<ProtocolShare> out;
+  std::uint64_t other = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i < top_n) {
+      out.push_back({service_name(ranked[i].first, tcp), ranked[i].second,
+                     total ? static_cast<double>(ranked[i].second) /
+                                 static_cast<double>(total)
+                           : 0.0});
+    } else {
+      other += ranked[i].second;
+    }
+  }
+  out.push_back({"Other", other,
+                 total ? static_cast<double>(other) / static_cast<double>(total)
+                       : 0.0});
+  return out;
+}
+
+double web_port_share(std::span<const AttackEvent> events) {
+  std::uint64_t web = 0, total = 0;
+  for (const auto& event : events) {
+    if (!event.is_telescope() || !event.single_port()) continue;
+    if (event.ip_proto != static_cast<std::uint8_t>(net::IpProto::kTcp)) continue;
+    ++total;
+    if (is_web_port(event.top_port)) ++web;
+  }
+  return total ? static_cast<double>(web) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace dosm::core

@@ -1,0 +1,61 @@
+// Port-to-service mapping and the protocol/port distributions of §4
+// (Tables 5, 6, 7, 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event_store.h"
+
+namespace dosm::core {
+
+/// Service label for a (port, transport) pair, following IANA assignments
+/// plus the commonly-used ports the paper calls out (e.g. 27015/UDP for
+/// Source-engine/Steam game servers). Unmapped ports are rendered as the
+/// bare port number, as in Table 8b.
+std::string service_name(std::uint16_t port, bool tcp);
+
+/// Web infrastructure ports (80 & 443), the §4 "Web ports" class.
+bool is_web_port(std::uint16_t port);
+
+/// Table 5: share of telescope attack events per attack IP protocol.
+struct ProtocolShare {
+  std::string label;
+  std::uint64_t events = 0;
+  double share = 0.0;
+};
+
+std::vector<ProtocolShare> ip_protocol_distribution(const EventStore& store);
+
+/// Table 6: reflection-vector distribution over honeypot events (top five
+/// protocols named, the rest folded into "Other").
+std::vector<ProtocolShare> reflection_distribution(const EventStore& store);
+
+/// Table 7: single- vs multi-port split of telescope events.
+struct PortCardinality {
+  std::uint64_t single_port = 0;
+  std::uint64_t multi_port = 0;
+
+  std::uint64_t total() const { return single_port + multi_port; }
+  double single_share() const {
+    return total() ? static_cast<double>(single_port) / static_cast<double>(total())
+                   : 0.0;
+  }
+};
+
+/// `events` restricts the computation (used for the joint-attack contrast);
+/// pass store.events() for the full dataset.
+PortCardinality port_cardinality(std::span<const AttackEvent> events);
+
+/// Table 8: top services among single-port telescope attacks on one
+/// transport. Returns `top_n` named rows plus a trailing "Other" row; the
+/// share denominator is all single-port events on that transport.
+std::vector<ProtocolShare> service_distribution(
+    std::span<const AttackEvent> events, bool tcp, std::size_t top_n = 5);
+
+/// Share of single-port TCP attack events aimed at Web ports (the paper's
+/// 69.36% figure).
+double web_port_share(std::span<const AttackEvent> events);
+
+}  // namespace dosm::core

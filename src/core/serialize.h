@@ -1,0 +1,39 @@
+// Binary serialization of attack-event streams.
+//
+// The real infrastructures run detection (at UCSD and at the honeypots) and
+// fusion (the analysis platform) as separate systems exchanging event dumps.
+// This module gives dosmeter the same seam: a versioned, little-endian
+// binary container for AttackEvent vectors, so detector output can be
+// written once and re-analyzed many times (see tools/dosmeter_cli.cpp for
+// the CSV counterpart meant for humans).
+//
+// Format: 8-byte magic "DOSMEVT1", u32 event count, then fixed-width records.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+
+namespace dosm::core {
+
+inline constexpr char kEventFileMagic[8] = {'D', 'O', 'S', 'M',
+                                            'E', 'V', 'T', '1'};
+
+/// Writes the events to a binary stream. Throws std::runtime_error on I/O
+/// failure.
+void write_events(std::ostream& out, std::span<const AttackEvent> events);
+
+/// Reads an event dump. Throws std::runtime_error on bad magic, truncation,
+/// or I/O failure.
+std::vector<AttackEvent> read_events(std::istream& in);
+
+/// Convenience file-path wrappers.
+void save_events(const std::string& path, std::span<const AttackEvent> events);
+std::vector<AttackEvent> load_events(const std::string& path);
+
+}  // namespace dosm::core

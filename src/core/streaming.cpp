@@ -1,0 +1,95 @@
+#include "core/streaming.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dosm::core {
+
+StreamingFusion::StreamingFusion(StudyWindow window, Config config,
+                                 SummaryCallback on_summary,
+                                 AlertCallback on_alert)
+    : window_(window),
+      config_(config),
+      on_summary_(std::move(on_summary)),
+      on_alert_(std::move(on_alert)) {
+  if (!on_summary_)
+    throw std::invalid_argument("StreamingFusion: summary callback required");
+  if (config_.baseline_days < 1 || config_.min_baseline_days < 1)
+    throw std::invalid_argument("StreamingFusion: invalid baseline config");
+}
+
+void StreamingFusion::ingest(const AttackEvent& event) {
+  if (event.start < last_start_)
+    throw std::invalid_argument(
+        "StreamingFusion::ingest: events must arrive in time order");
+  last_start_ = event.start;
+
+  const auto t = static_cast<UnixSeconds>(event.start);
+  if (!window_.contains(t)) return;
+  const int day = window_.day_of(t);
+  if (current_day_ >= 0 && day < current_day_)
+    throw std::invalid_argument("StreamingFusion::ingest: day went backwards");
+  while (current_day_ >= 0 && day > current_day_) {
+    close_day();
+    ++current_day_;
+    pending_ = DaySummary{};
+    pending_.day = current_day_;
+  }
+  if (current_day_ < 0) {
+    current_day_ = day;
+    pending_ = DaySummary{};
+    pending_.day = day;
+  }
+
+  ++events_ingested_;
+  ++pending_.attacks;
+  if (event.is_telescope())
+    ++pending_.telescope_attacks;
+  else
+    ++pending_.honeypot_attacks;
+  const auto source_bit =
+      static_cast<std::uint8_t>(event.is_telescope() ? 1 : 2);
+  day_targets_[event.target.value()] |= source_bit;
+}
+
+void StreamingFusion::close_day() {
+  pending_.unique_targets = day_targets_.size();
+  for (const auto& [target, mask] : day_targets_) {
+    if (mask == 3) ++pending_.co_targeted;
+  }
+  day_targets_.clear();
+
+  // Spike detection against the trailing baseline (before appending the
+  // new value, so a spike does not mask itself).
+  check_spike("attack-spike", static_cast<double>(pending_.attacks),
+              attack_history_);
+  check_spike("target-spike", static_cast<double>(pending_.unique_targets),
+              target_history_);
+
+  on_summary_(pending_);
+  ++days_emitted_;
+}
+
+void StreamingFusion::check_spike(const char* kind, double value,
+                                  std::deque<double>& history) {
+  if (static_cast<int>(history.size()) >= config_.min_baseline_days &&
+      on_alert_) {
+    const double mean =
+        std::accumulate(history.begin(), history.end(), 0.0) /
+        static_cast<double>(history.size());
+    if (mean > 0.0 && value > config_.spike_factor * mean) {
+      on_alert_({pending_.day, kind, value, mean});
+      ++alerts_fired_;
+    }
+  }
+  history.push_back(value);
+  while (static_cast<int>(history.size()) > config_.baseline_days)
+    history.pop_front();
+}
+
+void StreamingFusion::finish() {
+  if (current_day_ >= 0) close_day();
+  current_day_ = -1;
+}
+
+}  // namespace dosm::core

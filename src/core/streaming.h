@@ -1,0 +1,96 @@
+// Near-realtime fusion (§9).
+//
+// The paper closes on the challenge of "near-realtime data fusion,
+// extraction, correlation and visualization". This module is the
+// operational counterpart of the batch EventStore: events from both
+// detectors are ingested in time order as they are produced; at each day
+// boundary the fused day summary is emitted, and anomaly alerts fire when a
+// day's activity spikes against a trailing baseline — the situational-
+// awareness output the paper envisions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/time.h"
+#include "core/event.h"
+
+namespace dosm::core {
+
+/// Fused per-day summary, emitted once the day completes.
+struct DaySummary {
+  int day = 0;  // offset within the window
+  std::uint64_t attacks = 0;
+  std::uint64_t telescope_attacks = 0;
+  std::uint64_t honeypot_attacks = 0;
+  std::uint64_t unique_targets = 0;
+  /// Targets hit by both detectors within this day (same-day co-targeting,
+  /// the streaming approximation of the joint-attack correlation).
+  std::uint64_t co_targeted = 0;
+};
+
+/// An anomaly detected against the trailing baseline.
+struct StreamAlert {
+  int day = 0;
+  std::string kind;        // "attack-spike" | "target-spike"
+  double value = 0.0;      // the day's value
+  double baseline = 0.0;   // trailing mean it was compared against
+};
+
+class StreamingFusion {
+ public:
+  struct Config {
+    /// Days in the trailing baseline window.
+    int baseline_days = 28;
+    /// A day alerts when its value exceeds factor x trailing mean.
+    double spike_factor = 2.5;
+    /// Baseline must cover at least this many days before alerting.
+    int min_baseline_days = 7;
+  };
+
+  using SummaryCallback = std::function<void(const DaySummary&)>;
+  using AlertCallback = std::function<void(const StreamAlert&)>;
+
+  StreamingFusion(StudyWindow window, Config config,
+                  SummaryCallback on_summary, AlertCallback on_alert = {});
+
+  /// Ingests one event. Events must arrive in non-decreasing start order
+  /// (each detector emits chronologically and the fusion layer merges);
+  /// an out-of-order event throws std::invalid_argument. Events outside
+  /// the window are ignored.
+  void ingest(const AttackEvent& event);
+
+  /// Flushes the final (possibly partial) day.
+  void finish();
+
+  std::uint64_t events_ingested() const { return events_ingested_; }
+  std::uint64_t days_emitted() const { return days_emitted_; }
+  std::uint64_t alerts_fired() const { return alerts_fired_; }
+
+ private:
+  void close_day();
+  void check_spike(const char* kind, double value, std::deque<double>& history);
+
+  StudyWindow window_;
+  Config config_;
+  SummaryCallback on_summary_;
+  AlertCallback on_alert_;
+
+  int current_day_ = -1;
+  double last_start_ = -1.0e300;
+  DaySummary pending_{};
+  // Per-day target sets: value = bitmask of sources that hit the target.
+  std::unordered_map<std::uint32_t, std::uint8_t> day_targets_;
+  std::deque<double> attack_history_;
+  std::deque<double> target_history_;
+
+  std::uint64_t events_ingested_ = 0;
+  std::uint64_t days_emitted_ = 0;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace dosm::core

@@ -1,0 +1,151 @@
+#include "core/taxonomy.h"
+
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace dosm::core {
+
+double TaxonomyCounts::protected_share_attacked() const {
+  if (attacked == 0) return 0.0;
+  return static_cast<double>(attacked_preexisting + attacked_migrating) /
+         static_cast<double>(attacked);
+}
+
+double TaxonomyCounts::protected_share_not_attacked() const {
+  if (not_attacked == 0) return 0.0;
+  return static_cast<double>(not_attacked_preexisting + not_attacked_migrating) /
+         static_cast<double>(not_attacked);
+}
+
+TaxonomyCounts classify_websites(
+    const ImpactAnalysis& impact,
+    std::span<const dps::ProtectionTimeline> timelines,
+    const dns::SnapshotStore& dns) {
+  TaxonomyCounts counts;
+  dns.for_each_domain([&](dns::DomainId id, const dns::DomainEntry& entry) {
+    bool website = false;
+    for (const auto& change : entry.changes) {
+      if (change.record.has_website()) {
+        website = true;
+        break;
+      }
+    }
+    if (!website) return;
+    ++counts.total;
+
+    const auto& info = impact.domain_info(id);
+    const auto& timeline = timelines[id];
+
+    if (info.attacked()) {
+      ++counts.attacked;
+      if (timeline.preexisting) {
+        ++counts.attacked_preexisting;
+      } else if (timeline.first_protected_day &&
+                 *timeline.first_protected_day >= info.first_attack_day()) {
+        ++counts.attacked_migrating;
+      } else {
+        // Includes the rare protection-before-first-observed-attack case,
+        // which the paper's definition cannot count as post-attack
+        // migration.
+        ++counts.attacked_non_migrating;
+      }
+    } else {
+      ++counts.not_attacked;
+      if (timeline.preexisting) {
+        ++counts.not_attacked_preexisting;
+      } else if (timeline.first_protected_day) {
+        ++counts.not_attacked_migrating;
+      } else {
+        ++counts.not_attacked_non_migrating;
+      }
+    }
+  });
+  return counts;
+}
+
+std::string render_taxonomy(const TaxonomyCounts& c) {
+  auto pct = [](std::uint64_t part, std::uint64_t whole) {
+    return whole ? percent(static_cast<double>(part) / static_cast<double>(whole),
+                           2)
+                 : std::string("n/a");
+  };
+  std::ostringstream os;
+  os << "Web sites: " << c.total << "\n";
+  os << "├─ Attack Observed: " << c.attacked << " (" << pct(c.attacked, c.total)
+     << ")\n";
+  os << "│  ├─ Preexisting Customer: " << c.attacked_preexisting << " ("
+     << pct(c.attacked_preexisting, c.attacked) << ")\n";
+  os << "│  └─ Non-preexisting: "
+     << (c.attacked_migrating + c.attacked_non_migrating) << "\n";
+  os << "│     ├─ Migrating: " << c.attacked_migrating << " ("
+     << pct(c.attacked_migrating, c.attacked) << " of attacked)\n";
+  os << "│     └─ Non-Migrating: " << c.attacked_non_migrating << " ("
+     << pct(c.attacked_non_migrating, c.attacked) << " of attacked)\n";
+  os << "└─ No Attack Observed: " << c.not_attacked << " ("
+     << pct(c.not_attacked, c.total) << ")\n";
+  os << "   ├─ Preexisting Customer: " << c.not_attacked_preexisting << " ("
+     << pct(c.not_attacked_preexisting, c.not_attacked) << ")\n";
+  os << "   └─ Non-preexisting: "
+     << (c.not_attacked_migrating + c.not_attacked_non_migrating) << "\n";
+  os << "      ├─ Migrating: " << c.not_attacked_migrating << " ("
+     << pct(c.not_attacked_migrating, c.not_attacked) << " of unattacked)\n";
+  os << "      └─ Non-Migrating: " << c.not_attacked_non_migrating << " ("
+     << pct(c.not_attacked_non_migrating, c.not_attacked) << " of unattacked)\n";
+  return os.str();
+}
+
+std::string to_string(CustomerClass customer_class) {
+  switch (customer_class) {
+    case CustomerClass::kPreexisting:
+      return "preexisting";
+    case CustomerClass::kMigrating:
+      return "migrating";
+    case CustomerClass::kNonMigrating:
+      return "non-migrating";
+  }
+  return "unknown";
+}
+
+SiteCensus census_attacked_sites(
+    const ImpactAnalysis& impact,
+    std::span<const dps::ProtectionTimeline> timelines,
+    const dns::SnapshotStore& dns, std::size_t max_examples) {
+  SiteCensus census;
+  // Reuse LogBinHistogram's binning so labels line up with Figure 6.
+  const auto bin_of = [](std::uint64_t n) {
+    LogBinHistogram bins(SiteCensus::kBins - 1);
+    bins.add(n);
+    for (std::size_t i = 0; i < bins.num_bins(); ++i) {
+      if (bins.bin(i) > 0) return i;
+    }
+    return std::size_t{0};
+  };
+
+  dns.for_each_domain([&](dns::DomainId id, const dns::DomainEntry& entry) {
+    const auto& info = impact.domain_info(id);
+    if (!info.attacked()) return;
+    const int first_day = info.first_attack_day();
+    const auto record = dns.record_on(id, first_day);
+    if (!record || !record->has_website()) return;
+    const auto cohosted = dns.count_sites_on(record->www_a, first_day);
+    const std::size_t bin = bin_of(cohosted);
+
+    const auto& timeline = timelines[id];
+    CustomerClass customer_class = CustomerClass::kNonMigrating;
+    if (timeline.preexisting) {
+      customer_class = CustomerClass::kPreexisting;
+    } else if (timeline.first_protected_day &&
+               *timeline.first_protected_day >= first_day) {
+      customer_class = CustomerClass::kMigrating;
+    }
+    auto& cell = census.cells[bin][static_cast<std::size_t>(customer_class)];
+    ++cell.count;
+    if (cell.examples.size() < max_examples)
+      cell.examples.push_back(entry.name);
+  });
+  return census;
+}
+
+}  // namespace dosm::core

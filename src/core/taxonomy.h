@@ -1,0 +1,86 @@
+// The §6 Web-site taxonomy (Figure 8).
+//
+// Every Web site in the measured namespace is classified along the tree:
+//   { attack observed | no attack observed }
+//     x { preexisting DPS customer | non-preexisting }
+//       x { migrating | non-migrating }
+// Attack observation comes from the ImpactAnalysis join; protection state
+// from the DPS protection timelines. A site with an observed attack counts
+// as migrating when it first appears protected on or after its first attack
+// day; an unattacked site counts as migrating when protection appears any
+// time after it is first seen.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/impact.h"
+#include "dps/migration.h"
+
+namespace dosm::core {
+
+struct TaxonomyCounts {
+  std::uint64_t total = 0;  // all Web sites (www label observed)
+
+  std::uint64_t attacked = 0;
+  std::uint64_t attacked_preexisting = 0;
+  std::uint64_t attacked_migrating = 0;
+  std::uint64_t attacked_non_migrating = 0;
+
+  std::uint64_t not_attacked = 0;
+  std::uint64_t not_attacked_preexisting = 0;
+  std::uint64_t not_attacked_migrating = 0;
+  std::uint64_t not_attacked_non_migrating = 0;
+
+  /// Protected-or-migrating share among attacked sites (22.1% in the
+  /// paper) and among unattacked sites (4.2%).
+  double protected_share_attacked() const;
+  double protected_share_not_attacked() const;
+};
+
+/// Classifies every domain. `timelines` must be indexed by DomainId (as
+/// returned by dps::all_timelines over the same store).
+TaxonomyCounts classify_websites(
+    const ImpactAnalysis& impact,
+    std::span<const dps::ProtectionTimeline> timelines,
+    const dns::SnapshotStore& dns);
+
+/// Renders the Figure-8 tree as indented text with counts and parent-
+/// relative percentages.
+std::string render_taxonomy(const TaxonomyCounts& counts);
+
+/// The §6 sampling study, automated: attacked Web sites cross-tabulated by
+/// the co-hosting magnitude of their IP (at first attack) and their DPS
+/// customer class, with example domain names per cell — the paper sampled
+/// the smallest (n=1) and largest hosting groups for each class by hand.
+enum class CustomerClass : std::uint8_t {
+  kPreexisting,
+  kMigrating,
+  kNonMigrating,
+};
+
+std::string to_string(CustomerClass customer_class);
+
+struct CensusCell {
+  std::uint64_t count = 0;
+  std::vector<std::string> examples;  // up to `max_examples` domain names
+};
+
+/// cells[cohost_bin][class]: cohost_bin indexes the LogBinHistogram bins
+/// (n=1, (1,10], (10,100], ...).
+struct SiteCensus {
+  static constexpr std::size_t kBins = 8;
+  CensusCell cells[kBins][3];
+
+  const CensusCell& cell(std::size_t bin, CustomerClass customer_class) const {
+    return cells[bin][static_cast<std::size_t>(customer_class)];
+  }
+};
+
+SiteCensus census_attacked_sites(
+    const ImpactAnalysis& impact,
+    std::span<const dps::ProtectionTimeline> timelines,
+    const dns::SnapshotStore& dns, std::size_t max_examples = 3);
+
+}  // namespace dosm::core

@@ -1,0 +1,67 @@
+#include "dns/names.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace dosm::dns {
+
+NameTable::NameTable() {
+  names_.emplace_back();  // sentinel for kNoName
+}
+
+NameId NameTable::intern(std::string_view name) {
+  std::string normalized = to_lower(name);
+  const auto it = index_.find(normalized);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<NameId>(names_.size());
+  names_.push_back(normalized);
+  index_.emplace(std::move(normalized), id);
+  return id;
+}
+
+NameId NameTable::find(std::string_view name) const {
+  const auto it = index_.find(to_lower(name));
+  return it == index_.end() ? kNoName : it->second;
+}
+
+const std::string& NameTable::name(NameId id) const {
+  if (id == kNoName || id >= names_.size())
+    throw std::out_of_range("NameTable::name: unknown id");
+  return names_[id];
+}
+
+std::string_view tld_of(std::string_view domain) {
+  const auto dot = domain.rfind('.');
+  if (dot == std::string_view::npos) return {};
+  return domain.substr(dot + 1);
+}
+
+bool in_domain_suffix(std::string_view name, std::string_view suffix) {
+  if (suffix.empty()) return false;
+  if (name.size() == suffix.size()) return iends_with(name, suffix);
+  if (name.size() < suffix.size() + 1) return false;
+  return iends_with(name, suffix) &&
+         name[name.size() - suffix.size() - 1] == '.';
+}
+
+bool is_valid_domain(std::string_view domain) {
+  if (domain.empty() || domain.size() > 253) return false;
+  std::size_t label_len = 0;
+  for (std::size_t i = 0; i < domain.size(); ++i) {
+    const char c = domain[i];
+    if (c == '.') {
+      if (label_len == 0 || domain[i - 1] == '-') return false;
+      label_len = 0;
+      continue;
+    }
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                    (c == '-' && label_len > 0);
+    if (!ok) return false;
+    if (++label_len > 63) return false;
+  }
+  return label_len > 0;
+}
+
+}  // namespace dosm::dns

@@ -1,0 +1,55 @@
+// Domain names and name interning.
+//
+// The DNS dataset holds hundreds of thousands of domains with per-day
+// records; names are interned once into a NameTable and referenced by a
+// 32-bit NameId everywhere else (0 is reserved for "no name").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dosm::dns {
+
+using NameId = std::uint32_t;
+
+inline constexpr NameId kNoName = 0;
+
+/// Intern table mapping names <-> dense ids. Names are normalized to
+/// lowercase ASCII on insertion.
+class NameTable {
+ public:
+  NameTable();
+
+  /// Returns the id for `name`, interning it if new.
+  NameId intern(std::string_view name);
+
+  /// Id if already interned, kNoName otherwise.
+  NameId find(std::string_view name) const;
+
+  /// The name for an id; throws std::out_of_range for unknown ids.
+  const std::string& name(NameId id) const;
+
+  std::size_t size() const { return names_.size() - 1; }  // excludes sentinel
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> index_;
+};
+
+/// The TLD (last label) of a domain name, lowercase, without the dot;
+/// empty if there is no dot.
+std::string_view tld_of(std::string_view domain);
+
+/// True if `name` equals `suffix` or ends with "." + suffix
+/// (case-insensitive) — the standard DNS-suffix match used by the DPS
+/// classifier ("cdn.cloudflare.net" matches suffix "cloudflare.net").
+bool in_domain_suffix(std::string_view name, std::string_view suffix);
+
+/// Syntactic validity check used by the measurement loader: non-empty
+/// letters/digits/hyphen labels separated by single dots.
+bool is_valid_domain(std::string_view domain);
+
+}  // namespace dosm::dns

@@ -1,0 +1,202 @@
+#include "dns/snapshot.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace dosm::dns {
+
+SnapshotStore::SnapshotStore(int num_days) : num_days_(num_days) {
+  if (num_days < 1)
+    throw std::invalid_argument("SnapshotStore: num_days must be >= 1");
+}
+
+DomainId SnapshotStore::add_domain(std::string_view name, int first_seen_day) {
+  if (first_seen_day < 0 || first_seen_day >= num_days_)
+    throw std::invalid_argument("SnapshotStore::add_domain: day out of range");
+  std::string normalized = to_lower(name);
+  if (by_name_.contains(normalized))
+    throw std::invalid_argument("SnapshotStore::add_domain: duplicate domain " +
+                                normalized);
+  const auto id = static_cast<DomainId>(domains_.size());
+  DomainEntry entry;
+  entry.name = normalized;
+  entry.first_seen_day = first_seen_day;
+  entry.last_seen_day = num_days_ - 1;
+  domains_.push_back(std::move(entry));
+  by_name_.emplace(domains_.back().name, id);
+  reverse_built_ = false;
+  return id;
+}
+
+void SnapshotStore::record_change(DomainId domain, int day,
+                                  const WebsiteRecord& record) {
+  DomainEntry& e = domains_.at(domain);
+  if (day < e.first_seen_day || day >= num_days_)
+    throw std::invalid_argument("SnapshotStore::record_change: day out of range");
+  if (!e.changes.empty()) {
+    if (day < e.changes.back().day)
+      throw std::invalid_argument(
+          "SnapshotStore::record_change: days must be non-decreasing");
+    if (e.changes.back().record == record) return;  // coalesce no-ops
+    if (e.changes.back().day == day) {
+      e.changes.back().record = record;  // same-day overwrite
+      reverse_built_ = false;
+      return;
+    }
+  }
+  e.changes.push_back({day, record});
+  reverse_built_ = false;
+}
+
+void SnapshotStore::set_last_seen(DomainId domain, int day) {
+  DomainEntry& e = domains_.at(domain);
+  if (day < e.first_seen_day || day >= num_days_)
+    throw std::invalid_argument("SnapshotStore::set_last_seen: day out of range");
+  e.last_seen_day = day;
+  reverse_built_ = false;
+}
+
+std::optional<WebsiteRecord> SnapshotStore::record_on(DomainId domain,
+                                                      int day) const {
+  const DomainEntry& e = domains_.at(domain);
+  if (day < e.first_seen_day || day > e.last_seen_day) return std::nullopt;
+  // Last change with change.day <= day.
+  const auto it = std::upper_bound(
+      e.changes.begin(), e.changes.end(), day,
+      [](int d, const DomainEntry::Change& c) { return d < c.day; });
+  if (it == e.changes.begin()) return WebsiteRecord{};  // no records yet
+  return std::prev(it)->record;
+}
+
+const DomainEntry& SnapshotStore::entry(DomainId domain) const {
+  return domains_.at(domain);
+}
+
+DomainId SnapshotStore::find(std::string_view name) const {
+  const auto it = by_name_.find(to_lower(name));
+  return it == by_name_.end() ? 0 : it->second;
+}
+
+std::uint64_t SnapshotStore::num_observations(int records_per_domain) const {
+  std::uint64_t domain_days = 0;
+  for (const auto& e : domains_)
+    domain_days += static_cast<std::uint64_t>(e.last_seen_day - e.first_seen_day + 1);
+  return domain_days * static_cast<std::uint64_t>(records_per_domain);
+}
+
+void SnapshotStore::build_reverse_index() {
+  reverse_.clear();
+  mail_reverse_.clear();
+  for (DomainId id = 0; id < domains_.size(); ++id) {
+    const DomainEntry& e = domains_[id];
+    for (std::size_t i = 0; i < e.changes.size(); ++i) {
+      const auto& change = e.changes[i];
+      const int from = change.day;
+      const int to = (i + 1 < e.changes.size())
+                         ? std::min(e.changes[i + 1].day - 1, e.last_seen_day)
+                         : e.last_seen_day;
+      if (to < from) continue;
+      if (change.record.has_website())
+        reverse_[change.record.www_a].push_back({id, from, to});
+      if (change.record.mx_a != net::Ipv4Addr())
+        mail_reverse_[change.record.mx_a].push_back({id, from, to});
+    }
+  }
+  const auto sort_intervals = [](auto& index) {
+    for (auto& [ip, intervals] : index) {
+      std::sort(intervals.begin(), intervals.end(),
+                [](const HostingInterval& a, const HostingInterval& b) {
+                  if (a.domain != b.domain) return a.domain < b.domain;
+                  return a.from_day < b.from_day;
+                });
+    }
+  };
+  sort_intervals(reverse_);
+  sort_intervals(mail_reverse_);
+  reverse_built_ = true;
+}
+
+namespace {
+
+std::vector<DomainId> domains_in_index(
+    const std::unordered_map<net::Ipv4Addr, std::vector<HostingInterval>>& index,
+    net::Ipv4Addr ip, int day) {
+  std::vector<DomainId> out;
+  const auto it = index.find(ip);
+  if (it == index.end()) return out;
+  for (const auto& interval : it->second) {
+    if (day >= interval.from_day && day <= interval.to_day)
+      out.push_back(interval.domain);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<DomainId> SnapshotStore::mail_domains_on(net::Ipv4Addr ip,
+                                                     int day) const {
+  if (!reverse_built_)
+    throw std::logic_error(
+        "SnapshotStore::mail_domains_on: reverse index not built");
+  return domains_in_index(mail_reverse_, ip, day);
+}
+
+std::size_t SnapshotStore::count_mail_domains_on(net::Ipv4Addr ip,
+                                                 int day) const {
+  return mail_domains_on(ip, day).size();
+}
+
+std::vector<DomainId> SnapshotStore::sites_on(net::Ipv4Addr ip, int day) const {
+  if (!reverse_built_)
+    throw std::logic_error("SnapshotStore::sites_on: reverse index not built");
+  std::vector<DomainId> out;
+  const auto it = reverse_.find(ip);
+  if (it == reverse_.end()) return out;
+  for (const auto& interval : it->second) {
+    if (day >= interval.from_day && day <= interval.to_day)
+      out.push_back(interval.domain);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t SnapshotStore::count_sites_on(net::Ipv4Addr ip, int day) const {
+  if (!reverse_built_)
+    throw std::logic_error("SnapshotStore::count_sites_on: reverse index not built");
+  const auto it = reverse_.find(ip);
+  if (it == reverse_.end()) return 0;
+  std::size_t count = 0;
+  DomainId last = UINT32_MAX;
+  for (const auto& interval : it->second) {
+    if (day >= interval.from_day && day <= interval.to_day &&
+        interval.domain != last) {
+      ++count;
+      last = interval.domain;
+    }
+  }
+  return count;
+}
+
+std::span<const HostingInterval> SnapshotStore::intervals_for(
+    net::Ipv4Addr ip) const {
+  if (!reverse_built_)
+    throw std::logic_error("SnapshotStore::intervals_for: reverse index not built");
+  const auto it = reverse_.find(ip);
+  if (it == reverse_.end()) return {};
+  return it->second;
+}
+
+std::vector<net::Ipv4Addr> SnapshotStore::hosting_ips() const {
+  if (!reverse_built_)
+    throw std::logic_error("SnapshotStore::hosting_ips: reverse index not built");
+  std::vector<net::Ipv4Addr> out;
+  out.reserve(reverse_.size());
+  for (const auto& [ip, intervals] : reverse_) out.push_back(ip);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dosm::dns

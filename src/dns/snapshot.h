@@ -1,0 +1,133 @@
+// The active-DNS measurement store (OpenINTEL substitute).
+//
+// OpenINTEL takes a full daily snapshot of each zone. Storing 731 dense
+// snapshots would be quadratic in practice, so the store keeps, per domain,
+// a *timeline of record changes*: day-stamped WebsiteRecord versions. A
+// point query ("what did www.example.com resolve to on day d") binary-
+// searches the timeline; the reverse index ("which Web sites sat on IP x on
+// day d") is materialized once from the change log as per-IP interval lists.
+// This is the join workhorse for the Web-impact (§5) and DPS-migration (§6)
+// analyses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "dns/names.h"
+#include "net/ipv4.h"
+
+namespace dosm::dns {
+
+using DomainId = std::uint32_t;
+
+/// The DNS-visible state of one Web site (the `www` label of a registered
+/// domain) on a given day. A default-constructed record means "www label
+/// absent" (the domain is registered but serves no Web content indicator).
+struct WebsiteRecord {
+  net::Ipv4Addr www_a;     // A record of the www label; 0.0.0.0 = none
+  NameId www_cname = kNoName;  // CNAME the www label expands through
+  NameId ns = kNoName;         // (primary) authoritative name server
+  NameId mx = kNoName;         // mail exchanger host name
+  net::Ipv4Addr mx_a;          // A record of the MX host (future-work hook)
+
+  bool has_website() const { return www_a != net::Ipv4Addr(); }
+  bool operator==(const WebsiteRecord&) const = default;
+};
+
+/// A registered domain's metadata plus its change timeline.
+struct DomainEntry {
+  std::string name;        // registered name, e.g. "example.com"
+  int first_seen_day = 0;  // day offset when first observed in the zone
+  int last_seen_day = 0;   // last day observed (inclusive)
+  /// Day-stamped record versions, ascending by day; version i is effective
+  /// from changes[i].day until the day before changes[i+1].day.
+  struct Change {
+    int day;
+    WebsiteRecord record;
+  };
+  std::vector<Change> changes;
+};
+
+/// Interval entry of the reverse (IP -> sites) index.
+struct HostingInterval {
+  DomainId domain = 0;
+  int from_day = 0;  // inclusive
+  int to_day = 0;    // inclusive
+};
+
+/// Store of per-domain record timelines over a study window.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(int num_days);
+
+  /// Registers a domain first observed on `first_seen_day`. Returns its id.
+  /// Domain names are unique; re-adding an existing name throws
+  /// std::invalid_argument.
+  DomainId add_domain(std::string_view name, int first_seen_day);
+
+  /// Appends a record version effective from `day`. Days must be
+  /// non-decreasing per domain and >= first_seen_day; otherwise throws
+  /// std::invalid_argument. Consecutive identical records are coalesced.
+  void record_change(DomainId domain, int day, const WebsiteRecord& record);
+
+  /// Marks the last day the domain appears in the zone (default: window end).
+  void set_last_seen(DomainId domain, int day);
+
+  /// The record effective on `day`, or nullopt if the domain was not in the
+  /// zone that day.
+  std::optional<WebsiteRecord> record_on(DomainId domain, int day) const;
+
+  const DomainEntry& entry(DomainId domain) const;
+  DomainId find(std::string_view name) const;  // 0 = not found
+
+  std::size_t num_domains() const { return domains_.size(); }
+  int num_days() const { return num_days_; }
+
+  /// Total (domain, day) observations — the "data points" scale figure of
+  /// Table 2 counts collected RRs; we report one observation per live
+  /// domain-day times the records-per-domain factor.
+  std::uint64_t num_observations(int records_per_domain = 6) const;
+
+  /// Builds (or rebuilds) the reverse index. Must be called after loading
+  /// and before sites_on/intervals_for.
+  void build_reverse_index();
+
+  /// Domains whose www label resolved to `ip` on `day` (requires
+  /// build_reverse_index()). Sorted by DomainId.
+  std::vector<DomainId> sites_on(net::Ipv4Addr ip, int day) const;
+
+  /// Number of such domains without materializing them.
+  std::size_t count_sites_on(net::Ipv4Addr ip, int day) const;
+
+  /// Domains whose MX host resolved to `ip` on `day` (requires
+  /// build_reverse_index()) — the §8 mail-infrastructure extension.
+  std::vector<DomainId> mail_domains_on(net::Ipv4Addr ip, int day) const;
+  std::size_t count_mail_domains_on(net::Ipv4Addr ip, int day) const;
+
+  /// All hosting intervals for an IP (requires build_reverse_index()).
+  std::span<const HostingInterval> intervals_for(net::Ipv4Addr ip) const;
+
+  /// Every IP that ever hosted a site (requires build_reverse_index()).
+  std::vector<net::Ipv4Addr> hosting_ips() const;
+
+  /// Iterates all domains: fn(DomainId, const DomainEntry&).
+  template <typename Fn>
+  void for_each_domain(Fn&& fn) const {
+    for (DomainId id = 0; id < domains_.size(); ++id) fn(id, domains_[id]);
+  }
+
+ private:
+  int num_days_;
+  std::vector<DomainEntry> domains_;
+  std::unordered_map<std::string, DomainId> by_name_;
+  std::unordered_map<net::Ipv4Addr, std::vector<HostingInterval>> reverse_;
+  std::unordered_map<net::Ipv4Addr, std::vector<HostingInterval>> mail_reverse_;
+  bool reverse_built_ = false;
+};
+
+}  // namespace dosm::dns

@@ -1,0 +1,35 @@
+#include "dps/classifier.h"
+
+namespace dosm::dps {
+
+Classifier::Classifier(const ProviderRegistry& registry,
+                       const dns::NameTable& names)
+    : registry_(registry), names_(names) {
+  for (const auto& provider : registry_.all())
+    for (const auto& prefix : provider.prefixes)
+      address_space_.insert(prefix, provider.id);
+}
+
+std::optional<ProviderId> Classifier::classify(
+    const dns::WebsiteRecord& record) const {
+  if (record.www_cname != dns::kNoName) {
+    const auto& cname = names_.name(record.www_cname);
+    for (const auto& provider : registry_.all())
+      if (dns::in_domain_suffix(cname, provider.cname_suffix))
+        return provider.id;
+  }
+  if (record.ns != dns::kNoName) {
+    const auto& ns = names_.name(record.ns);
+    for (const auto& provider : registry_.all())
+      if (dns::in_domain_suffix(ns, provider.ns_suffix)) return provider.id;
+  }
+  if (record.has_website()) return provider_for_address(record.www_a);
+  return std::nullopt;
+}
+
+std::optional<ProviderId> Classifier::provider_for_address(
+    net::Ipv4Addr addr) const {
+  return address_space_.lookup(addr);
+}
+
+}  // namespace dosm::dps

@@ -1,0 +1,39 @@
+// DPS-use classification from DNS state (Jonker et al., IMC 2016).
+//
+// A Web site is classified as protected by provider P on day d when its DNS
+// record that day matches one of P's fingerprints:
+//   1. DNS-based diversion: the www label CNAMEs into P's customer zone, or
+//      the domain is delegated to P's name servers;
+//   2. BGP-based diversion: the www A record falls inside P's announced
+//      (scrubbing) address space.
+#pragma once
+
+#include <optional>
+
+#include "dns/names.h"
+#include "dns/snapshot.h"
+#include "dps/providers.h"
+#include "meta/prefix_map.h"
+
+namespace dosm::dps {
+
+class Classifier {
+ public:
+  /// Keeps references; `registry` and `names` must outlive the classifier.
+  Classifier(const ProviderRegistry& registry, const dns::NameTable& names);
+
+  /// Provider protecting a site with this DNS state, if any. When multiple
+  /// fingerprints match (rare; e.g. a CNAME into one provider resolving into
+  /// another's space) the CNAME match wins, then NS, then A.
+  std::optional<ProviderId> classify(const dns::WebsiteRecord& record) const;
+
+  /// Provider owning the address via BGP announcement matching, if any.
+  std::optional<ProviderId> provider_for_address(net::Ipv4Addr addr) const;
+
+ private:
+  const ProviderRegistry& registry_;
+  const dns::NameTable& names_;
+  meta::PrefixMap<ProviderId> address_space_;
+};
+
+}  // namespace dosm::dps

@@ -1,0 +1,76 @@
+#include "dps/migration.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dosm::dps {
+
+ProtectionTimeline protection_timeline(const dns::SnapshotStore& store,
+                                       dns::DomainId domain,
+                                       const Classifier& classifier) {
+  ProtectionTimeline timeline;
+  timeline.domain = domain;
+  const auto& entry = store.entry(domain);
+
+  ProviderId current = kNoProvider;
+  int current_from = 0;
+  bool first_change = true;
+
+  auto close_interval = [&](int to_day) {
+    if (current != kNoProvider && to_day >= current_from)
+      timeline.intervals.push_back({current_from, to_day, current});
+  };
+
+  for (std::size_t i = 0; i < entry.changes.size(); ++i) {
+    const auto& change = entry.changes[i];
+    const auto provider = classifier.classify(change.record);
+    const ProviderId pid = provider.value_or(kNoProvider);
+
+    if (first_change) {
+      first_change = false;
+      timeline.preexisting =
+          (pid != kNoProvider) && change.day == entry.first_seen_day;
+    }
+    if (pid != current) {
+      close_interval(change.day - 1);
+      current = pid;
+      current_from = change.day;
+      if (pid != kNoProvider && !timeline.preexisting &&
+          !timeline.first_protected_day) {
+        timeline.first_protected_day = change.day;
+        timeline.first_provider = pid;
+      }
+    }
+  }
+  close_interval(entry.last_seen_day);
+
+  // A preexisting customer's initial provider is also recorded.
+  if (timeline.preexisting && !timeline.intervals.empty())
+    timeline.first_provider = timeline.intervals.front().provider;
+  return timeline;
+}
+
+std::vector<ProtectionTimeline> all_timelines(const dns::SnapshotStore& store,
+                                              const Classifier& classifier) {
+  std::vector<ProtectionTimeline> out;
+  out.reserve(store.num_domains());
+  store.for_each_domain([&](dns::DomainId id, const dns::DomainEntry&) {
+    out.push_back(protection_timeline(store, id, classifier));
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> provider_customer_counts(
+    const std::vector<ProtectionTimeline>& timelines,
+    const ProviderRegistry& registry) {
+  std::vector<std::uint64_t> counts(registry.size() + 1, 0);
+  for (const auto& timeline : timelines) {
+    std::set<ProviderId> seen;
+    for (const auto& interval : timeline.intervals) seen.insert(interval.provider);
+    for (ProviderId id : seen)
+      if (id != kNoProvider && id < counts.size()) ++counts[id];
+  }
+  return counts;
+}
+
+}  // namespace dosm::dps

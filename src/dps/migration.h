@@ -1,0 +1,63 @@
+// Per-site protection timelines and migration-event extraction.
+//
+// For every Web site, scan its DNS change timeline through the DPS
+// classifier to get the days on which it was protected, whether it was a
+// *preexisting* customer (protected when first observed), and its first
+// *migration* day (first protected day after an unprotected start). These
+// feed the §6 taxonomy (Figure 8) and the migration-delay analyses
+// (Figures 9-11).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dns/snapshot.h"
+#include "dps/classifier.h"
+
+namespace dosm::dps {
+
+/// Protection state intervals of one site (days, inclusive).
+struct ProtectionInterval {
+  int from_day = 0;
+  int to_day = 0;
+  ProviderId provider = kNoProvider;
+};
+
+/// The §6-relevant summary of one site's protection history.
+struct ProtectionTimeline {
+  dns::DomainId domain = 0;
+  /// Protected on the first day the domain was observed in the DNS.
+  bool preexisting = false;
+  /// First day protection appears after an unprotected start, if any.
+  std::optional<int> first_protected_day;
+  ProviderId first_provider = kNoProvider;
+  std::vector<ProtectionInterval> intervals;
+
+  /// Protected at any time during the window.
+  bool ever_protected() const { return !intervals.empty(); }
+
+  bool protected_on(int day) const {
+    for (const auto& interval : intervals)
+      if (day >= interval.from_day && day <= interval.to_day) return true;
+    return false;
+  }
+};
+
+/// Computes the timeline for one domain by walking its change list (O(#
+/// changes), not O(days)).
+ProtectionTimeline protection_timeline(const dns::SnapshotStore& store,
+                                       dns::DomainId domain,
+                                       const Classifier& classifier);
+
+/// Computes timelines for all domains in the store.
+std::vector<ProtectionTimeline> all_timelines(const dns::SnapshotStore& store,
+                                              const Classifier& classifier);
+
+/// Per-provider customer counts over the whole window (Table 3): the number
+/// of distinct Web sites each provider ever protected.
+std::vector<std::uint64_t> provider_customer_counts(
+    const std::vector<ProtectionTimeline>& timelines,
+    const ProviderRegistry& registry);
+
+}  // namespace dosm::dps

@@ -1,0 +1,64 @@
+#include "dps/providers.h"
+
+#include <stdexcept>
+
+namespace dosm::dps {
+
+ProviderId ProviderRegistry::add(std::string name, std::string cname_suffix,
+                                 std::string ns_suffix,
+                                 std::vector<net::Prefix> prefixes) {
+  if (providers_.size() >= 254)
+    throw std::length_error("ProviderRegistry: too many providers");
+  Provider p;
+  p.id = static_cast<ProviderId>(providers_.size() + 1);
+  p.name = std::move(name);
+  p.cname_suffix = std::move(cname_suffix);
+  p.ns_suffix = std::move(ns_suffix);
+  p.prefixes = std::move(prefixes);
+  providers_.push_back(std::move(p));
+  return providers_.back().id;
+}
+
+const Provider& ProviderRegistry::provider(ProviderId id) const {
+  if (id == kNoProvider || id > providers_.size())
+    throw std::out_of_range("ProviderRegistry::provider: unknown id");
+  return providers_[id - 1];
+}
+
+std::optional<ProviderId> ProviderRegistry::find(std::string_view name) const {
+  for (const auto& p : providers_)
+    if (p.name == name) return p.id;
+  return std::nullopt;
+}
+
+ProviderRegistry paper_providers() {
+  ProviderRegistry registry;
+  auto prefix = [](std::uint8_t a, std::uint8_t b, std::uint8_t c, int len) {
+    return net::Prefix(net::Ipv4Addr(a, b, c, 0), len);
+  };
+  // Ten providers as in Table 3. Fingerprints are synthetic; each provider
+  // gets a distinctive CNAME zone, NS zone, and disjoint /16s for
+  // BGP-diversion customers.
+  registry.add("Akamai", "akamaiedge-dps.net", "akam-dps.net",
+               {prefix(203, 8, 0, 14)});
+  registry.add("CenturyLink", "cl-ddosprotect.net", "centurylink-dps.net",
+               {prefix(203, 16, 0, 15)});
+  registry.add("CloudFlare", "cf-shield.net", "ns.cf-shield.net",
+               {prefix(203, 24, 0, 14)});
+  registry.add("DOSarrest", "dosarrest-cdn.com", "dosarrest-dns.com",
+               {prefix(203, 32, 0, 15)});
+  registry.add("F5", "f5silverline.net", "f5-dps.net", {prefix(203, 40, 0, 15)});
+  registry.add("Incapsula", "incapdns-x.net", "incapsula-dps.net",
+               {prefix(203, 48, 0, 14)});
+  registry.add("Level 3", "l3-scrub.net", "level3-dps.net",
+               {prefix(203, 56, 0, 16)});
+  registry.add("Neustar", "neustar-ultradps.biz", "ultradns-dps.biz",
+               {prefix(203, 64, 0, 14)});
+  registry.add("Verisign", "verisign-vdms.com", "verisigndns-dps.com",
+               {prefix(203, 72, 0, 15)});
+  registry.add("VirtualRoad", "virtualroad-shield.org", "virtualroad-dns.org",
+               {prefix(203, 80, 0, 20)});
+  return registry;
+}
+
+}  // namespace dosm::dps

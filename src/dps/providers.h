@@ -1,0 +1,59 @@
+// DDoS Protection Service providers and their DNS/BGP fingerprints.
+//
+// The paper tracks ten providers (§3.3): nine leading commercial DPSes plus
+// VirtualRoad, a non-commercial provider protecting at-risk Web sites. A
+// provider is detected from a customer's DNS state (Jonker et al., IMC
+// 2016): a CNAME expanding into the provider's domain, delegation to the
+// provider's name servers, or an A record inside the provider's announced
+// (BGP-protected) address space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace dosm::dps {
+
+/// Dense provider id; 0 is reserved for "no provider".
+using ProviderId = std::uint8_t;
+
+inline constexpr ProviderId kNoProvider = 0;
+
+struct Provider {
+  ProviderId id = kNoProvider;
+  std::string name;
+  /// DNS suffix customers CNAME into (e.g. "incapdns.net").
+  std::string cname_suffix;
+  /// DNS suffix of the provider's authoritative name servers.
+  std::string ns_suffix;
+  /// Address space the provider announces for BGP-diversion customers.
+  std::vector<net::Prefix> prefixes;
+};
+
+/// Registry of providers; ids are assigned densely starting at 1.
+class ProviderRegistry {
+ public:
+  /// Adds a provider; returns its id.
+  ProviderId add(std::string name, std::string cname_suffix,
+                 std::string ns_suffix, std::vector<net::Prefix> prefixes);
+
+  const Provider& provider(ProviderId id) const;
+  std::optional<ProviderId> find(std::string_view name) const;
+  std::span<const Provider> all() const { return providers_; }
+  std::size_t size() const { return providers_.size(); }
+
+ private:
+  std::vector<Provider> providers_;
+};
+
+/// The paper's ten providers with synthetic-but-shaped fingerprints. The
+/// address blocks are stand-ins (documentation-style space): what matters is
+/// that each provider owns disjoint prefixes the classifier can match.
+ProviderRegistry paper_providers();
+
+}  // namespace dosm::dps

@@ -1,0 +1,25 @@
+#include "meta/geo.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dosm::meta {
+
+CountryCode::CountryCode(std::string_view code) {
+  if (code.size() != 2 || !std::isalpha(static_cast<unsigned char>(code[0])) ||
+      !std::isalpha(static_cast<unsigned char>(code[1]))) {
+    throw std::invalid_argument("CountryCode: expected two letters, got '" +
+                                std::string(code) + "'");
+  }
+  c_[0] = code[0];
+  c_[1] = code[1];
+}
+
+CountryCode unknown_country() { return CountryCode("ZZ"); }
+
+CountryCode GeoDatabase::locate(net::Ipv4Addr addr) const {
+  const auto hit = map_.lookup(addr);
+  return hit ? *hit : unknown_country();
+}
+
+}  // namespace dosm::meta

@@ -1,0 +1,63 @@
+// IP geolocation metadata (NetAcuity-substitute).
+//
+// The paper annotates every target IP with a country using the NetAcuity
+// Edge database. We provide the same lookup API over a prefix → country
+// table; in simulations the table is populated by the world model so that
+// country shares follow the paper's observed mix (Table 4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "meta/prefix_map.h"
+#include "net/ipv4.h"
+
+namespace dosm::meta {
+
+/// ISO 3166-1 alpha-2 country code, stored inline (no allocation).
+class CountryCode {
+ public:
+  constexpr CountryCode() = default;
+  /// Throws std::invalid_argument unless `code` is exactly two ASCII letters
+  /// (case preserved; the paper uses e.g. "US", "GB").
+  explicit CountryCode(std::string_view code);
+
+  std::string to_string() const { return std::string{c_[0], c_[1]}; }
+  bool is_set() const { return c_[0] != '\0'; }
+
+  constexpr auto operator<=>(const CountryCode&) const = default;
+
+ private:
+  char c_[2] = {'\0', '\0'};
+};
+
+/// The sentinel country returned for unmapped space.
+CountryCode unknown_country();
+
+/// Prefix-based geolocation database with longest-prefix-match semantics.
+class GeoDatabase {
+ public:
+  void add(net::Prefix prefix, CountryCode country) {
+    map_.insert(prefix, country);
+  }
+
+  /// Country of the address; unknown_country() when unmapped.
+  CountryCode locate(net::Ipv4Addr addr) const;
+
+  std::size_t num_prefixes() const { return map_.size(); }
+
+ private:
+  PrefixMap<CountryCode> map_;
+};
+
+}  // namespace dosm::meta
+
+template <>
+struct std::hash<dosm::meta::CountryCode> {
+  std::size_t operator()(const dosm::meta::CountryCode& c) const noexcept {
+    const auto s = c.to_string();
+    return std::hash<std::string>{}(s);
+  }
+};

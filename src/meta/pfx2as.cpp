@@ -1,0 +1,15 @@
+#include "meta/pfx2as.h"
+
+namespace dosm::meta {
+
+void AsRegistry::register_as(Asn asn, std::string name) {
+  names_[asn] = std::move(name);
+}
+
+std::string AsRegistry::name(Asn asn) const {
+  const auto it = names_.find(asn);
+  if (it != names_.end()) return it->second;
+  return "AS" + std::to_string(asn);
+}
+
+}  // namespace dosm::meta

@@ -1,0 +1,60 @@
+// BGP routing metadata: Routeviews-style prefix-to-AS mapping.
+//
+// The paper annotates targets with origin ASNs from CAIDA's Routeviews
+// pfx2as dataset. We reproduce the same longest-prefix-match semantics over
+// announced prefixes, plus a small AS registry carrying display names for
+// the organizations the paper calls out (OVH, China Telecom, GoDaddy, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "meta/prefix_map.h"
+#include "net/ipv4.h"
+
+namespace dosm::meta {
+
+using Asn = std::uint32_t;
+
+inline constexpr Asn kUnknownAsn = 0;
+
+/// Longest-prefix-match prefix → origin-AS map.
+class PrefixToAsMap {
+ public:
+  void announce(net::Prefix prefix, Asn asn) { map_.insert(prefix, asn); }
+
+  /// Origin ASN for the address; kUnknownAsn for unannounced space.
+  Asn origin(net::Ipv4Addr addr) const {
+    const auto hit = map_.lookup(addr);
+    return hit ? *hit : kUnknownAsn;
+  }
+
+  /// The covering announcement, if any.
+  std::optional<net::Prefix> covering_prefix(net::Ipv4Addr addr) const {
+    return map_.matching_prefix(addr);
+  }
+
+  std::size_t num_announcements() const { return map_.size(); }
+
+ private:
+  PrefixMap<Asn> map_;
+};
+
+/// ASN → organization name registry.
+class AsRegistry {
+ public:
+  void register_as(Asn asn, std::string name);
+
+  /// Name for the ASN; "AS<n>" when unregistered.
+  std::string name(Asn asn) const;
+
+  bool contains(Asn asn) const { return names_.contains(asn); }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<Asn, std::string> names_;
+};
+
+}  // namespace dosm::meta

@@ -1,0 +1,74 @@
+// Generic longest-prefix-match map from IPv4 prefixes to values.
+//
+// Backing structure: one hash table per prefix length. Lookup masks the
+// address at each populated length from /32 down to /0 and probes the
+// corresponding table — O(number of distinct lengths) per query, which for
+// real routing tables (and our synthetic ones) is ≤ 25 probes. This is the
+// shared engine behind both the Routeviews-style prefix-to-AS map and the
+// NetAcuity-style geolocation database.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+
+namespace dosm::meta {
+
+template <typename Value>
+class PrefixMap {
+ public:
+  /// Inserts or replaces the mapping for `prefix`.
+  void insert(net::Prefix prefix, Value value) {
+    auto& table = tables_[static_cast<std::size_t>(prefix.length())];
+    const bool existed = table.contains(prefix.network().value());
+    table[prefix.network().value()] = std::move(value);
+    if (!existed) ++size_;
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  std::optional<Value> lookup(net::Ipv4Addr addr) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& table = tables_[static_cast<std::size_t>(len)];
+      if (table.empty()) continue;
+      const std::uint32_t mask =
+          len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+      const auto it = table.find(addr.value() & mask);
+      if (it != table.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  /// The matched prefix itself (for diagnostics), or nullopt.
+  std::optional<net::Prefix> matching_prefix(net::Ipv4Addr addr) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& table = tables_[static_cast<std::size_t>(len)];
+      if (table.empty()) continue;
+      const std::uint32_t mask =
+          len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+      const std::uint32_t network = addr.value() & mask;
+      if (table.contains(network)) return net::Prefix(net::Ipv4Addr(network), len);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair; order unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int len = 0; len <= 32; ++len) {
+      for (const auto& [network, value] : tables_[static_cast<std::size_t>(len)])
+        fn(net::Prefix(net::Ipv4Addr(network), len), value);
+    }
+  }
+
+ private:
+  std::array<std::unordered_map<std::uint32_t, Value>, 33> tables_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dosm::meta

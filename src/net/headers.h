@@ -1,0 +1,111 @@
+// Raw IPv4 / TCP / UDP / ICMP packet construction and parsing.
+//
+// The telescope pipeline consumes real packet bytes: the simulator encodes
+// backscatter as raw IPv4 frames (through PacketWriter/pcap) and the Moore
+// et al. detector decodes them here, exactly as the Corsaro plugin would via
+// libpcap. The decoded form is the compact PacketRecord.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "net/ipv4.h"
+
+namespace dosm::net {
+
+/// IANA IP protocol numbers we care about.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,
+  kTcp = 6,
+  kUdp = 17,
+  kGre = 47,
+  kEsp = 50,
+};
+
+/// TCP flag bits (low byte of the flags field).
+namespace tcp_flags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+}  // namespace tcp_flags
+
+/// ICMP message types (RFC 792 et al.).
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kSourceQuench = 4,
+  kRedirect = 5,
+  kEcho = 8,
+  kTimeExceeded = 11,
+  kParameterProblem = 12,
+  kTimestamp = 13,
+  kTimestampReply = 14,
+  kInfoRequest = 15,
+  kInfoReply = 16,
+  kAddressMaskRequest = 17,
+  kAddressMaskReply = 18,
+};
+
+/// A decoded packet in the compact form the analysis pipeline uses.
+/// For ICMP error messages (destination unreachable, time exceeded, ...)
+/// the quoted original datagram's header fields are captured too, since the
+/// Moore methodology attributes the attack's transport protocol from them.
+struct PacketRecord {
+  UnixSeconds ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t proto = 0;      // raw IP protocol number
+  std::uint16_t ip_len = 0;    // total IP length, bytes
+  std::uint8_t ttl = 0;
+
+  std::uint16_t src_port = 0;  // TCP/UDP only
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;  // TCP only
+
+  std::uint8_t icmp_type = 0;  // ICMP only
+  std::uint8_t icmp_code = 0;
+
+  // Quoted datagram inside ICMP error messages, when present and parseable.
+  bool has_quoted = false;
+  std::uint8_t quoted_proto = 0;
+  Ipv4Addr quoted_src;
+  Ipv4Addr quoted_dst;
+  std::uint16_t quoted_src_port = 0;
+  std::uint16_t quoted_dst_port = 0;
+
+  bool is_tcp() const { return proto == static_cast<std::uint8_t>(IpProto::kTcp); }
+  bool is_udp() const { return proto == static_cast<std::uint8_t>(IpProto::kUdp); }
+  bool is_icmp() const { return proto == static_cast<std::uint8_t>(IpProto::kIcmp); }
+
+  double timestamp() const {
+    return static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
+  }
+};
+
+/// RFC 1071 internet checksum over a byte range (pads odd length with zero).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Encodes the record as a raw IPv4 packet (no link-layer header). TCP
+/// packets carry a 20-byte header; UDP an 8-byte header with an 8-byte dummy
+/// payload; ICMP error types embed the quoted IP header + 8 bytes when
+/// `has_quoted` is set. All checksums are valid.
+std::vector<std::uint8_t> encode_packet(const PacketRecord& rec);
+
+/// Decodes a raw IPv4 packet. Returns std::nullopt on truncated or
+/// non-IPv4 input. Checksum failures are tolerated (real telescopes see
+/// broken packets) but reported via `checksum_ok` when non-null.
+std::optional<PacketRecord> decode_packet(std::span<const std::uint8_t> bytes,
+                                          UnixSeconds ts_sec = 0,
+                                          std::uint32_t ts_usec = 0,
+                                          bool* checksum_ok = nullptr);
+
+}  // namespace dosm::net

@@ -1,0 +1,71 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace dosm::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::parse(std::string_view s) {
+  const auto parts = split(s, '.');
+  if (parts.size() != 4)
+    throw std::invalid_argument("Ipv4Addr::parse: expected 4 octets: " +
+                                std::string(s));
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3)
+      throw std::invalid_argument("Ipv4Addr::parse: bad octet: " + std::string(s));
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("Ipv4Addr::parse: bad octet: " + std::string(s));
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255)
+      throw std::invalid_argument("Ipv4Addr::parse: octet > 255: " + std::string(s));
+    value = (value << 8) | octet;
+  }
+  return Ipv4Addr(value);
+}
+
+Prefix::Prefix(Ipv4Addr addr, int length) : length_(length) {
+  if (length < 0 || length > 32)
+    throw std::invalid_argument("Prefix: length out of range");
+  network_ = Ipv4Addr(addr.value() & mask());
+}
+
+Prefix Prefix::parse(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos)
+    throw std::invalid_argument("Prefix::parse: missing '/': " + std::string(s));
+  const Ipv4Addr addr = Ipv4Addr::parse(s.substr(0, slash));
+  int len = 0;
+  for (char c : s.substr(slash + 1)) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("Prefix::parse: bad length: " + std::string(s));
+    len = len * 10 + (c - '0');
+    if (len > 32)
+      throw std::invalid_argument("Prefix::parse: length > 32: " + std::string(s));
+  }
+  return Prefix(addr, len);
+}
+
+Ipv4Addr Prefix::address_at(std::uint64_t i) const {
+  if (i >= num_addresses())
+    throw std::out_of_range("Prefix::address_at: index outside prefix");
+  return Ipv4Addr(network_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dosm::net

@@ -1,0 +1,100 @@
+// IPv4 addresses and prefixes.
+//
+// Addresses are stored in host byte order as a plain uint32 wrapper; all
+// wire-format conversion happens at the packet-serialization boundary
+// (net/headers.h).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dosm::net {
+
+/// An IPv4 address (host byte order).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Dotted-quad representation.
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static Ipv4Addr parse(std::string_view s);
+
+  /// Network address of the enclosing /24 (used for per-/24 rollups).
+  constexpr Ipv4Addr slash24() const { return Ipv4Addr(value_ & 0xffffff00u); }
+
+  /// Network address of the enclosing /16.
+  constexpr Ipv4Addr slash16() const { return Ipv4Addr(value_ & 0xffff0000u); }
+
+  /// Network address of the enclosing /8.
+  constexpr Ipv4Addr slash8() const { return Ipv4Addr(value_ & 0xff000000u); }
+
+  /// Leading octet, e.g. 10 for 10.1.2.3.
+  constexpr std::uint8_t first_octet() const {
+    return static_cast<std::uint8_t>(value_ >> 24);
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix; the address is normalized to its network address.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Throws std::invalid_argument if length > 32.
+  Prefix(Ipv4Addr addr, int length);
+
+  /// Parses "a.b.c.d/len".
+  static Prefix parse(std::string_view s);
+
+  constexpr Ipv4Addr network() const { return network_; }
+  constexpr int length() const { return length_; }
+
+  /// Netmask as a host-order value (length 0 -> 0).
+  constexpr std::uint32_t mask() const {
+    return length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  bool contains(Ipv4Addr a) const {
+    return (a.value() & mask()) == network_.value();
+  }
+
+  /// Number of addresses covered (2^(32-length)).
+  std::uint64_t num_addresses() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// i-th address inside the prefix; i must be < num_addresses().
+  Ipv4Addr address_at(std::uint64_t i) const;
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  Ipv4Addr network_;
+  int length_ = 0;
+};
+
+}  // namespace dosm::net
+
+template <>
+struct std::hash<dosm::net::Ipv4Addr> {
+  std::size_t operator()(const dosm::net::Ipv4Addr& a) const noexcept {
+    // Fibonacci scrambling; addresses are often sequential.
+    return static_cast<std::size_t>(a.value() * 0x9e3779b97f4a7c15ULL);
+  }
+};

@@ -1,0 +1,85 @@
+// Minimal pcap (libpcap savefile) reader/writer, implemented from scratch.
+//
+// We write and read the classic pcap format (magic 0xa1b2c3d4, version 2.4)
+// with microsecond timestamps. The telescope simulator stores synthesized
+// backscatter as LINKTYPE_RAW (101) captures — raw IPv4 packets with no
+// link-layer header — and the detection pipeline replays them through
+// net::decode_packet. LINKTYPE_ETHERNET (1) files are also readable; the
+// 14-byte Ethernet header is stripped when the EtherType is IPv4.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace dosm::net {
+
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+inline constexpr std::uint32_t kLinkTypeRaw = 101;
+
+/// A captured frame: timestamp plus raw bytes at the file's link layer.
+struct CapturedFrame {
+  UnixSeconds ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  std::uint32_t orig_len = 0;  // original wire length
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Streams pcap records to an ostream. Writes the global header on
+/// construction. Not seekable; suitable for pipes.
+class PcapWriter {
+ public:
+  /// Throws std::runtime_error if the stream is bad.
+  explicit PcapWriter(std::ostream& out, std::uint32_t link_type = kLinkTypeRaw,
+                      std::uint32_t snaplen = 65535);
+
+  /// Writes one frame; bytes are at the configured link layer.
+  void write_frame(UnixSeconds ts_sec, std::uint32_t ts_usec,
+                   std::span<const std::uint8_t> bytes);
+
+  /// Convenience: encodes the record as raw IPv4 and writes it. Only valid
+  /// for LINKTYPE_RAW writers (throws std::logic_error otherwise).
+  void write_packet(const PacketRecord& rec);
+
+  std::uint64_t frames_written() const { return frames_written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint32_t link_type_;
+  std::uint32_t snaplen_;
+  std::uint64_t frames_written_ = 0;
+};
+
+/// Reads pcap records from an istream, handling both native and
+/// byte-swapped files.
+class PcapReader {
+ public:
+  /// Throws std::runtime_error on a malformed global header.
+  explicit PcapReader(std::istream& in);
+
+  std::uint32_t link_type() const { return link_type_; }
+
+  /// Next raw frame, or nullopt at EOF. Throws on truncated records.
+  std::optional<CapturedFrame> next_frame();
+
+  /// Next frame decoded to a PacketRecord (skipping frames that are not
+  /// parseable IPv4), or nullopt at EOF.
+  std::optional<PacketRecord> next_packet();
+
+ private:
+  std::istream& in_;
+  std::uint32_t link_type_ = kLinkTypeRaw;
+  bool swapped_ = false;
+};
+
+/// Reads every decodable packet from a pcap byte buffer (test helper).
+std::vector<PacketRecord> decode_pcap(std::span<const std::uint8_t> file_bytes);
+
+}  // namespace dosm::net

@@ -1,0 +1,317 @@
+#include "sim/hosting.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace dosm::sim {
+
+namespace {
+
+struct MegaHosterSpec {
+  const char* name;
+  const char* org;       // pinned-org ASN lookup key
+  int num_ips;
+  double popularity;     // share of all domains, roughly
+  double ip_skew;        // Zipf exponent over the hoster's IPs
+};
+
+/// The larger parties §5 names: GoDaddy, Google Cloud and Wix are the three
+/// most frequently attacked; Squarespace, Gandi, OVH, Automattic
+/// (WordPress), eNom, EIG and Network Solutions also appear.
+constexpr MegaHosterSpec kMegaHosters[] = {
+    {"GoDaddy", "GoDaddy", 36, 0.115, 0.9},
+    {"Wix", "Wix", 8, 0.055, 0.7},
+    {"Google Cloud", "Google Cloud", 40, 0.050, 1.0},
+    {"Amazon AWS", "Amazon AWS", 56, 0.045, 1.1},
+    {"Squarespace", "Squarespace", 8, 0.030, 0.7},
+    {"WordPress.com", "Automattic", 6, 0.035, 0.5},
+    {"OVH", "OVH", 46, 0.040, 1.0},
+    {"eNom", "eNom", 14, 0.025, 0.8},
+    {"EIG", "EIG", 26, 0.030, 0.9},
+    {"Network Solutions", "Network Solutions", 18, 0.020, 0.9},
+    {"Gandi", "Gandi", 12, 0.012, 0.8},
+};
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+HostingEcosystem::HostingEcosystem(Rng& rng, const Population& population,
+                                   const dps::ProviderRegistry& providers,
+                                   dns::NameTable& names,
+                                   dns::SnapshotStore& store,
+                                   const HostingConfig& config)
+    : population_(population),
+      providers_(providers),
+      names_(names),
+      store_(store),
+      config_(config) {
+  // Provider front IPs: each provider serves customers from a pool of
+  // reverse-proxy addresses inside its announced space.
+  provider_fronts_.resize(providers_.size() + 1);
+  std::vector<double> provider_weights;  // Table-3 market shares
+  static const double kShares[] = {5.86, 0.87, 4.27, 7.04, 3.58,
+                                   3.78, 0.47, 10.78, 4.34, 0.01};
+  for (const auto& provider : providers_.all()) {
+    const auto& prefix = provider.prefixes.front();
+    // The first kFlagshipFronts addresses are the concentrated shared IPs;
+    // the rest are the per-customer tail.
+    const int fronts = provider.id == providers_.find("DOSarrest").value_or(0)
+                           ? 26  // DOSarrest concentrates huge numbers per IP
+                           : 40;
+    for (int i = 0; i < fronts; ++i) {
+      const auto front = prefix.address_at(10 + static_cast<std::uint64_t>(i));
+      provider_fronts_[provider.id].push_back(front);
+      front_ip_set_.insert(front);
+    }
+    provider_weights.push_back(
+        provider.id <= 10 ? kShares[provider.id - 1] : 1.0);
+  }
+  provider_sampler_ = AliasTable(provider_weights);
+
+  build_hosters(rng, population);
+  register_domains(rng, config);
+
+  // Attack-targeting sampler over hosting IPs. Two regimes reconcile the
+  // paper's seemingly contradictory findings (Fig 7: ~3% of all sites on
+  // attacked IPs *daily*; Fig 9: 92% of attacked sites see <= 5 attacks in
+  // two years): ordinary hosting IPs are hit near-uniformly and rarely,
+  // while the handful of colossal co-hosting IPs (the Fig-6 top bins —
+  // GoDaddy/WordPress/Wix-scale shared IPs) are high-profile targets
+  // absorbing attacks near-daily; their co-hosted sites are exactly the
+  // multi-attacked tail of Fig 9.
+  std::vector<double> weights;
+  attackable_ips_.reserve(origin_index_.size());
+  weights.reserve(origin_index_.size());
+  for (const auto& [ip, domains] : origin_index_) {
+    attackable_ips_.push_back(ip);
+    const auto sites = static_cast<double>(domains.size());
+    double weight = std::pow(sites, 0.6);
+    if (sites >= 200.0) weight += sites * 20.0;  // colossal regime
+    weights.push_back(weight);
+  }
+  // Shared mail exchangers are targets in their own right (§8): weighted by
+  // served domains but below the Web-hosting weights.
+  for (const auto& [ip, domains] : mail_index_) {
+    if (origin_index_.contains(ip)) continue;  // self-hosted mail == web IP
+    attackable_ips_.push_back(ip);
+    const auto served = static_cast<double>(domains.size());
+    double weight = 0.5 * std::pow(served, 0.25);
+    if (served >= 500.0) weight += served * 2.0;  // GoDaddy-mail regime
+    weights.push_back(weight);
+  }
+  ip_attack_sampler_ = AliasTable(weights);
+}
+
+void HostingEcosystem::build_hosters(Rng& rng, const Population& population) {
+  for (const auto& spec : kMegaHosters) {
+    Hoster hoster;
+    hoster.name = spec.name;
+    hoster.asn = population.asn_of(spec.org);
+    hoster.mega = true;
+    hoster.popularity = spec.popularity;
+    hoster.ns = names_.intern("ns1." + slug(hoster.name) + "-dns.com");
+    hoster.mail_name = names_.intern("mail." + slug(hoster.name) + ".com");
+    for (int i = 0; i < spec.num_ips; ++i) {
+      const auto ip = population_.sample_address_in_as(hoster.asn, rng);
+      hoster.ips.push_back(ip);
+      ip_to_hoster_[ip] = static_cast<int>(hosters_.size());
+    }
+    // A handful of shared mail exchangers per mega hoster.
+    const int mail_ips = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < mail_ips; ++i) {
+      const auto ip = population_.sample_address_in_as(hoster.asn, rng);
+      hoster.mail_ips.push_back(ip);
+      ip_to_hoster_[ip] = static_cast<int>(hosters_.size());
+    }
+    hosters_.push_back(std::move(hoster));
+  }
+  // Generic hoster tail, popularity ~ Zipf.
+  for (int i = 0; i < config_.num_generic_hosters; ++i) {
+    Hoster hoster;
+    hoster.name = "hoster" + std::to_string(i);
+    hoster.asn = 0;  // assigned implicitly by IP allocation
+    hoster.mega = false;
+    hoster.popularity = 0.18 / std::pow(static_cast<double>(i + 2), 0.9);
+    hoster.ns = names_.intern("ns1." + hoster.name + ".net");
+    hoster.mail_name = names_.intern("mail." + hoster.name + ".net");
+    const int num_ips = static_cast<int>(rng.uniform_int(4, 24));
+    for (int j = 0; j < num_ips; ++j) {
+      const auto ip = population_.sample_address(rng);
+      hoster.ips.push_back(ip);
+      ip_to_hoster_[ip] = static_cast<int>(hosters_.size());
+    }
+    const auto mail_ip = population_.sample_address(rng);
+    hoster.mail_ips.push_back(mail_ip);
+    ip_to_hoster_[mail_ip] = static_cast<int>(hosters_.size());
+    hosters_.push_back(std::move(hoster));
+  }
+}
+
+void HostingEcosystem::register_domains(Rng& rng, const HostingConfig& config) {
+  const int days = store_.num_days();
+  sites_.reserve(static_cast<std::size_t>(config.num_domains));
+
+  // Hoster sampler over popularity (self-hosting handled separately).
+  std::vector<double> hoster_weights;
+  hoster_weights.reserve(hosters_.size());
+  for (const auto& hoster : hosters_) hoster_weights.push_back(hoster.popularity);
+  const AliasTable hoster_sampler(hoster_weights);
+
+  // Micro-shared (VPS-style) hosting: each IP takes a small handful of
+  // sites; a fresh IP is opened when the current one fills up.
+  net::Ipv4Addr micro_ip;
+  int micro_capacity = 0;
+  int micro_used = 0;
+
+  for (int d = 0; d < config.num_domains; ++d) {
+    // TLD mix from Table 2: 173.7M com / 21.6M net / 14.7M org.
+    const double tld_draw = rng.uniform();
+    const char* tld = tld_draw < 0.827 ? "com" : (tld_draw < 0.930 ? "net" : "org");
+    ++tld_counts_[tld_draw < 0.827 ? 0 : (tld_draw < 0.930 ? 1 : 2)];
+    const std::string name =
+        "site" + std::to_string(d) + "." + tld;
+
+    const int first_seen =
+        rng.bernoulli(config.late_registration_fraction)
+            ? static_cast<int>(rng.uniform_int(1, days - 1))
+            : 0;
+    const auto id = store_.add_domain(name, first_seen);
+
+    SiteInfo site;
+    site.first_seen = first_seen;
+    double preexisting_p = config.preexisting_self;
+    const double hosting_class = rng.uniform();
+    if (hosting_class < config.self_host_fraction) {
+      site.origin_ip = population_.sample_address(rng);
+    } else if (hosting_class <
+               config.self_host_fraction + config.micro_shared_fraction) {
+      if (micro_used >= micro_capacity) {
+        micro_ip = population_.sample_address(rng);
+        micro_capacity = static_cast<int>(rng.uniform_int(2, 9));
+        micro_used = 0;
+      }
+      site.origin_ip = micro_ip;
+      ++micro_used;
+    } else {
+      site.hoster = static_cast<int>(hoster_sampler.sample(rng));
+      const Hoster& hoster = hosters_[static_cast<std::size_t>(site.hoster)];
+      // Within a hoster, load skews toward its first IPs.
+      const ZipfSampler ip_pick(hoster.ips.size(), hoster.mega ? 0.8 : 0.5);
+      site.origin_ip = hoster.ips[ip_pick.sample(rng) - 1];
+      preexisting_p =
+          hoster.mega ? config.preexisting_mega : config.preexisting_generic;
+    }
+    origin_index_[site.origin_ip].push_back(id);
+
+    dns::WebsiteRecord record;
+    if (rng.bernoulli(preexisting_p)) {
+      site.preexisting = sample_provider(rng);
+      // Preexisting bulk customers concentrate on the flagship fronts.
+      record = protected_record(
+          id, site.preexisting, rng,
+          /*flagship=*/rng.bernoulli(config.preexisting_flagship_share));
+    } else {
+      record.www_a = site.origin_ip;
+      record.ns = site.hoster >= 0
+                      ? hosters_[static_cast<std::size_t>(site.hoster)].ns
+                      : names_.intern("ns1." + name);
+    }
+    if (rng.bernoulli(config.mx_fraction)) {
+      if (site.hoster >= 0) {
+        // Hosted mail rides the hoster's shared exchangers.
+        const Hoster& hoster = hosters_[static_cast<std::size_t>(site.hoster)];
+        record.mx = hoster.mail_name;
+        record.mx_a =
+            hoster.mail_ips[rng.next_below(hoster.mail_ips.size())];
+      } else {
+        record.mx = names_.intern("mail." + name);
+        record.mx_a = site.origin_ip;
+      }
+      mail_index_[record.mx_a].push_back(id);
+    }
+    store_.record_change(id, first_seen, record);
+    sites_.push_back(site);
+  }
+}
+
+std::vector<dns::DomainId> HostingEcosystem::domains_on_origin(
+    net::Ipv4Addr ip) const {
+  const auto it = origin_index_.find(ip);
+  return it == origin_index_.end() ? std::vector<dns::DomainId>{} : it->second;
+}
+
+std::vector<dns::DomainId> HostingEcosystem::domains_with_mail_on(
+    net::Ipv4Addr ip) const {
+  const auto it = mail_index_.find(ip);
+  return it == mail_index_.end() ? std::vector<dns::DomainId>{} : it->second;
+}
+
+net::Ipv4Addr HostingEcosystem::sample_hosting_ip(Rng& rng) const {
+  return attackable_ips_[ip_attack_sampler_.sample(rng)];
+}
+
+int HostingEcosystem::hoster_of_ip(net::Ipv4Addr ip) const {
+  const auto it = ip_to_hoster_.find(ip);
+  return it == ip_to_hoster_.end() ? -1 : it->second;
+}
+
+bool HostingEcosystem::hosts_websites(net::Ipv4Addr ip) const {
+  return origin_index_.contains(ip) || front_ip_set_.contains(ip);
+}
+
+net::Ipv4Addr HostingEcosystem::sample_dps_front_ip(Rng& rng) const {
+  // Attackers go after the high-profile shared fronts.
+  const auto provider = sample_provider(rng);
+  return provider_front_ip(provider, rng, /*flagship=*/true);
+}
+
+namespace {
+constexpr std::size_t kFlagshipFronts = 4;
+}
+
+net::Ipv4Addr HostingEcosystem::provider_front_ip(dps::ProviderId provider,
+                                                  Rng& rng,
+                                                  bool flagship) const {
+  const auto& fronts = provider_fronts_.at(provider);
+  if (flagship) {
+    return fronts[rng.next_below(std::min(kFlagshipFronts, fronts.size()))];
+  }
+  // Tail customers spread over the non-flagship fronts.
+  const std::size_t tail = fronts.size() - std::min(kFlagshipFronts, fronts.size());
+  if (tail == 0) return fronts[rng.next_below(fronts.size())];
+  return fronts[kFlagshipFronts + rng.next_below(tail)];
+}
+
+dns::WebsiteRecord HostingEcosystem::protected_record(dns::DomainId domain,
+                                                      dps::ProviderId provider,
+                                                      Rng& rng, bool flagship) {
+  const auto& p = providers_.provider(provider);
+  dns::WebsiteRecord record;
+  record.www_cname =
+      names_.intern("c" + std::to_string(domain) + "." + p.cname_suffix);
+  record.www_a = provider_front_ip(provider, rng, flagship);
+  record.ns = names_.intern("ns1." + p.ns_suffix);
+  return record;
+}
+
+dps::ProviderId HostingEcosystem::sample_provider(Rng& rng) const {
+  return static_cast<dps::ProviderId>(provider_sampler_.sample(rng) + 1);
+}
+
+std::uint64_t HostingEcosystem::domains_in_tld(const std::string& tld) const {
+  if (tld == "com") return tld_counts_[0];
+  if (tld == "net") return tld_counts_[1];
+  if (tld == "org") return tld_counts_[2];
+  return 0;
+}
+
+}  // namespace dosm::sim

@@ -1,0 +1,151 @@
+// The simulated Web-hosting ecosystem.
+//
+// Registers domains across .com/.net/.org (weights from Table 2), assigns
+// each to a hoster (mega-hosters like GoDaddy/Wix/OVH, a Zipf tail of
+// generic hosters, and self-hosted sites on their own IPs) and writes the
+// initial DNS state into the SnapshotStore: www A records at the hosting
+// IP, hoster name servers, and — for preexisting DPS customers — the
+// provider CNAME plus a provider-front A record. Ground-truth site→IP
+// mappings are kept so the attacker and the migration model never have to
+// go through the (detection-side) DNS index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "dns/snapshot.h"
+#include "dps/providers.h"
+#include "sim/population.h"
+
+namespace dosm::sim {
+
+struct HostingConfig {
+  int num_domains = 60000;
+  /// Fraction of domains hosting themselves on a dedicated IP.
+  double self_host_fraction = 0.24;
+  /// Fraction of domains on micro-shared hosting (VPS-style IPs serving a
+  /// handful of sites each) — the Figure-6 "1<n<=10" co-hosting bin.
+  double micro_shared_fraction = 0.22;
+  /// Generic (non-pinned) hosters in the Zipf tail.
+  int num_generic_hosters = 120;
+  /// Domains first observed after day 0 (uniform over the window).
+  double late_registration_fraction = 0.18;
+  /// Preexisting-DPS-customer probability by hoster class.
+  double preexisting_mega = 0.42;
+  double preexisting_generic = 0.10;
+  double preexisting_self = 0.015;
+  /// Share of preexisting customers served from the concentrated flagship
+  /// fronts (the rest sit on the unattacked tail, giving the paper's small
+  /// unattacked-preexisting population).
+  double preexisting_flagship_share = 0.97;
+  /// Fraction of domains given an MX record (mail, future-work hook).
+  double mx_fraction = 0.5;
+};
+
+struct Hoster {
+  std::string name;
+  meta::Asn asn = 0;
+  std::vector<net::Ipv4Addr> ips;
+  /// Shared mail exchangers serving the hoster's customers (the §8
+  /// mail-infrastructure extension: "GoDaddy's e-mail servers, used by tens
+  /// of millions of domain names, are frequently targeted").
+  std::vector<net::Ipv4Addr> mail_ips;
+  dns::NameId ns = dns::kNoName;
+  dns::NameId mail_name = dns::kNoName;
+  double popularity = 1.0;  // domain-assignment weight
+  bool mega = false;
+};
+
+/// Ground-truth state of one site.
+struct SiteInfo {
+  int hoster = -1;  // index into hosters(); -1 = self-hosted
+  net::Ipv4Addr origin_ip;  // hosting IP before any DPS diversion
+  int first_seen = 0;
+  dps::ProviderId preexisting = dps::kNoProvider;
+};
+
+class HostingEcosystem {
+ public:
+  /// Populates `store` (which must span the study window) and `names`.
+  HostingEcosystem(Rng& rng, const Population& population,
+                   const dps::ProviderRegistry& providers,
+                   dns::NameTable& names, dns::SnapshotStore& store,
+                   const HostingConfig& config = {});
+
+  const std::vector<Hoster>& hosters() const { return hosters_; }
+  const SiteInfo& site(dns::DomainId id) const { return sites_.at(id); }
+  std::size_t num_sites() const { return sites_.size(); }
+
+  /// Ground-truth domains whose origin is `ip` (registration-time mapping).
+  std::vector<dns::DomainId> domains_on_origin(net::Ipv4Addr ip) const;
+
+  /// Ground-truth domains whose mail exchanger is `ip`.
+  std::vector<dns::DomainId> domains_with_mail_on(net::Ipv4Addr ip) const;
+
+  /// Samples a hosting IP for attack targeting, weighted so heavily-loaded
+  /// hoster IPs attract more attacks. May return a self-hosted site's IP.
+  net::Ipv4Addr sample_hosting_ip(Rng& rng) const;
+
+  /// Hoster index owning `ip`, or -1 (self-hosted / unknown).
+  int hoster_of_ip(net::Ipv4Addr ip) const;
+
+  /// True if `ip` serves Web sites: a ground-truth origin hosting IP or a
+  /// DPS reverse-proxy front (which serves every protected customer).
+  bool hosts_websites(net::Ipv4Addr ip) const;
+
+  /// True if `ip` is a DPS reverse-proxy front (flagship or tail).
+  bool is_dps_front(net::Ipv4Addr ip) const {
+    return front_ip_set_.contains(ip);
+  }
+
+  /// A random provider front IP (attackers occasionally aim straight at
+  /// protection infrastructure — the paper's DOSarrest mega-target).
+  net::Ipv4Addr sample_dps_front_ip(Rng& rng) const;
+
+  /// A provider's reverse-proxy front IP. Flagship fronts are the handful
+  /// of high-profile shared IPs where bulk (preexisting) customer bases
+  /// concentrate — the paper's DOSarrest-style mega co-hosting groups, and
+  /// the fronts attackers actually aim at. Non-flagship fronts are the long
+  /// tail that individual (migrating) customers land on.
+  net::Ipv4Addr provider_front_ip(dps::ProviderId provider, Rng& rng,
+                                  bool flagship = false) const;
+
+  /// The protected-site DNS record for a domain on `provider`.
+  dns::WebsiteRecord protected_record(dns::DomainId domain,
+                                      dps::ProviderId provider, Rng& rng,
+                                      bool flagship = false);
+
+  /// Chooses a provider for a new customer, weighted by the Table-3 market
+  /// shares.
+  dps::ProviderId sample_provider(Rng& rng) const;
+
+  /// Per-domain count of .com/.net/.org registrations (Table 2 scale).
+  std::uint64_t domains_in_tld(const std::string& tld) const;
+
+ private:
+  void build_hosters(Rng& rng, const Population& population);
+  void register_domains(Rng& rng, const HostingConfig& config);
+
+  const Population& population_;
+  const dps::ProviderRegistry& providers_;
+  dns::NameTable& names_;
+  dns::SnapshotStore& store_;
+  HostingConfig config_;
+
+  std::vector<Hoster> hosters_;
+  std::vector<SiteInfo> sites_;
+  std::unordered_map<net::Ipv4Addr, int> ip_to_hoster_;
+  std::unordered_map<net::Ipv4Addr, std::vector<dns::DomainId>> origin_index_;
+  std::unordered_map<net::Ipv4Addr, std::vector<dns::DomainId>> mail_index_;
+  std::vector<net::Ipv4Addr> attackable_ips_;
+  AliasTable ip_attack_sampler_;
+  AliasTable provider_sampler_;
+  std::vector<std::vector<net::Ipv4Addr>> provider_fronts_;
+  std::unordered_set<net::Ipv4Addr> front_ip_set_;
+  std::uint64_t tld_counts_[3] = {0, 0, 0};  // com, net, org
+};
+
+}  // namespace dosm::sim

@@ -1,0 +1,116 @@
+// The DPS-migration behaviour model.
+//
+// Site owners (and hosters, wholesale) decide to outsource protection after
+// ground-truth attacks; the urgency — and hence the migration delay — grows
+// with attack intensity, reproducing the §6 findings: repetition does not
+// drive migration, intensity accelerates it sharply, and long-duration
+// attacks alone are not decisive. Spontaneous (attack-independent) adoption
+// runs in the background at the paper's ~3.3% rate. All decisions are
+// applied to the SnapshotStore as DNS record changes; the analysis side
+// re-detects them through the DPS classifier, never from ground truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dns/snapshot.h"
+#include "sim/attacker.h"
+#include "sim/hosting.h"
+
+namespace dosm::sim {
+
+struct MigrationConfig {
+  /// Per-trigger migration probability for an individual site at baseline
+  /// intensity, before the 1/co-hosting damping (so an attacked self-hosted
+  /// site migrates with roughly this probability; a site sharing its IP
+  /// with n others at ~1/n of it).
+  double site_base_probability = 0.17;
+  /// Per-attack probability that a hoster makes a wholesale migration
+  /// decision for its whole customer base (the Wix -> Incapsula case).
+  /// Hosting IPs absorb tens of thousands of attacks over two years, so the
+  /// per-attack probability must be tiny for wholesale moves to stay the
+  /// handful of events the paper observes.
+  double hoster_base_probability = 0.00012;
+  /// Multiplier applied at the top of the intensity scale; probability
+  /// interpolates with the attack's intensity percentile rank.
+  double intensity_probability_boost = 6.0;
+
+  /// Urgent migrations (delay 0-1 days) happen with probability p_urgent =
+  /// urgent_base + urgent_gain * rank^urgent_power (rank = intensity
+  /// percentile in [0,1]); otherwise the delay is lognormal around a week
+  /// with a months-long tail (the eNom case).
+  double urgent_base = 0.08;
+  double urgent_gain = 0.78;
+  double urgent_power = 45.0;
+  double slow_delay_mu = 2.8;     // ln(days); median ~16 days
+  double slow_delay_sigma = 1.0;
+
+  /// IPs co-hosting at least this many sites are "colossal" infrastructure
+  /// (Google/Amazon-class in the paper): their operators run in-house
+  /// mitigation and never flee to a third-party DPS, so wholesale hoster
+  /// migrations skip them (the paper counts such sites as non-migrating).
+  std::size_t max_wholesale_cohost = 200;
+
+  /// Attacks below this ground-truth intensity percentile never trigger
+  /// migration: a trickle the victim barely notices (and that the telescope
+  /// mostly cannot detect either) does not send anyone shopping for a DPS.
+  /// Keeping this near the detectability knee also keeps the
+  /// "migrated-but-no-attack-observed" population at the paper's scale.
+  double min_trigger_rank = 0.86;
+
+  /// Attacks shorter than this never trigger migration — nobody outsources
+  /// protection over a sub-two-minute blip. (Also aligns triggers with the
+  /// detector's 60 s observed-duration floor, keeping hidden-trigger
+  /// migrations rare.)
+  double min_trigger_duration_s = 120.0;
+
+  /// Owners react to their *first* attacks or not at all: after this many
+  /// attack exposures without migrating, a site is considered habituated
+  /// and stops rolling the dice. This produces the paper's Figure-9
+  /// finding that migrating sites are NOT the repeatedly-attacked ones.
+  int habituation_exposures = 3;
+
+  /// Fraction of independently-operated (self-hosted / micro-shared)
+  /// domains spontaneously adopting a DPS over the window (calibrated so
+  /// unattacked-migrating lands at the paper's 3.32%).
+  double spontaneous_fraction = 0.035;
+};
+
+/// One applied migration (for inspection/tests).
+struct MigrationRecord {
+  dns::DomainId domain = 0;
+  int decision_day = 0;   // attack day (or spontaneous day)
+  int migration_day = 0;  // day the DNS change lands
+  dps::ProviderId provider = dps::kNoProvider;
+  bool attack_driven = false;
+  bool hoster_wide = false;
+};
+
+class MigrationModel {
+ public:
+  MigrationModel(std::uint64_t seed, HostingEcosystem& hosting,
+                 dns::SnapshotStore& store, StudyWindow window,
+                 MigrationConfig config = {});
+
+  /// Processes the (time-sorted) ground truth and applies all DNS changes.
+  /// Returns the applied migrations, ascending by migration day.
+  std::vector<MigrationRecord> apply(
+      std::span<const GroundTruthAttack> attacks);
+
+ private:
+  double intensity_rank(const GroundTruthAttack& attack) const;
+  int sample_delay(double rank);
+
+  Rng rng_;
+  HostingEcosystem& hosting_;
+  dns::SnapshotStore& store_;
+  StudyWindow window_;
+  MigrationConfig config_;
+  std::vector<double> direct_intensities_;      // sorted, for rank lookup
+  std::vector<double> reflection_intensities_;  // sorted
+  std::vector<double> durations_;               // sorted, both kinds
+};
+
+}  // namespace dosm::sim

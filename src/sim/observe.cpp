@@ -1,0 +1,114 @@
+#include "sim/observe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dosm::sim {
+
+std::optional<telescope::TelescopeEvent> observe_telescope(
+    const GroundTruthAttack& attack, Rng& rng,
+    const ObservationConfig& config) {
+  if (attack.kind != AttackKind::kDirect) return std::nullopt;
+  const double rate =
+      attack.victim_pps * attack.response_rate * config.telescope_coverage;
+  if (rate <= 0.0 || attack.duration_s <= 0.0) return std::nullopt;
+
+  const double expected = rate * attack.duration_s;
+  const std::uint64_t packets = rng.poisson(expected);
+  const auto& thresholds = config.telescope_thresholds;
+  if (packets < thresholds.min_packets) return std::nullopt;
+
+  // Observed span: first/last backscatter packet of a Poisson process over
+  // the true span; the expected clipping is duration/(n+1) at both ends.
+  const double clip =
+      attack.duration_s / (static_cast<double>(packets) + 1.0);
+  const double observed_duration =
+      std::max(0.0, attack.duration_s - clip * (1.0 + rng.uniform()));
+  if (observed_duration < thresholds.min_duration_s) return std::nullopt;
+
+  // Moore's intensity statistic: max packets/sec over one-minute buckets.
+  // Sample per-minute Poisson counts (bounded number of draws; for very
+  // long attacks the max of k Poisson draws stabilizes quickly).
+  const double per_minute = rate * 60.0;
+  const int minutes =
+      std::max(1, static_cast<int>(attack.duration_s / 60.0));
+  const int draws = std::min(minutes, 240);
+  std::uint64_t max_count = 0;
+  for (int i = 0; i < draws; ++i)
+    max_count = std::max(max_count, rng.poisson(per_minute));
+  const double max_pps = static_cast<double>(max_count) / 60.0;
+  if (max_pps < thresholds.min_max_pps) return std::nullopt;
+
+  telescope::TelescopeEvent event;
+  event.victim = attack.target;
+  event.start = attack.start + clip * rng.uniform();
+  event.end = event.start + observed_duration;
+  event.packets = packets;
+  event.bytes = packets * 46;  // representative mean backscatter size
+  // Uniform random spoofing: nearly all sampled sources are distinct until
+  // the tracker saturates (matching FlowTable's 4096 cap).
+  event.unique_sources =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(packets, 4096));
+  event.num_ports = static_cast<std::uint16_t>(attack.ports.size());
+  event.top_port = attack.ports.empty() ? 0 : attack.ports.front();
+  event.attack_proto = attack.ip_proto;
+  event.max_pps = max_pps;
+  return event;
+}
+
+std::optional<amppot::AmpPotEvent> observe_amppot(
+    const GroundTruthAttack& attack, Rng& rng,
+    const ObservationConfig& config) {
+  if (attack.kind != AttackKind::kReflection) return std::nullopt;
+  if (attack.honeypots_hit <= 0 || attack.per_reflector_rps <= 0.0)
+    return std::nullopt;
+
+  // The consolidator caps per-honeypot sessions at 24 h.
+  const double effective_duration =
+      std::min(attack.duration_s, config.amppot_config.max_duration_s);
+  const double expected_per_honeypot =
+      attack.per_reflector_rps * effective_duration;
+
+  // A honeypot produces an event only when its request count exceeds the
+  // threshold; the fleet-level event merges the qualifying honeypots.
+  std::uint64_t total_requests = 0;
+  std::uint32_t qualifying = 0;
+  for (int h = 0; h < attack.honeypots_hit; ++h) {
+    const std::uint64_t requests = rng.poisson(expected_per_honeypot);
+    if (requests > config.amppot_config.min_requests) {
+      total_requests += requests;
+      ++qualifying;
+    }
+  }
+  if (qualifying == 0) return std::nullopt;
+
+  const double mean_requests =
+      static_cast<double>(total_requests) / static_cast<double>(qualifying);
+  const double clip = effective_duration / (mean_requests + 1.0);
+
+  amppot::AmpPotEvent event;
+  event.victim = attack.target;
+  event.protocol = attack.reflector;
+  event.start = attack.start + clip * rng.uniform();
+  event.end = event.start + std::max(0.0, effective_duration - 2.0 * clip);
+  event.requests = total_requests;
+  event.honeypots = qualifying;
+  return event;
+}
+
+ObservedEvents observe_all(std::span<const GroundTruthAttack> attacks, Rng& rng,
+                           const ObservationConfig& config) {
+  ObservedEvents out;
+  for (const auto& attack : attacks) {
+    if (attack.kind == AttackKind::kDirect) {
+      if (auto event = observe_telescope(attack, rng, config))
+        out.telescope.push_back(*event);
+    } else {
+      if (auto event = observe_amppot(attack, rng, config))
+        out.honeypot.push_back(*event);
+    }
+  }
+  return out;
+}
+
+}  // namespace dosm::sim

@@ -1,0 +1,53 @@
+// Analytic observation: projecting ground-truth attacks into the events the
+// two detectors would emit.
+//
+// This is the macroscopic (event-level) tier of the two-tier design: instead
+// of synthesizing every packet over two years, the expected measurement of
+// each attack is sampled directly — Poisson backscatter counts at 1/256
+// telescope coverage, per-minute maxima for the Moore max-pps statistic,
+// per-honeypot Poisson request counts with the 100-request threshold and the
+// 24 h cap. The packet-level tier (telescope::TelescopeSynthesizer,
+// amppot::HoneypotFleet) exercises the identical detection logic on real
+// bytes; the ablation bench compares the two on shared ground truth.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "amppot/consolidator.h"
+#include "common/rng.h"
+#include "sim/attacker.h"
+#include "telescope/flow_table.h"
+
+namespace dosm::sim {
+
+struct ObservationConfig {
+  telescope::ClassifierThresholds telescope_thresholds{};
+  amppot::ConsolidatorConfig amppot_config{};
+  /// Telescope coverage of the IPv4 space (1/256 for the UCSD /8).
+  double telescope_coverage = 1.0 / 256.0;
+};
+
+/// What the telescope pipeline would report for a direct attack, or nullopt
+/// when the attack falls below the Moore thresholds (or is a reflection
+/// attack, invisible to the telescope).
+std::optional<telescope::TelescopeEvent> observe_telescope(
+    const GroundTruthAttack& attack, Rng& rng,
+    const ObservationConfig& config = {});
+
+/// What the AmpPot fleet would report for a reflection attack, or nullopt
+/// when no honeypot sees enough requests (or it is a direct attack).
+std::optional<amppot::AmpPotEvent> observe_amppot(
+    const GroundTruthAttack& attack, Rng& rng,
+    const ObservationConfig& config = {});
+
+/// Batch observation over a whole ground-truth history.
+struct ObservedEvents {
+  std::vector<telescope::TelescopeEvent> telescope;
+  std::vector<amppot::AmpPotEvent> honeypot;
+};
+
+ObservedEvents observe_all(std::span<const GroundTruthAttack> attacks, Rng& rng,
+                           const ObservationConfig& config = {});
+
+}  // namespace dosm::sim

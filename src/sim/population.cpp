@@ -1,0 +1,151 @@
+#include "sim/population.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosm::sim {
+
+std::vector<CountryWeight> default_country_weights() {
+  // Target-population mix shaped on Table 4 (telescope/honeypot blend).
+  // Japan is deliberately small (the paper's notable exception); France and
+  // Russia deliberately large relative to address-space usage.
+  return {
+      {"US", 0.27}, {"CN", 0.102}, {"FR", 0.064}, {"RU", 0.050}, {"DE", 0.047},
+      {"GB", 0.047}, {"NL", 0.030}, {"CA", 0.028}, {"BR", 0.026}, {"KR", 0.022},
+      {"IT", 0.020}, {"ES", 0.017}, {"TR", 0.016}, {"PL", 0.015}, {"UA", 0.014},
+      {"SE", 0.013}, {"AU", 0.013}, {"VN", 0.013}, {"IN", 0.012}, {"MX", 0.011},
+      {"AR", 0.010}, {"RO", 0.010}, {"JP", 0.009}, {"ZA", 0.008}, {"TH", 0.008},
+      {"ID", 0.008}, {"CZ", 0.008}, {"PT", 0.007}, {"GR", 0.007}, {"BE", 0.007},
+      {"CH", 0.007}, {"AT", 0.006}, {"DK", 0.006}, {"NO", 0.006}, {"FI", 0.006},
+      {"HK", 0.006}, {"SG", 0.005}, {"TW", 0.005}, {"MY", 0.005}, {"CL", 0.005},
+      {"CO", 0.005}, {"PE", 0.004}, {"IL", 0.004}, {"IE", 0.004}, {"HU", 0.004},
+      {"BG", 0.004}, {"SK", 0.003}, {"LT", 0.003}, {"EG", 0.003}, {"SA", 0.003},
+  };
+}
+
+namespace {
+
+/// Organizations the paper names, with their real-world ASNs where the
+/// paper cites them (OVH AS12276, China Telecom AS4134, China Unicom
+/// AS4837) and representative ASNs otherwise.
+std::vector<PinnedOrg> pinned_orgs() {
+  return {
+      {"OVH", 12276, meta::CountryCode("FR"), 18},
+      {"China Telecom", 4134, meta::CountryCode("CN"), 40},
+      {"China Unicom", 4837, meta::CountryCode("CN"), 26},
+      {"GoDaddy", 26496, meta::CountryCode("US"), 12},
+      {"Google Cloud", 15169, meta::CountryCode("US"), 24},
+      {"Amazon AWS", 16509, meta::CountryCode("US"), 30},
+      {"Automattic", 2635, meta::CountryCode("US"), 2},
+      {"Wix", 58182, meta::CountryCode("US"), 2},
+      {"Squarespace", 53831, meta::CountryCode("US"), 2},
+      {"eNom", 21740, meta::CountryCode("US"), 2},
+      {"EIG", 46606, meta::CountryCode("US"), 6},
+      {"Network Solutions", 19871, meta::CountryCode("US"), 4},
+      {"Gandi", 29169, meta::CountryCode("FR"), 2},
+      {"Steam Hosting", 32590, meta::CountryCode("US"), 4},
+  };
+}
+
+}  // namespace
+
+Population::Population(Rng& rng, const PopulationConfig& config) {
+  allocate(rng, config);
+}
+
+net::Prefix Population::next_block() {
+  // Blocks march through 64.0.0.0 upward in /16 steps; this range never
+  // collides with the telescope (/8 at 44.0.0.0), the DPS space (203.0.0.0),
+  // or the honeypot addresses (198.51.0.0/16).
+  const int i = next_block_index_++;
+  const auto a = static_cast<std::uint8_t>(64 + i / 256);
+  const auto b = static_cast<std::uint8_t>(i % 256);
+  if (a >= 198)
+    throw std::length_error("Population: address space exhausted");
+  return net::Prefix(net::Ipv4Addr(a, b, 0, 0), 16);
+}
+
+void Population::allocate(Rng& rng, const PopulationConfig& config) {
+  const auto countries = default_country_weights();
+  double total_weight = 0.0;
+  for (const auto& c : countries) total_weight += c.weight;
+
+  // Pinned organizations first (fixed ASNs and block counts).
+  for (const auto& org : pinned_orgs()) {
+    AsEntry entry;
+    entry.asn = org.asn;
+    entry.country = org.country;
+    for (int b = 0; b < org.slash16_blocks; ++b)
+      entry.blocks.push_back(next_block());
+    as_registry_.register_as(org.asn, org.name);
+    pinned_.emplace_back(org.name, ases_.size());
+    ases_.push_back(std::move(entry));
+  }
+
+  // Generic ASes per country, block counts Zipf-ish within the country.
+  meta::Asn next_asn = 100000;  // synthetic range, clear of pinned ASNs
+  for (const auto& c : countries) {
+    const double share = c.weight / total_weight;
+    const int blocks_for_country =
+        std::max(1, static_cast<int>(share * config.total_slash16));
+    const int num_ases = std::max(
+        1, static_cast<int>(std::round(config.base_ases_per_country *
+                                       (0.5 + 4.0 * share / 0.27))));
+    // Split blocks over ASes with a geometric decay (big eyeball AS first).
+    std::vector<int> per_as(static_cast<std::size_t>(num_ases), 0);
+    int remaining = blocks_for_country;
+    std::size_t i = 0;
+    while (remaining > 0) {
+      const int give = std::max(1, remaining / 3);
+      per_as[i % per_as.size()] += give;
+      remaining -= give;
+      ++i;
+    }
+    for (int a = 0; a < num_ases; ++a) {
+      if (per_as[static_cast<std::size_t>(a)] == 0) continue;
+      AsEntry entry;
+      entry.asn = next_asn++;
+      entry.country = meta::CountryCode(c.code);
+      for (int b = 0; b < per_as[static_cast<std::size_t>(a)]; ++b)
+        entry.blocks.push_back(next_block());
+      ases_.push_back(std::move(entry));
+    }
+  }
+
+  // Databases + sampler weights (announced space, with mild per-AS jitter
+  // so activity is not perfectly proportional to allocation).
+  std::vector<double> weights;
+  weights.reserve(ases_.size());
+  for (const auto& entry : ases_) {
+    for (const auto& block : entry.blocks) {
+      geo_.add(block, entry.country);
+      pfx2as_.announce(block, entry.asn);
+    }
+    weights.push_back(static_cast<double>(entry.blocks.size()) *
+                      rng.uniform(0.6, 1.4));
+  }
+  as_sampler_ = AliasTable(weights);
+}
+
+net::Ipv4Addr Population::sample_address(Rng& rng) const {
+  const auto& entry = ases_[as_sampler_.sample(rng)];
+  const auto& block = entry.blocks[rng.next_below(entry.blocks.size())];
+  return block.address_at(rng.next_below(block.num_addresses()));
+}
+
+net::Ipv4Addr Population::sample_address_in_as(meta::Asn asn, Rng& rng) const {
+  for (const auto& entry : ases_) {
+    if (entry.asn != asn) continue;
+    const auto& block = entry.blocks[rng.next_below(entry.blocks.size())];
+    return block.address_at(rng.next_below(block.num_addresses()));
+  }
+  throw std::out_of_range("Population::sample_address_in_as: unknown ASN");
+}
+
+meta::Asn Population::asn_of(const std::string& org) const {
+  for (const auto& [name, index] : pinned_)
+    if (name == org) return ases_[index].asn;
+  throw std::out_of_range("Population::asn_of: unknown organization " + org);
+}
+
+}  // namespace dosm::sim

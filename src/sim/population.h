@@ -1,0 +1,86 @@
+// The simulated Internet population: countries, autonomous systems, and
+// announced address space.
+//
+// Address space is allocated in /16 blocks to ASes; each AS belongs to a
+// country. Country weights follow the paper's observed target mix (Table 4)
+// including its deviations from raw address-space usage: France is inflated
+// by OVH, Russia ranks high, Japan ranks low. Well-known organizations the
+// paper names (OVH AS12276, China Telecom AS4134, GoDaddy, Google, Amazon,
+// ...) are pinned to fixed ASNs so downstream case-study analyses can refer
+// to them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "meta/geo.h"
+#include "meta/pfx2as.h"
+#include "net/ipv4.h"
+
+namespace dosm::sim {
+
+struct PopulationConfig {
+  /// Total /16 blocks to allocate across all countries.
+  int total_slash16 = 3000;
+  /// Average ASes per country (scaled by country weight).
+  int base_ases_per_country = 12;
+};
+
+/// A well-known organization pinned in the population.
+struct PinnedOrg {
+  std::string name;
+  meta::Asn asn;
+  meta::CountryCode country;
+  int slash16_blocks;
+};
+
+class Population {
+ public:
+  Population(Rng& rng, const PopulationConfig& config = {});
+
+  /// Samples an address from the general population (country/AS weighted).
+  net::Ipv4Addr sample_address(Rng& rng) const;
+
+  /// Samples an address announced by a specific AS (must exist).
+  net::Ipv4Addr sample_address_in_as(meta::Asn asn, Rng& rng) const;
+
+  /// Geo and routing databases describing the allocation.
+  const meta::GeoDatabase& geo() const { return geo_; }
+  const meta::PrefixToAsMap& pfx2as() const { return pfx2as_; }
+  const meta::AsRegistry& as_registry() const { return as_registry_; }
+
+  /// ASN for a pinned organization; throws std::out_of_range if unknown.
+  meta::Asn asn_of(const std::string& org) const;
+
+  std::size_t num_ases() const { return ases_.size(); }
+
+ private:
+  struct AsEntry {
+    meta::Asn asn;
+    meta::CountryCode country;
+    std::vector<net::Prefix> blocks;  // /16s
+  };
+
+  void allocate(Rng& rng, const PopulationConfig& config);
+  net::Prefix next_block();
+
+  std::vector<AsEntry> ases_;
+  AliasTable as_sampler_;  // weighted by announced space
+  std::vector<std::pair<std::string, std::size_t>> pinned_;  // name -> index
+  meta::GeoDatabase geo_;
+  meta::PrefixToAsMap pfx2as_;
+  meta::AsRegistry as_registry_;
+  int next_block_index_ = 0;
+};
+
+/// The country mix used by the default population (code, weight); exposed
+/// for tests and the Table-4 bench.
+struct CountryWeight {
+  const char* code;
+  double weight;
+};
+std::vector<CountryWeight> default_country_weights();
+
+}  // namespace dosm::sim

@@ -1,0 +1,82 @@
+// Detector validation against simulator ground truth.
+//
+// The real paper cannot score its detectors (no ground truth exists); the
+// simulation can, and DESIGN.md commits to using ground truth only for
+// scoring, never inside analyses. This module quantifies:
+//   - telescope recall by ground-truth intensity decade (the Moore
+//     thresholds deliberately trade recall for precision),
+//   - honeypot recall (near-total for attacks above the request threshold),
+//   - detected-event attribute fidelity (duration / intensity error),
+//   - DPS migration detection recall (DNS-visible changes re-found by the
+//     classifier).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dps/classifier.h"
+#include "sim/scenario.h"
+
+namespace dosm::sim {
+
+/// Recall within one ground-truth intensity bucket.
+struct RecallBucket {
+  double lo = 0.0;  // bucket bounds on the ground-truth metric
+  double hi = 0.0;
+  std::uint64_t attacks = 0;
+  std::uint64_t detected = 0;
+
+  double recall() const {
+    return attacks ? static_cast<double>(detected) / static_cast<double>(attacks)
+                   : 0.0;
+  }
+};
+
+struct DetectorValidation {
+  /// Telescope recall bucketed by ground-truth backscatter rate at the
+  /// telescope (victim_pps / 256), decade bounds.
+  std::vector<RecallBucket> telescope_by_intensity;
+  /// Honeypot recall bucketed by per-reflector request rate.
+  std::vector<RecallBucket> honeypot_by_intensity;
+
+  std::uint64_t direct_attacks = 0;
+  std::uint64_t direct_detected = 0;
+  std::uint64_t reflection_attacks = 0;
+  std::uint64_t reflection_detected = 0;
+
+  /// Median relative error of detected durations and intensities vs truth
+  /// (unambiguously matched by target + dominant time overlap).
+  double duration_relative_error = 0.0;
+  double intensity_relative_error = 0.0;
+  std::uint64_t matched_events = 0;
+
+  double direct_recall() const {
+    return direct_attacks ? double(direct_detected) / double(direct_attacks) : 0.0;
+  }
+  double reflection_recall() const {
+    return reflection_attacks
+               ? double(reflection_detected) / double(reflection_attacks)
+               : 0.0;
+  }
+};
+
+/// Scores the detectors of a built world against its ground truth.
+DetectorValidation validate_detectors(const World& world);
+
+/// Migration-detection scoring: of the ground-truth migrations the
+/// simulator applied, how many does the DNS-side classifier re-find (and
+/// date correctly)?
+struct MigrationValidation {
+  std::uint64_t ground_truth = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t date_exact = 0;  // detected with the exact migration day
+
+  double recall() const {
+    return ground_truth ? double(detected) / double(ground_truth) : 0.0;
+  }
+};
+
+MigrationValidation validate_migration_detection(const World& world);
+
+}  // namespace dosm::sim

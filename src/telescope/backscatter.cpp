@@ -1,0 +1,81 @@
+#include "telescope/backscatter.h"
+
+namespace dosm::telescope {
+
+using net::IcmpType;
+using net::IpProto;
+
+namespace {
+
+bool is_response_icmp(std::uint8_t type) {
+  switch (static_cast<IcmpType>(type)) {
+    case IcmpType::kEchoReply:
+    case IcmpType::kDestUnreachable:
+    case IcmpType::kSourceQuench:
+    case IcmpType::kRedirect:
+    case IcmpType::kTimeExceeded:
+    case IcmpType::kParameterProblem:
+    case IcmpType::kTimestampReply:
+    case IcmpType::kInfoReply:
+    case IcmpType::kAddressMaskReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_icmp_error(std::uint8_t type) {
+  switch (static_cast<IcmpType>(type)) {
+    case IcmpType::kDestUnreachable:
+    case IcmpType::kSourceQuench:
+    case IcmpType::kRedirect:
+    case IcmpType::kTimeExceeded:
+    case IcmpType::kParameterProblem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool is_backscatter(const net::PacketRecord& rec) {
+  if (rec.is_tcp()) {
+    const bool syn_ack = (rec.tcp_flags & net::tcp_flags::kSyn) &&
+                         (rec.tcp_flags & net::tcp_flags::kAck);
+    const bool rst = rec.tcp_flags & net::tcp_flags::kRst;
+    return syn_ack || rst;
+  }
+  if (rec.is_icmp()) return is_response_icmp(rec.icmp_type);
+  return false;
+}
+
+BackscatterInfo classify_backscatter(const net::PacketRecord& rec) {
+  BackscatterInfo info;
+  info.victim = rec.src;
+  if (rec.is_tcp()) {
+    info.attack_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+    // The victim replies *from* the attacked port.
+    info.victim_port = rec.src_port;
+    info.has_port = true;
+    return info;
+  }
+  // ICMP backscatter.
+  if (is_icmp_error(rec.icmp_type) && rec.has_quoted) {
+    // ICMP error messages quote the original (attack) datagram; the paper
+    // registers the quoted packet's protocol (§4, Table 5). The quoted
+    // destination is the true victim and its port the attacked port.
+    info.attack_proto = rec.quoted_proto;
+    info.victim = rec.quoted_dst;
+    if (rec.quoted_dst_port != 0) {
+      info.victim_port = rec.quoted_dst_port;
+      info.has_port = true;
+    }
+    return info;
+  }
+  // Echo/timestamp/info/mask replies: an ICMP flood (e.g. ping flood).
+  info.attack_proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  return info;
+}
+
+}  // namespace dosm::telescope

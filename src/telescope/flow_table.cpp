@@ -1,0 +1,127 @@
+#include "telescope/flow_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dosm::telescope {
+
+bool passes_thresholds(const TelescopeEvent& event,
+                       const ClassifierThresholds& thresholds) {
+  if (event.packets < thresholds.min_packets) return false;
+  if (event.duration() < thresholds.min_duration_s) return false;
+  // max_pps is per one-minute bucket; the threshold (0.5 pps at the
+  // telescope = ~128 pps at the victim after the x256 correction) is
+  // expressed in packets/sec.
+  if (event.max_pps < thresholds.min_max_pps) return false;
+  return true;
+}
+
+FlowTable::FlowTable(FlowCallback on_flow, double flow_timeout_s)
+    : on_flow_(std::move(on_flow)), flow_timeout_s_(flow_timeout_s) {}
+
+void FlowTable::add(double ts, const BackscatterInfo& info, std::uint16_t ip_len,
+                    net::Ipv4Addr telescope_dst) {
+  sweep(ts);
+  Flow& flow = flows_[info.victim];
+  if (flow.packets == 0) flow.first_ts = ts;
+  flow.last_ts = std::max(flow.last_ts, ts);
+  ++flow.packets;
+  flow.bytes += ip_len;
+  if (!flow.sources_saturated) {
+    flow.sources.insert(telescope_dst.value());
+    if (flow.sources.size() >= kMaxTrackedSources) flow.sources_saturated = true;
+  }
+  if (info.has_port && flow.ports.size() < kMaxTrackedPorts)
+    ++flow.ports[info.victim_port];
+  ++flow.proto_votes[info.attack_proto];
+
+  const auto minute = static_cast<std::int64_t>(std::floor(ts / 60.0));
+  if (minute != flow.current_minute) {
+    flow.max_per_minute = std::max(flow.max_per_minute, flow.count_in_minute);
+    flow.current_minute = minute;
+    flow.count_in_minute = 0;
+  }
+  ++flow.count_in_minute;
+}
+
+void FlowTable::advance(double now) { sweep(now); }
+
+void FlowTable::sweep(double now) {
+  // Sweep at most once per 60 simulated seconds; packets arrive in
+  // non-decreasing time order so lazy expiry is exact to within the sweep
+  // granularity (and exact at flush()).
+  if (now - last_sweep_ < 60.0) return;
+  last_sweep_ = now;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_ts > flow_timeout_s_) {
+      on_flow_(finalize(it->first, it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowTable::flush() {
+  for (const auto& [victim, flow] : flows_) on_flow_(finalize(victim, flow));
+  flows_.clear();
+}
+
+TelescopeEvent FlowTable::finalize(net::Ipv4Addr victim, const Flow& flow) const {
+  TelescopeEvent event;
+  event.victim = victim;
+  event.start = flow.first_ts;
+  event.end = flow.last_ts;
+  event.packets = flow.packets;
+  event.bytes = flow.bytes;
+  event.unique_sources = static_cast<std::uint32_t>(flow.sources.size());
+  event.num_ports = static_cast<std::uint16_t>(flow.ports.size());
+  std::uint32_t best = 0;
+  for (const auto& [port, count] : flow.ports) {
+    if (count > best) {
+      best = count;
+      event.top_port = port;
+    }
+  }
+  std::uint64_t best_votes = 0;
+  for (const auto& [proto, votes] : flow.proto_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      event.attack_proto = proto;
+    }
+  }
+  const std::uint64_t max_minute =
+      std::max(flow.max_per_minute, flow.count_in_minute);
+  event.max_pps = static_cast<double>(max_minute) / 60.0;
+  return event;
+}
+
+BackscatterDetector::BackscatterDetector(EventCallback on_event,
+                                         ClassifierThresholds thresholds,
+                                         double flow_timeout_s)
+    : on_event_(std::move(on_event)),
+      thresholds_(thresholds),
+      flows_(
+          [this](const TelescopeEvent& event) {
+            if (passes_thresholds(event, thresholds_)) {
+              ++events_emitted_;
+              on_event_(event);
+            } else {
+              ++flows_filtered_;
+            }
+          },
+          flow_timeout_s) {}
+
+void BackscatterDetector::on_packet(const net::PacketRecord& rec) {
+  ++packets_seen_;
+  if (!is_backscatter(rec)) {
+    flows_.advance(rec.timestamp());
+    return;
+  }
+  ++backscatter_packets_;
+  flows_.add(rec.timestamp(), classify_backscatter(rec), rec.ip_len, rec.dst);
+}
+
+void BackscatterDetector::finish() { flows_.flush(); }
+
+}  // namespace dosm::telescope

@@ -1,0 +1,64 @@
+#include "telescope/flowtuple.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dosm::telescope {
+
+FlowTuplePlugin::FlowTuplePlugin(IntervalCallback on_interval, int interval_s,
+                                 std::size_t top_n)
+    : on_interval_(std::move(on_interval)),
+      interval_s_(interval_s > 0 ? interval_s : 60),
+      top_n_(top_n) {}
+
+void FlowTuplePlugin::on_packet(const net::PacketRecord& rec) {
+  const UnixSeconds interval =
+      rec.ts_sec - (rec.ts_sec % interval_s_);
+  if (current_interval_ >= 0 && interval != current_interval_) close_interval();
+  current_interval_ = interval;
+
+  FlowTupleKey key;
+  key.src = rec.src.value();
+  key.dst = rec.dst.value();
+  key.src_port = rec.src_port;
+  key.dst_port = rec.dst_port;
+  key.proto = rec.proto;
+  key.ttl = rec.ttl;
+  key.tcp_flags = rec.tcp_flags;
+  key.ip_len = rec.ip_len;
+  ++tuples_[key];
+  ++total_packets_;
+}
+
+void FlowTuplePlugin::on_end() {
+  if (current_interval_ >= 0) close_interval();
+  current_interval_ = -1;
+}
+
+void FlowTuplePlugin::close_interval() {
+  FlowTupleInterval interval;
+  interval.start = current_interval_;
+  interval.unique_tuples = tuples_.size();
+  std::unordered_set<std::uint32_t> sources;
+  std::vector<std::pair<FlowTupleKey, std::uint64_t>> ranked;
+  ranked.reserve(tuples_.size());
+  for (const auto& [key, count] : tuples_) {
+    interval.packets += count;
+    sources.insert(key.src);
+    ranked.emplace_back(key, count);
+  }
+  interval.unique_sources = sources.size();
+  const std::size_t keep = std::min(top_n_, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  ranked.resize(keep);
+  interval.top_tuples = std::move(ranked);
+
+  if (on_interval_) on_interval_(interval);
+  intervals_.push_back(std::move(interval));
+  tuples_.clear();
+}
+
+}  // namespace dosm::telescope

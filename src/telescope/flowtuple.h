@@ -1,0 +1,90 @@
+// FlowTuple aggregation — Corsaro's signature telescope plugin.
+//
+// Corsaro's flowtuple plugin condenses darknet traffic into per-interval
+// counts keyed by the classic 8-field tuple (src, dst, sport, dport, proto,
+// ttl, tcp-flags, ip-len). The RS-DoS detector answers "which attacks",
+// flowtuple answers "what does the traffic look like" — the two run side by
+// side in the same pipeline, as in the real deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "telescope/pipeline.h"
+
+namespace dosm::telescope {
+
+/// The classic Corsaro flowtuple key.
+struct FlowTupleKey {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint16_t ip_len = 0;
+
+  bool operator==(const FlowTupleKey&) const = default;
+};
+
+struct FlowTupleKeyHash {
+  std::size_t operator()(const FlowTupleKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(k.src);
+    mix(k.dst);
+    mix((std::uint64_t{k.src_port} << 16) | k.dst_port);
+    mix((std::uint64_t{k.proto} << 16) | (std::uint64_t{k.ttl} << 8) |
+        k.tcp_flags);
+    mix(k.ip_len);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One completed aggregation interval.
+struct FlowTupleInterval {
+  UnixSeconds start = 0;  // interval-aligned start time
+  std::uint64_t packets = 0;
+  std::uint64_t unique_tuples = 0;
+  std::uint64_t unique_sources = 0;
+  /// The interval's most frequent tuples, descending by count.
+  std::vector<std::pair<FlowTupleKey, std::uint64_t>> top_tuples;
+};
+
+class FlowTuplePlugin : public PacketPlugin {
+ public:
+  using IntervalCallback = std::function<void(const FlowTupleInterval&)>;
+
+  /// `interval_s` is the aggregation window (Corsaro's default is 60 s);
+  /// `top_n` bounds the per-interval top-tuple list.
+  explicit FlowTuplePlugin(IntervalCallback on_interval = {},
+                           int interval_s = 60, std::size_t top_n = 10);
+
+  std::string name() const override { return "flowtuple"; }
+  void on_packet(const net::PacketRecord& rec) override;
+  void on_end() override;
+
+  /// All completed intervals (also delivered via the callback).
+  const std::vector<FlowTupleInterval>& intervals() const { return intervals_; }
+
+  std::uint64_t total_packets() const { return total_packets_; }
+
+ private:
+  void close_interval();
+
+  IntervalCallback on_interval_;
+  int interval_s_;
+  std::size_t top_n_;
+  UnixSeconds current_interval_ = -1;
+  std::unordered_map<FlowTupleKey, std::uint64_t, FlowTupleKeyHash> tuples_;
+  std::vector<FlowTupleInterval> intervals_;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace dosm::telescope

@@ -1,0 +1,49 @@
+#include "telescope/geo_plugin.h"
+
+#include <algorithm>
+
+namespace dosm::telescope {
+
+GeoTaggingPlugin::GeoTaggingPlugin(const meta::GeoDatabase& geo,
+                                   const meta::PrefixToAsMap& pfx2as)
+    : geo_(geo), pfx2as_(pfx2as) {}
+
+void GeoTaggingPlugin::on_packet(const net::PacketRecord& rec) {
+  if (!is_backscatter(rec)) return;
+  const auto victim = classify_backscatter(rec).victim;
+  ++tagged_;
+  ++by_country_[geo_.locate(victim)];
+  const auto asn = pfx2as_.origin(victim);
+  if (asn == meta::kUnknownAsn) {
+    ++unrouted_;
+  } else {
+    ++by_asn_[asn];
+  }
+}
+
+namespace {
+
+template <typename K>
+std::vector<std::pair<K, std::uint64_t>> ranked(
+    const std::map<K, std::uint64_t>& counts) {
+  std::vector<std::pair<K, std::uint64_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<meta::CountryCode, std::uint64_t>>
+GeoTaggingPlugin::country_ranking() const {
+  return ranked(by_country_);
+}
+
+std::vector<std::pair<meta::Asn, std::uint64_t>> GeoTaggingPlugin::asn_ranking()
+    const {
+  return ranked(by_asn_);
+}
+
+}  // namespace dosm::telescope

@@ -1,0 +1,48 @@
+// Geo/ASN tagging plugin — Corsaro's metadata-augmentation stage.
+//
+// The paper annotates every target with country (NetAcuity) and origin AS
+// (Routeviews pfx2as). On the real telescope this tagging runs inside the
+// Corsaro pipeline; this plugin does the same for backscatter victims,
+// accumulating per-country and per-AS packet counts alongside the other
+// plugins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "meta/geo.h"
+#include "meta/pfx2as.h"
+#include "telescope/pipeline.h"
+
+namespace dosm::telescope {
+
+class GeoTaggingPlugin : public PacketPlugin {
+ public:
+  /// References must outlive the plugin.
+  GeoTaggingPlugin(const meta::GeoDatabase& geo,
+                   const meta::PrefixToAsMap& pfx2as);
+
+  std::string name() const override { return "geoasn"; }
+  void on_packet(const net::PacketRecord& rec) override;
+
+  /// Backscatter packets per victim country, descending.
+  std::vector<std::pair<meta::CountryCode, std::uint64_t>> country_ranking()
+      const;
+
+  /// Backscatter packets per victim origin AS, descending.
+  std::vector<std::pair<meta::Asn, std::uint64_t>> asn_ranking() const;
+
+  std::uint64_t tagged_packets() const { return tagged_; }
+  std::uint64_t unrouted_packets() const { return unrouted_; }
+
+ private:
+  const meta::GeoDatabase& geo_;
+  const meta::PrefixToAsMap& pfx2as_;
+  std::map<meta::CountryCode, std::uint64_t> by_country_;
+  std::map<meta::Asn, std::uint64_t> by_asn_;
+  std::uint64_t tagged_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace dosm::telescope

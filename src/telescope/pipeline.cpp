@@ -1,0 +1,43 @@
+#include "telescope/pipeline.h"
+
+namespace dosm::telescope {
+
+void Pipeline::process(const net::PacketRecord& rec) {
+  for (auto& plugin : plugins_) plugin->on_packet(rec);
+}
+
+std::uint64_t Pipeline::replay(net::PcapReader& reader) {
+  std::uint64_t count = 0;
+  while (auto rec = reader.next_packet()) {
+    process(*rec);
+    ++count;
+  }
+  return count;
+}
+
+void Pipeline::replay(const std::vector<net::PacketRecord>& packets) {
+  for (const auto& rec : packets) process(rec);
+}
+
+void Pipeline::finish() {
+  for (auto& plugin : plugins_) plugin->on_end();
+}
+
+RsdosPlugin::RsdosPlugin(ClassifierThresholds thresholds, double flow_timeout_s)
+    : detector_([this](const TelescopeEvent& e) { events_.push_back(e); },
+                thresholds, flow_timeout_s) {}
+
+void RsdosPlugin::on_packet(const net::PacketRecord& rec) {
+  detector_.on_packet(rec);
+}
+
+void RsdosPlugin::on_end() { detector_.finish(); }
+
+void TrafficStatsPlugin::on_packet(const net::PacketRecord& rec) {
+  ++total_;
+  bytes_ += rec.ip_len;
+  ++per_proto_[rec.proto];
+  if (is_backscatter(rec)) ++backscatter_;
+}
+
+}  // namespace dosm::telescope

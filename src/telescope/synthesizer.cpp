@@ -1,0 +1,159 @@
+#include "telescope/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dosm::telescope {
+
+using net::IcmpType;
+using net::IpProto;
+
+TelescopeSynthesizer::TelescopeSynthesizer(std::uint64_t seed,
+                                           net::Prefix telescope)
+    : seed_(seed), telescope_(telescope) {}
+
+double TelescopeSynthesizer::coverage() const {
+  return std::ldexp(1.0, -telescope_.length());
+}
+
+net::Ipv4Addr TelescopeSynthesizer::random_telescope_addr(Rng& rng) const {
+  return telescope_.address_at(rng.next_below(telescope_.num_addresses()));
+}
+
+std::vector<net::PacketRecord> TelescopeSynthesizer::synthesize(
+    std::span<const SpoofedAttackSpec> attacks, double window_start,
+    double window_end, const NoiseConfig& noise) {
+  Rng rng(seed_);
+  std::vector<net::PacketRecord> out;
+  for (const auto& spec : attacks) {
+    Rng attack_rng = rng.fork("attack");
+    emit_attack(spec, window_start, window_end, attack_rng, out);
+  }
+  Rng noise_rng = rng.fork("noise");
+  emit_noise(noise, window_start, window_end, noise_rng, out);
+  std::sort(out.begin(), out.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp() < b.timestamp();
+            });
+  return out;
+}
+
+void TelescopeSynthesizer::emit_attack(const SpoofedAttackSpec& spec,
+                                       double window_start, double window_end,
+                                       Rng& rng,
+                                       std::vector<net::PacketRecord>& out) const {
+  const double begin = std::max(spec.start, window_start);
+  const double end = std::min(spec.start + spec.duration_s, window_end);
+  if (end <= begin || spec.victim_pps <= 0.0) return;
+
+  // Backscatter observed at the telescope is the attack stream thinned by
+  // (response_rate * coverage): a Poisson process.
+  const double rate = spec.victim_pps * spec.response_rate * coverage();
+  if (rate <= 0.0) return;
+
+  double t = begin + rng.exponential(rate);
+  while (t < end) {
+    net::PacketRecord rec;
+    rec.ts_sec = static_cast<UnixSeconds>(std::floor(t));
+    rec.ts_usec =
+        static_cast<std::uint32_t>((t - std::floor(t)) * 1e6);
+    rec.dst = random_telescope_addr(rng);
+    rec.ttl = static_cast<std::uint8_t>(rng.uniform_int(48, 63));
+    const std::uint16_t port =
+        spec.ports.empty()
+            ? 0
+            : spec.ports[rng.next_below(spec.ports.size())];
+
+    if (spec.ip_proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+      // SYN flood backscatter: mostly SYN/ACK, some RST (closed port /
+      // middlebox resets).
+      rec.src = spec.victim;
+      rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+      rec.src_port = port;
+      rec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+      rec.tcp_flags = rng.bernoulli(0.8)
+                          ? (net::tcp_flags::kSyn | net::tcp_flags::kAck)
+                          : (net::tcp_flags::kRst | net::tcp_flags::kAck);
+      rec.ip_len = 40;
+    } else if (spec.ip_proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+      // UDP flood: the victim (or its router) emits ICMP port/destination
+      // unreachable quoting the attack datagram.
+      rec.src = spec.victim;
+      rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+      rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kDestUnreachable);
+      rec.icmp_code = 3;  // port unreachable
+      rec.has_quoted = true;
+      rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+      rec.quoted_src = rec.dst;  // the spoofed source (telescope address)
+      rec.quoted_dst = spec.victim;
+      rec.quoted_src_port =
+          static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+      rec.quoted_dst_port = port;
+      rec.ip_len = 56;
+    } else if (spec.ip_proto == static_cast<std::uint8_t>(IpProto::kIcmp)) {
+      // Ping flood: echo replies.
+      rec.src = spec.victim;
+      rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+      rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kEchoReply);
+      rec.ip_len = 84;
+    } else {
+      // Other protocols (e.g. IGMP floods): protocol-unreachable errors.
+      rec.src = spec.victim;
+      rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+      rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kDestUnreachable);
+      rec.icmp_code = 2;  // protocol unreachable
+      rec.has_quoted = true;
+      rec.quoted_proto = spec.ip_proto;
+      rec.quoted_src = rec.dst;
+      rec.quoted_dst = spec.victim;
+      rec.ip_len = 56;
+    }
+    out.push_back(rec);
+    t += rng.exponential(rate);
+  }
+}
+
+void TelescopeSynthesizer::emit_noise(const NoiseConfig& noise,
+                                      double window_start, double window_end,
+                                      Rng& rng,
+                                      std::vector<net::PacketRecord>& out) const {
+  const double span = window_end - window_start;
+  if (span <= 0.0) return;
+
+  auto emit_process = [&](double pps, auto&& make) {
+    if (pps <= 0.0) return;
+    double t = window_start + rng.exponential(pps);
+    while (t < window_end) {
+      net::PacketRecord rec;
+      rec.ts_sec = static_cast<UnixSeconds>(std::floor(t));
+      rec.ts_usec = static_cast<std::uint32_t>((t - std::floor(t)) * 1e6);
+      rec.dst = random_telescope_addr(rng);
+      rec.src = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64()));
+      rec.ttl = static_cast<std::uint8_t>(rng.uniform_int(32, 64));
+      make(rec);
+      out.push_back(rec);
+      t += rng.exponential(pps);
+    }
+  };
+
+  emit_process(noise.scan_pps, [&](net::PacketRecord& rec) {
+    rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+    rec.tcp_flags = net::tcp_flags::kSyn;  // plain SYN: scan, not backscatter
+    rec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    rec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 1024));
+    rec.ip_len = 44;
+  });
+  emit_process(noise.misconfig_pps, [&](net::PacketRecord& rec) {
+    rec.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+    rec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    rec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    rec.ip_len = 60;
+  });
+  emit_process(noise.benign_icmp_pps, [&](net::PacketRecord& rec) {
+    rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+    rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kEcho);  // request
+    rec.ip_len = 84;
+  });
+}
+
+}  // namespace dosm::telescope

@@ -1,0 +1,75 @@
+// Backscatter synthesizer — the UCSD-telescope substitute.
+//
+// Given ground-truth randomly-spoofed attack specifications, synthesizes the
+// packet stream a /8 darknet would capture: each attack packet carries a
+// uniformly random spoofed source, the victim answers a fraction of them,
+// and replies whose (spoofed) destination falls inside the telescope prefix
+// are observed — a 1/256 thinning for a /8, exactly the paper's model.
+// Background noise (scans, misconfigurations) is mixed in so the detector's
+// backscatter filter is actually exercised.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/headers.h"
+#include "net/ipv4.h"
+
+namespace dosm::telescope {
+
+/// Ground truth for one randomly-spoofed attack.
+struct SpoofedAttackSpec {
+  net::Ipv4Addr victim;
+  double start = 0.0;       // unix seconds
+  double duration_s = 60.0;
+  double victim_pps = 1000.0;  // attack packet rate arriving at the victim
+  std::uint8_t ip_proto = 6;   // protocol of the attack traffic (TCP default)
+  std::vector<std::uint16_t> ports{80};  // attacked ports
+  /// Fraction of attack packets the victim (or an on-path router) answers;
+  /// captures victim provisioning (§3.1.1's caveat that the observed rate
+  /// also reflects the victim's capacity).
+  double response_rate = 1.0;
+};
+
+/// Non-attack darknet pollution mixed into the capture.
+struct NoiseConfig {
+  double scan_pps = 0.0;       // TCP SYN scans (not backscatter)
+  double misconfig_pps = 0.0;  // stray UDP (not backscatter)
+  double benign_icmp_pps = 0.0;  // echo *requests* (not backscatter)
+};
+
+/// Synthesizes telescope captures for a time window.
+class TelescopeSynthesizer {
+ public:
+  /// `telescope` is the darknet prefix (default the canonical /8).
+  explicit TelescopeSynthesizer(std::uint64_t seed,
+                                net::Prefix telescope = net::Prefix(
+                                    net::Ipv4Addr(44, 0, 0, 0), 8));
+
+  /// Generates the time-ordered capture for [window_start, window_end).
+  /// Attacks whose span exits the window are clipped.
+  std::vector<net::PacketRecord> synthesize(
+      std::span<const SpoofedAttackSpec> attacks, double window_start,
+      double window_end, const NoiseConfig& noise = {});
+
+  /// Telescope coverage as a fraction of the IPv4 space (1/256 for a /8).
+  double coverage() const;
+
+  const net::Prefix& telescope() const { return telescope_; }
+
+ private:
+  net::Ipv4Addr random_telescope_addr(Rng& rng) const;
+  void emit_attack(const SpoofedAttackSpec& spec, double window_start,
+                   double window_end, Rng& rng,
+                   std::vector<net::PacketRecord>& out) const;
+  void emit_noise(const NoiseConfig& noise, double window_start,
+                  double window_end, Rng& rng,
+                  std::vector<net::PacketRecord>& out) const;
+
+  std::uint64_t seed_;
+  net::Prefix telescope_;
+};
+
+}  // namespace dosm::telescope

@@ -1,0 +1,205 @@
+// AmpPot honeypot tests: protocol registry, reply rate limiter, and the
+// two-stage event consolidator.
+#include <gtest/gtest.h>
+
+#include "amppot/consolidator.h"
+#include "amppot/honeypot.h"
+#include "amppot/protocols.h"
+
+namespace dosm::amppot {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(Protocols, AllEightEmulatedProtocolsPresent) {
+  const auto protocols = all_protocols();
+  EXPECT_EQ(protocols.size(), kNumReflectionProtocols);
+  // The paper's footnote list.
+  for (const char* name :
+       {"QOTD", "CharGen", "DNS", "NTP", "SSDP", "MSSQL", "RIPv1", "TFTP"}) {
+    bool found = false;
+    for (const auto& info : protocols) found |= info.name == name;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(Protocols, WellKnownPorts) {
+  EXPECT_EQ(protocol_info(ReflectionProtocol::kNtp).udp_port, 123);
+  EXPECT_EQ(protocol_info(ReflectionProtocol::kDns).udp_port, 53);
+  EXPECT_EQ(protocol_info(ReflectionProtocol::kCharGen).udp_port, 19);
+  EXPECT_EQ(protocol_info(ReflectionProtocol::kSsdp).udp_port, 1900);
+  EXPECT_EQ(protocol_for_port(123), ReflectionProtocol::kNtp);
+  EXPECT_EQ(protocol_for_port(520), ReflectionProtocol::kRipv1);
+  EXPECT_FALSE(protocol_for_port(80).has_value());
+}
+
+TEST(Protocols, NtpHasHighestAmplification) {
+  // NTP monlist has the largest BAF among the emulated set; that drives its
+  // popularity with attackers (Table 6).
+  const double ntp = protocol_info(ReflectionProtocol::kNtp).amplification;
+  for (const auto& info : all_protocols()) {
+    if (info.protocol != ReflectionProtocol::kNtp) {
+      EXPECT_GT(ntp, info.amplification);
+    }
+  }
+}
+
+TEST(Protocols, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(ReflectionProtocol::kCharGen), "CharGen");
+  EXPECT_EQ(to_string(ReflectionProtocol::kOther), "Other");
+}
+
+TEST(RateLimiter, AllowsFewerThanThreePerMinute) {
+  ReplyRateLimiter limiter;  // default: <3 per minute
+  const Ipv4Addr src(1, 2, 3, 4);
+  EXPECT_TRUE(limiter.on_packet(0.0, src));
+  EXPECT_TRUE(limiter.on_packet(1.0, src));
+  EXPECT_FALSE(limiter.on_packet(2.0, src));  // third packet in the minute
+  EXPECT_FALSE(limiter.on_packet(30.0, src));
+  // A new minute resets the window.
+  EXPECT_TRUE(limiter.on_packet(61.0, src));
+}
+
+TEST(RateLimiter, TracksSourcesIndependently) {
+  ReplyRateLimiter limiter;
+  const Ipv4Addr a(1, 1, 1, 1), b(2, 2, 2, 2);
+  EXPECT_TRUE(limiter.on_packet(0.0, a));
+  EXPECT_TRUE(limiter.on_packet(0.0, a));
+  EXPECT_FALSE(limiter.on_packet(0.1, a));
+  EXPECT_TRUE(limiter.on_packet(0.2, b));  // b unaffected by a's flood
+  EXPECT_EQ(limiter.tracked_sources(), 2u);
+}
+
+TEST(RateLimiter, CompactDropsIdleSources) {
+  ReplyRateLimiter limiter;
+  limiter.on_packet(0.0, Ipv4Addr(1, 1, 1, 1));
+  limiter.on_packet(100.0, Ipv4Addr(2, 2, 2, 2));
+  limiter.compact(180.0);  // first source idle 180 s > 120 s, second only 80 s
+  EXPECT_EQ(limiter.tracked_sources(), 1u);
+  limiter.compact(500.0);
+  EXPECT_EQ(limiter.tracked_sources(), 0u);
+}
+
+TEST(Honeypot, NonHarmProperty) {
+  // The honeypot must reply to at most 2 of any source's packets per
+  // minute, regardless of the attack rate — the design constraint that
+  // keeps AmpPot from contributing attack bandwidth.
+  Honeypot honeypot(0, Ipv4Addr(198, 51, 100, 10), meta::CountryCode("US"));
+  const Ipv4Addr victim(9, 9, 9, 9);
+  for (int i = 0; i < 6000; ++i) {
+    RequestRecord req{i * 0.01, victim, ReflectionProtocol::kNtp, 8};
+    honeypot.receive(req);
+  }
+  EXPECT_EQ(honeypot.requests_received(), 6000u);
+  // 6000 packets over 60 s = 1 minute window: at most 2 replies per window,
+  // windows restart when a minute elapses -> tiny number of replies.
+  EXPECT_LE(honeypot.replies_sent(), 4u);
+}
+
+TEST(Honeypot, ClearLogKeepsCounters) {
+  Honeypot honeypot(1, Ipv4Addr(198, 51, 100, 11), meta::CountryCode("DE"));
+  honeypot.receive({0.0, Ipv4Addr(1, 1, 1, 1), ReflectionProtocol::kDns, 64});
+  honeypot.clear_log();
+  EXPECT_TRUE(honeypot.log().empty());
+  EXPECT_EQ(honeypot.requests_received(), 1u);
+}
+
+std::vector<RequestRecord> flood(Ipv4Addr victim, ReflectionProtocol protocol,
+                                 double start, double end, double rps) {
+  std::vector<RequestRecord> log;
+  for (double t = start; t < end; t += 1.0 / rps)
+    log.push_back({t, victim, protocol, 8});
+  return log;
+}
+
+TEST(Consolidator, ThresholdOf100RequestsIsExclusive) {
+  const Ipv4Addr victim(9, 9, 9, 9);
+  // Exactly 100 requests: NOT an event ("exceeding 100 requests").
+  auto log = flood(victim, ReflectionProtocol::kNtp, 0.0, 100.0, 1.0);
+  ASSERT_EQ(log.size(), 100u);
+  EXPECT_TRUE(consolidate_log(log).empty());
+  // 101 requests: an event.
+  log.push_back({100.0, victim, ReflectionProtocol::kNtp, 8});
+  const auto events = consolidate_log(log);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].requests, 101u);
+  EXPECT_EQ(events[0].victim, victim);
+}
+
+TEST(Consolidator, GapSplitsSessions) {
+  const Ipv4Addr victim(9, 9, 9, 9);
+  auto log = flood(victim, ReflectionProtocol::kDns, 0.0, 60.0, 3.0);
+  auto second = flood(victim, ReflectionProtocol::kDns, 7200.0, 7260.0, 3.0);
+  log.insert(log.end(), second.begin(), second.end());
+  ConsolidatorConfig config;
+  config.min_requests = 100;
+  config.gap_timeout_s = 3600.0;
+  const auto events = consolidate_log(log, config);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0].end, events[1].start);
+}
+
+TEST(Consolidator, SeparatesProtocolsAndVictims) {
+  const Ipv4Addr v1(1, 1, 1, 1), v2(2, 2, 2, 2);
+  auto log = flood(v1, ReflectionProtocol::kNtp, 0.0, 120.0, 2.0);
+  auto l2 = flood(v1, ReflectionProtocol::kDns, 0.0, 120.0, 2.0);
+  auto l3 = flood(v2, ReflectionProtocol::kNtp, 0.0, 120.0, 2.0);
+  log.insert(log.end(), l2.begin(), l2.end());
+  log.insert(log.end(), l3.begin(), l3.end());
+  std::sort(log.begin(), log.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.ts < b.ts; });
+  const auto events = consolidate_log(log);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(Consolidator, CapsEventsAt24Hours) {
+  const Ipv4Addr victim(9, 9, 9, 9);
+  // 25 hours of steady requests; must split at the 24 h cap.
+  const auto log = flood(victim, ReflectionProtocol::kNtp, 0.0, 25.0 * 3600.0, 0.1);
+  const auto events = consolidate_log(log);
+  ASSERT_GE(events.size(), 1u);
+  for (const auto& event : events)
+    EXPECT_LE(event.duration(), 24.0 * 3600.0 + 1.0);
+}
+
+TEST(Consolidator, AvgRpsIsPerReflector) {
+  AmpPotEvent event;
+  event.requests = 12000;
+  event.start = 0.0;
+  event.end = 600.0;
+  event.honeypots = 4;
+  EXPECT_DOUBLE_EQ(event.avg_rps(), 12000.0 / 600.0 / 4.0);
+}
+
+TEST(FleetMerge, OverlappingEventsCombine) {
+  std::vector<AmpPotEvent> events(3);
+  const Ipv4Addr victim(9, 9, 9, 9);
+  events[0] = {victim, ReflectionProtocol::kNtp, 0.0, 300.0, 500, 1};
+  events[1] = {victim, ReflectionProtocol::kNtp, 100.0, 400.0, 450, 1};
+  events[2] = {victim, ReflectionProtocol::kNtp, 250.0, 500.0, 480, 1};
+  const auto merged = merge_fleet_events(events);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].requests, 1430u);
+  EXPECT_EQ(merged[0].honeypots, 3u);
+  EXPECT_DOUBLE_EQ(merged[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 500.0);
+}
+
+TEST(FleetMerge, DistinctProtocolsStaySeparate) {
+  std::vector<AmpPotEvent> events(2);
+  const Ipv4Addr victim(9, 9, 9, 9);
+  events[0] = {victim, ReflectionProtocol::kNtp, 0.0, 300.0, 500, 1};
+  events[1] = {victim, ReflectionProtocol::kDns, 0.0, 300.0, 450, 1};
+  EXPECT_EQ(merge_fleet_events(events).size(), 2u);
+}
+
+TEST(FleetMerge, NonOverlappingStaySeparate) {
+  std::vector<AmpPotEvent> events(2);
+  const Ipv4Addr victim(9, 9, 9, 9);
+  events[0] = {victim, ReflectionProtocol::kNtp, 0.0, 300.0, 500, 1};
+  events[1] = {victim, ReflectionProtocol::kNtp, 301.0, 600.0, 450, 1};
+  EXPECT_EQ(merge_fleet_events(events).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dosm::amppot

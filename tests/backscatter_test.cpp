@@ -1,0 +1,120 @@
+// Backscatter classification tests (step 1 of Moore et al.).
+#include <gtest/gtest.h>
+
+#include "telescope/backscatter.h"
+
+namespace dosm::telescope {
+namespace {
+
+using net::IcmpType;
+using net::Ipv4Addr;
+using net::IpProto;
+using net::PacketRecord;
+
+PacketRecord tcp_packet(std::uint8_t flags) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(9, 9, 9, 9);
+  rec.dst = Ipv4Addr(44, 1, 1, 1);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  rec.src_port = 80;
+  rec.dst_port = 4242;
+  rec.tcp_flags = flags;
+  return rec;
+}
+
+PacketRecord icmp_packet(IcmpType type) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(9, 9, 9, 9);
+  rec.dst = Ipv4Addr(44, 1, 1, 1);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  rec.icmp_type = static_cast<std::uint8_t>(type);
+  return rec;
+}
+
+TEST(IsBackscatter, TcpResponses) {
+  EXPECT_TRUE(is_backscatter(tcp_packet(net::tcp_flags::kSyn | net::tcp_flags::kAck)));
+  EXPECT_TRUE(is_backscatter(tcp_packet(net::tcp_flags::kRst)));
+  EXPECT_TRUE(is_backscatter(tcp_packet(net::tcp_flags::kRst | net::tcp_flags::kAck)));
+  // Plain SYN (a scan) and plain ACK are not response packets.
+  EXPECT_FALSE(is_backscatter(tcp_packet(net::tcp_flags::kSyn)));
+  EXPECT_FALSE(is_backscatter(tcp_packet(net::tcp_flags::kAck)));
+  EXPECT_FALSE(is_backscatter(tcp_packet(net::tcp_flags::kFin)));
+  EXPECT_FALSE(is_backscatter(tcp_packet(0)));
+}
+
+TEST(IsBackscatter, IcmpResponseTypes) {
+  // The paper's full list of response ICMP types (§3.1.1).
+  for (const auto type :
+       {IcmpType::kEchoReply, IcmpType::kDestUnreachable, IcmpType::kSourceQuench,
+        IcmpType::kRedirect, IcmpType::kTimeExceeded, IcmpType::kParameterProblem,
+        IcmpType::kTimestampReply, IcmpType::kInfoReply,
+        IcmpType::kAddressMaskReply}) {
+    EXPECT_TRUE(is_backscatter(icmp_packet(type)))
+        << "type " << int(static_cast<std::uint8_t>(type));
+  }
+  // Requests are not backscatter.
+  EXPECT_FALSE(is_backscatter(icmp_packet(IcmpType::kEcho)));
+  EXPECT_FALSE(is_backscatter(icmp_packet(IcmpType::kTimestamp)));
+  EXPECT_FALSE(is_backscatter(icmp_packet(IcmpType::kInfoRequest)));
+  EXPECT_FALSE(is_backscatter(icmp_packet(IcmpType::kAddressMaskRequest)));
+}
+
+TEST(IsBackscatter, UdpNeverIs) {
+  PacketRecord rec;
+  rec.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  rec.src_port = 53;
+  EXPECT_FALSE(is_backscatter(rec));
+}
+
+TEST(Classify, SynAckAttributesTcpAndVictimPort) {
+  const auto rec = tcp_packet(net::tcp_flags::kSyn | net::tcp_flags::kAck);
+  const auto info = classify_backscatter(rec);
+  EXPECT_EQ(info.victim, rec.src);
+  EXPECT_EQ(info.attack_proto, static_cast<std::uint8_t>(IpProto::kTcp));
+  ASSERT_TRUE(info.has_port);
+  EXPECT_EQ(info.victim_port, 80);  // the victim replies *from* port 80
+}
+
+TEST(Classify, EchoReplyAttributesIcmpFlood) {
+  const auto info = classify_backscatter(icmp_packet(IcmpType::kEchoReply));
+  EXPECT_EQ(info.attack_proto, static_cast<std::uint8_t>(IpProto::kIcmp));
+  EXPECT_FALSE(info.has_port);
+  EXPECT_EQ(info.victim, Ipv4Addr(9, 9, 9, 9));
+}
+
+TEST(Classify, UnreachableUsesQuotedDatagram) {
+  auto rec = icmp_packet(IcmpType::kDestUnreachable);
+  rec.src = Ipv4Addr(5, 5, 5, 5);  // an on-path router
+  rec.has_quoted = true;
+  rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  rec.quoted_src = rec.dst;                 // spoofed source
+  rec.quoted_dst = Ipv4Addr(7, 7, 7, 7);    // the true victim
+  rec.quoted_dst_port = 27015;
+  const auto info = classify_backscatter(rec);
+  // Attack protocol is the quoted packet's (UDP flood), and the victim is
+  // the quoted destination, not the router emitting the error.
+  EXPECT_EQ(info.attack_proto, static_cast<std::uint8_t>(IpProto::kUdp));
+  EXPECT_EQ(info.victim, Ipv4Addr(7, 7, 7, 7));
+  ASSERT_TRUE(info.has_port);
+  EXPECT_EQ(info.victim_port, 27015);
+}
+
+TEST(Classify, UnreachableWithoutQuoteFallsBackToIcmp) {
+  const auto rec = icmp_packet(IcmpType::kDestUnreachable);
+  const auto info = classify_backscatter(rec);
+  EXPECT_EQ(info.attack_proto, static_cast<std::uint8_t>(IpProto::kIcmp));
+  EXPECT_EQ(info.victim, rec.src);
+}
+
+TEST(Classify, TimeExceededQuotingIgmp) {
+  auto rec = icmp_packet(IcmpType::kTimeExceeded);
+  rec.has_quoted = true;
+  rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kIgmp);
+  rec.quoted_dst = Ipv4Addr(6, 6, 6, 6);
+  const auto info = classify_backscatter(rec);
+  EXPECT_EQ(info.attack_proto, static_cast<std::uint8_t>(IpProto::kIgmp));
+  EXPECT_FALSE(info.has_port);
+}
+
+}  // namespace
+}  // namespace dosm::telescope

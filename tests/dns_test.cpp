@@ -1,0 +1,199 @@
+// DNS substrate tests: name interning, domain validation, snapshot store
+// timelines and the reverse hosting index.
+#include <gtest/gtest.h>
+
+#include "dns/names.h"
+#include "dns/snapshot.h"
+
+namespace dosm::dns {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(NameTable, InternsAndNormalizes) {
+  NameTable names;
+  const auto a = names.intern("WWW.Example.COM");
+  const auto b = names.intern("www.example.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(names.name(a), "www.example.com");
+  EXPECT_EQ(names.size(), 1u);
+  EXPECT_NE(a, kNoName);
+}
+
+TEST(NameTable, FindWithoutInterning) {
+  NameTable names;
+  EXPECT_EQ(names.find("missing.com"), kNoName);
+  const auto id = names.intern("present.com");
+  EXPECT_EQ(names.find("PRESENT.com"), id);
+}
+
+TEST(NameTable, RejectsUnknownIds) {
+  NameTable names;
+  EXPECT_THROW(names.name(kNoName), std::out_of_range);
+  EXPECT_THROW(names.name(42), std::out_of_range);
+}
+
+TEST(Names, TldExtraction) {
+  EXPECT_EQ(tld_of("example.com"), "com");
+  EXPECT_EQ(tld_of("a.b.org"), "org");
+  EXPECT_EQ(tld_of("nodot"), "");
+}
+
+TEST(Names, DomainSuffixMatching) {
+  EXPECT_TRUE(in_domain_suffix("cdn.cloudflare.net", "cloudflare.net"));
+  EXPECT_TRUE(in_domain_suffix("cloudflare.net", "cloudflare.net"));
+  EXPECT_FALSE(in_domain_suffix("evilcloudflare.net", "cloudflare.net"));
+  EXPECT_FALSE(in_domain_suffix("cloudflare.net.evil.com", "cloudflare.net"));
+  EXPECT_TRUE(in_domain_suffix("A.B.INCAPDNS.NET", "incapdns.net"));
+  EXPECT_FALSE(in_domain_suffix("x.com", ""));
+}
+
+TEST(Names, DomainValidation) {
+  EXPECT_TRUE(is_valid_domain("example.com"));
+  EXPECT_TRUE(is_valid_domain("a-b.c-d.org"));
+  EXPECT_TRUE(is_valid_domain("site123.net"));
+  EXPECT_FALSE(is_valid_domain(""));
+  EXPECT_FALSE(is_valid_domain(".com"));
+  EXPECT_FALSE(is_valid_domain("a..b"));
+  EXPECT_FALSE(is_valid_domain("-bad.com"));
+  EXPECT_FALSE(is_valid_domain("bad-.com"));
+  EXPECT_FALSE(is_valid_domain("has space.com"));
+  EXPECT_FALSE(is_valid_domain(std::string(254, 'a')));
+}
+
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  SnapshotStore store_{100};
+};
+
+TEST_F(SnapshotStoreTest, AddAndFindDomains) {
+  const auto id = store_.add_domain("Example.COM", 0);
+  EXPECT_EQ(store_.find("example.com"), id);
+  EXPECT_EQ(store_.find("missing.com"), 0u);
+  EXPECT_EQ(store_.num_domains(), 1u);
+  EXPECT_THROW(store_.add_domain("example.com", 5), std::invalid_argument);
+  EXPECT_THROW(store_.add_domain("late.com", 100), std::invalid_argument);
+}
+
+TEST_F(SnapshotStoreTest, RecordTimelineLookup) {
+  const auto id = store_.add_domain("example.com", 10);
+  WebsiteRecord v1;
+  v1.www_a = Ipv4Addr(1, 1, 1, 1);
+  store_.record_change(id, 10, v1);
+  WebsiteRecord v2;
+  v2.www_a = Ipv4Addr(2, 2, 2, 2);
+  store_.record_change(id, 50, v2);
+
+  EXPECT_FALSE(store_.record_on(id, 9).has_value());  // not registered yet
+  EXPECT_EQ(store_.record_on(id, 10)->www_a, v1.www_a);
+  EXPECT_EQ(store_.record_on(id, 49)->www_a, v1.www_a);
+  EXPECT_EQ(store_.record_on(id, 50)->www_a, v2.www_a);
+  EXPECT_EQ(store_.record_on(id, 99)->www_a, v2.www_a);
+}
+
+TEST_F(SnapshotStoreTest, RecordChangeValidation) {
+  const auto id = store_.add_domain("example.com", 10);
+  WebsiteRecord rec;
+  rec.www_a = Ipv4Addr(1, 1, 1, 1);
+  EXPECT_THROW(store_.record_change(id, 9, rec), std::invalid_argument);
+  EXPECT_THROW(store_.record_change(id, 100, rec), std::invalid_argument);
+  store_.record_change(id, 20, rec);
+  EXPECT_THROW(store_.record_change(id, 15, rec), std::invalid_argument);
+}
+
+TEST_F(SnapshotStoreTest, CoalescesIdenticalAndSameDayChanges) {
+  const auto id = store_.add_domain("example.com", 0);
+  WebsiteRecord rec;
+  rec.www_a = Ipv4Addr(1, 1, 1, 1);
+  store_.record_change(id, 0, rec);
+  store_.record_change(id, 10, rec);  // identical: coalesced
+  EXPECT_EQ(store_.entry(id).changes.size(), 1u);
+  WebsiteRecord other;
+  other.www_a = Ipv4Addr(2, 2, 2, 2);
+  store_.record_change(id, 10, other);  // same-day overwrite
+  EXPECT_EQ(store_.entry(id).changes.size(), 2u);
+  EXPECT_EQ(store_.record_on(id, 10)->www_a, other.www_a);
+}
+
+TEST_F(SnapshotStoreTest, LastSeenBoundsVisibility) {
+  const auto id = store_.add_domain("gone.com", 0);
+  WebsiteRecord rec;
+  rec.www_a = Ipv4Addr(1, 1, 1, 1);
+  store_.record_change(id, 0, rec);
+  store_.set_last_seen(id, 30);
+  EXPECT_TRUE(store_.record_on(id, 30).has_value());
+  EXPECT_FALSE(store_.record_on(id, 31).has_value());
+}
+
+TEST_F(SnapshotStoreTest, EmptyRecordBeforeFirstChange) {
+  const auto id = store_.add_domain("bare.com", 0);
+  // Registered but no records yet: present with an empty record.
+  const auto rec = store_.record_on(id, 5);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->has_website());
+}
+
+TEST_F(SnapshotStoreTest, ReverseIndexFindsSitesByIpAndDay) {
+  const auto a = store_.add_domain("a.com", 0);
+  const auto b = store_.add_domain("b.com", 0);
+  const Ipv4Addr shared(10, 0, 0, 1);
+  WebsiteRecord rec;
+  rec.www_a = shared;
+  store_.record_change(a, 0, rec);
+  store_.record_change(b, 20, rec);
+  // a moves away on day 50.
+  WebsiteRecord moved;
+  moved.www_a = Ipv4Addr(10, 0, 0, 2);
+  store_.record_change(a, 50, moved);
+  store_.build_reverse_index();
+
+  EXPECT_EQ(store_.sites_on(shared, 0).size(), 1u);
+  EXPECT_EQ(store_.sites_on(shared, 20).size(), 2u);
+  EXPECT_EQ(store_.sites_on(shared, 49).size(), 2u);
+  EXPECT_EQ(store_.sites_on(shared, 50).size(), 1u);  // only b remains
+  EXPECT_EQ(store_.count_sites_on(shared, 20), 2u);
+  EXPECT_EQ(store_.count_sites_on(Ipv4Addr(9, 9, 9, 9), 20), 0u);
+  EXPECT_EQ(store_.sites_on(Ipv4Addr(10, 0, 0, 2), 60).size(), 1u);
+
+  const auto ips = store_.hosting_ips();
+  EXPECT_EQ(ips.size(), 2u);
+}
+
+TEST_F(SnapshotStoreTest, ReverseIndexRequiresBuild) {
+  store_.add_domain("a.com", 0);
+  EXPECT_THROW(store_.sites_on(Ipv4Addr(1, 1, 1, 1), 0), std::logic_error);
+  EXPECT_THROW(store_.hosting_ips(), std::logic_error);
+}
+
+TEST_F(SnapshotStoreTest, WwwLessDomainsAreNotWebsites) {
+  const auto id = store_.add_domain("mail-only.com", 0);
+  WebsiteRecord rec;  // no www A record
+  rec.mx_a = Ipv4Addr(10, 0, 0, 9);
+  store_.record_change(id, 0, rec);
+  store_.build_reverse_index();
+  EXPECT_TRUE(store_.sites_on(Ipv4Addr(10, 0, 0, 9), 10).empty());
+}
+
+TEST_F(SnapshotStoreTest, ObservationCountScalesWithLifetime) {
+  const auto a = store_.add_domain("a.com", 0);    // 100 days
+  store_.add_domain("b.com", 50);                  // 50 days
+  store_.set_last_seen(a, 99);
+  EXPECT_EQ(store_.num_observations(1), 150u);
+  EXPECT_EQ(store_.num_observations(6), 900u);
+}
+
+TEST_F(SnapshotStoreTest, IntervalsForExposesRanges) {
+  const auto id = store_.add_domain("a.com", 0);
+  WebsiteRecord rec;
+  rec.www_a = Ipv4Addr(10, 0, 0, 1);
+  store_.record_change(id, 5, rec);
+  store_.build_reverse_index();
+  const auto intervals = store_.intervals_for(Ipv4Addr(10, 0, 0, 1));
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].from_day, 5);
+  EXPECT_EQ(intervals[0].to_day, 99);
+  EXPECT_TRUE(store_.intervals_for(Ipv4Addr(8, 8, 8, 8)).empty());
+}
+
+}  // namespace
+}  // namespace dosm::dns

@@ -1,0 +1,196 @@
+// DPS layer tests: provider registry, DNS-fingerprint classifier, and
+// protection-timeline extraction.
+#include <gtest/gtest.h>
+
+#include "dps/classifier.h"
+#include "dps/migration.h"
+#include "dps/providers.h"
+
+namespace dosm::dps {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(ProviderRegistry, PaperProvidersComplete) {
+  const auto registry = paper_providers();
+  EXPECT_EQ(registry.size(), 10u);
+  for (const char* name :
+       {"Akamai", "CenturyLink", "CloudFlare", "DOSarrest", "F5", "Incapsula",
+        "Level 3", "Neustar", "Verisign", "VirtualRoad"}) {
+    EXPECT_TRUE(registry.find(name).has_value()) << name;
+  }
+  EXPECT_FALSE(registry.find("Imperva").has_value());
+}
+
+TEST(ProviderRegistry, PrefixesAreDisjoint) {
+  const auto registry = paper_providers();
+  for (const auto& a : registry.all()) {
+    for (const auto& b : registry.all()) {
+      if (a.id == b.id) continue;
+      for (const auto& pa : a.prefixes)
+        for (const auto& pb : b.prefixes)
+          EXPECT_FALSE(pa.contains(pb.network()) || pb.contains(pa.network()))
+              << a.name << " overlaps " << b.name;
+    }
+  }
+}
+
+TEST(ProviderRegistry, LookupValidation) {
+  const auto registry = paper_providers();
+  EXPECT_THROW(registry.provider(kNoProvider), std::out_of_range);
+  EXPECT_THROW(registry.provider(99), std::out_of_range);
+  EXPECT_EQ(registry.provider(1).id, 1);
+}
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  ClassifierTest() : registry_(paper_providers()), classifier_(registry_, names_) {}
+
+  ProviderRegistry registry_;
+  dns::NameTable names_;
+  Classifier classifier_;
+};
+
+TEST_F(ClassifierTest, DetectsCnameDiversion) {
+  const auto cf = *registry_.find("CloudFlare");
+  dns::WebsiteRecord record;
+  record.www_cname = names_.intern("customer123.cf-shield.net");
+  record.www_a = Ipv4Addr(10, 0, 0, 1);  // origin leaks: CNAME wins anyway
+  const auto result = classifier_.classify(record);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, cf);
+}
+
+TEST_F(ClassifierTest, DetectsNsDelegation) {
+  const auto verisign = *registry_.find("Verisign");
+  dns::WebsiteRecord record;
+  record.ns = names_.intern("ns1.verisigndns-dps.com");
+  record.www_a = Ipv4Addr(10, 0, 0, 1);
+  EXPECT_EQ(classifier_.classify(record), verisign);
+}
+
+TEST_F(ClassifierTest, DetectsBgpDiversionFromARecord) {
+  const auto neustar = *registry_.find("Neustar");
+  dns::WebsiteRecord record;
+  record.www_a = registry_.provider(neustar).prefixes.front().address_at(77);
+  EXPECT_EQ(classifier_.classify(record), neustar);
+  EXPECT_EQ(classifier_.provider_for_address(record.www_a), neustar);
+}
+
+TEST_F(ClassifierTest, UnprotectedSitesClassifyAsNone) {
+  dns::WebsiteRecord record;
+  record.www_a = Ipv4Addr(93, 184, 216, 34);
+  record.www_cname = names_.intern("cdn.ordinary-cdn.net");
+  record.ns = names_.intern("ns1.ordinary-hoster.com");
+  EXPECT_FALSE(classifier_.classify(record).has_value());
+  EXPECT_FALSE(classifier_.classify(dns::WebsiteRecord{}).has_value());
+}
+
+TEST_F(ClassifierTest, SuffixMatchRejectsLookalikes) {
+  dns::WebsiteRecord record;
+  record.www_cname = names_.intern("evil-cf-shield.net");  // no dot boundary
+  record.www_a = Ipv4Addr(10, 0, 0, 1);
+  EXPECT_FALSE(classifier_.classify(record).has_value());
+}
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  TimelineTest()
+      : registry_(paper_providers()), classifier_(registry_, names_), store_(100) {}
+
+  dns::WebsiteRecord unprotected() {
+    dns::WebsiteRecord record;
+    record.www_a = Ipv4Addr(10, 0, 0, 1);
+    return record;
+  }
+
+  dns::WebsiteRecord protected_by(const char* provider) {
+    const auto id = *registry_.find(provider);
+    dns::WebsiteRecord record;
+    record.www_cname =
+        names_.intern("cust." + registry_.provider(id).cname_suffix);
+    record.www_a = registry_.provider(id).prefixes.front().address_at(10);
+    return record;
+  }
+
+  ProviderRegistry registry_;
+  dns::NameTable names_;
+  Classifier classifier_;
+  dns::SnapshotStore store_;
+};
+
+TEST_F(TimelineTest, UnprotectedSiteHasEmptyTimeline) {
+  const auto id = store_.add_domain("plain.com", 0);
+  store_.record_change(id, 0, unprotected());
+  const auto timeline = protection_timeline(store_, id, classifier_);
+  EXPECT_FALSE(timeline.preexisting);
+  EXPECT_FALSE(timeline.first_protected_day.has_value());
+  EXPECT_FALSE(timeline.ever_protected());
+}
+
+TEST_F(TimelineTest, PreexistingCustomerDetected) {
+  const auto id = store_.add_domain("shop.com", 5);
+  store_.record_change(id, 5, protected_by("Akamai"));
+  const auto timeline = protection_timeline(store_, id, classifier_);
+  EXPECT_TRUE(timeline.preexisting);
+  EXPECT_EQ(timeline.first_provider, *registry_.find("Akamai"));
+  EXPECT_TRUE(timeline.protected_on(50));
+  ASSERT_EQ(timeline.intervals.size(), 1u);
+  EXPECT_EQ(timeline.intervals[0].from_day, 5);
+  EXPECT_EQ(timeline.intervals[0].to_day, 99);
+}
+
+TEST_F(TimelineTest, MigrationDayRecorded) {
+  const auto id = store_.add_domain("later.com", 0);
+  store_.record_change(id, 0, unprotected());
+  store_.record_change(id, 42, protected_by("Incapsula"));
+  const auto timeline = protection_timeline(store_, id, classifier_);
+  EXPECT_FALSE(timeline.preexisting);
+  ASSERT_TRUE(timeline.first_protected_day.has_value());
+  EXPECT_EQ(*timeline.first_protected_day, 42);
+  EXPECT_EQ(timeline.first_provider, *registry_.find("Incapsula"));
+  EXPECT_FALSE(timeline.protected_on(41));
+  EXPECT_TRUE(timeline.protected_on(42));
+}
+
+TEST_F(TimelineTest, ProviderSwitchProducesTwoIntervals) {
+  const auto id = store_.add_domain("switcher.com", 0);
+  store_.record_change(id, 0, unprotected());
+  store_.record_change(id, 20, protected_by("CloudFlare"));
+  store_.record_change(id, 60, protected_by("Neustar"));
+  const auto timeline = protection_timeline(store_, id, classifier_);
+  ASSERT_EQ(timeline.intervals.size(), 2u);
+  EXPECT_EQ(timeline.intervals[0].provider, *registry_.find("CloudFlare"));
+  EXPECT_EQ(timeline.intervals[0].to_day, 59);
+  EXPECT_EQ(timeline.intervals[1].provider, *registry_.find("Neustar"));
+  EXPECT_EQ(*timeline.first_protected_day, 20);
+}
+
+TEST_F(TimelineTest, DroppingProtectionClosesInterval) {
+  const auto id = store_.add_domain("dropper.com", 0);
+  store_.record_change(id, 0, protected_by("F5"));
+  store_.record_change(id, 30, unprotected());
+  const auto timeline = protection_timeline(store_, id, classifier_);
+  EXPECT_TRUE(timeline.preexisting);
+  ASSERT_EQ(timeline.intervals.size(), 1u);
+  EXPECT_EQ(timeline.intervals[0].to_day, 29);
+  EXPECT_FALSE(timeline.protected_on(30));
+}
+
+TEST_F(TimelineTest, CustomerCountsPerProvider) {
+  const auto a = store_.add_domain("a.com", 0);
+  store_.record_change(a, 0, protected_by("Akamai"));
+  const auto b = store_.add_domain("b.com", 0);
+  store_.record_change(b, 0, unprotected());
+  store_.record_change(b, 10, protected_by("Akamai"));
+  const auto c = store_.add_domain("c.com", 0);
+  store_.record_change(c, 0, protected_by("VirtualRoad"));
+  const auto timelines = all_timelines(store_, classifier_);
+  const auto counts = provider_customer_counts(timelines, registry_);
+  EXPECT_EQ(counts[*registry_.find("Akamai")], 2u);
+  EXPECT_EQ(counts[*registry_.find("VirtualRoad")], 1u);
+  EXPECT_EQ(counts[*registry_.find("Neustar")], 0u);
+}
+
+}  // namespace
+}  // namespace dosm::dps

@@ -1,0 +1,159 @@
+// Honeypot fleet tests: deployment mix, attack capture, scanner rejection.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "amppot/fleet.h"
+
+namespace dosm::amppot {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(Fleet, DeploysTwentyFourInstancesByDefault) {
+  const HoneypotFleet fleet(1);
+  EXPECT_EQ(fleet.size(), 24u);
+  // Geographic mix per the paper: 11 America / 8 Europe / 4 Asia / 1 AU.
+  std::map<std::string, int> by_country;
+  for (const auto& honeypot : fleet.honeypots())
+    ++by_country[honeypot.location().to_string()];
+  EXPECT_EQ(by_country["AU"], 1);
+  EXPECT_GE(by_country["US"], 8);
+  // Addresses must be distinct.
+  std::set<std::uint32_t> addrs;
+  for (const auto& honeypot : fleet.honeypots())
+    addrs.insert(honeypot.address().value());
+  EXPECT_EQ(addrs.size(), 24u);
+}
+
+TEST(Fleet, RejectsEmptyFleet) {
+  EXPECT_THROW(HoneypotFleet(1, 0), std::invalid_argument);
+}
+
+TEST(Fleet, CapturesAReflectionAttack) {
+  HoneypotFleet fleet(2);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(9, 9, 9, 9);
+  spec.protocol = ReflectionProtocol::kNtp;
+  spec.start = 0.0;
+  spec.duration_s = 600.0;
+  spec.per_reflector_rps = 5.0;  // 3000 requests per honeypot
+  spec.honeypots_hit = 12;
+  fleet.run({&spec, 1}, 0.0, 3600.0);
+  EXPECT_GT(fleet.total_requests(), 20000u);
+  const auto events = fleet.harvest();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].victim, spec.victim);
+  EXPECT_EQ(events[0].protocol, ReflectionProtocol::kNtp);
+  EXPECT_EQ(events[0].honeypots, 12u);
+  EXPECT_NEAR(events[0].duration(), 600.0, 30.0);
+  EXPECT_NEAR(events[0].avg_rps(), 5.0, 1.0);
+}
+
+TEST(Fleet, InvisibleWhenNoHoneypotOnReflectorList) {
+  HoneypotFleet fleet(3);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(9, 9, 9, 9);
+  spec.per_reflector_rps = 50.0;
+  spec.duration_s = 600.0;
+  spec.honeypots_hit = 0;
+  fleet.run({&spec, 1}, 0.0, 3600.0);
+  EXPECT_EQ(fleet.total_requests(), 0u);
+  EXPECT_TRUE(fleet.harvest().empty());
+}
+
+TEST(Fleet, WeakAttackFallsUnderThreshold) {
+  HoneypotFleet fleet(4);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(9, 9, 9, 9);
+  spec.duration_s = 60.0;
+  spec.per_reflector_rps = 0.5;  // ~30 requests: below 100
+  spec.honeypots_hit = 24;
+  fleet.run({&spec, 1}, 0.0, 3600.0);
+  EXPECT_GT(fleet.total_requests(), 0u);
+  EXPECT_TRUE(fleet.harvest().empty());
+}
+
+TEST(Fleet, ScannerNoiseDoesNotBecomeEvents) {
+  HoneypotFleet fleet(5);
+  ScannerNoiseConfig noise;
+  noise.scans_per_hour_per_honeypot = 30.0;
+  noise.probes_per_scan = 4;
+  fleet.run({}, 0.0, 24.0 * 3600.0, noise);
+  EXPECT_GT(fleet.total_requests(), 1000u);
+  EXPECT_TRUE(fleet.harvest().empty());
+}
+
+TEST(Fleet, RateLimiterNonHarmUnderAttack) {
+  HoneypotFleet fleet(6);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(9, 9, 9, 9);
+  spec.duration_s = 600.0;
+  spec.per_reflector_rps = 100.0;
+  spec.honeypots_hit = 24;
+  fleet.run({&spec, 1}, 0.0, 3600.0);
+  // ~1.44M requests; replies are capped at roughly 2/minute/honeypot.
+  EXPECT_GT(fleet.total_requests(), 1000000u);
+  EXPECT_LT(fleet.total_replies(), 24u * 10u * 3u);
+}
+
+TEST(Fleet, SimultaneousAttacksOnDistinctVictims) {
+  HoneypotFleet fleet(7);
+  std::vector<ReflectionAttackSpec> specs(3);
+  for (int i = 0; i < 3; ++i) {
+    specs[i].victim = Ipv4Addr(9, 9, 9, static_cast<std::uint8_t>(i + 1));
+    specs[i].protocol =
+        i == 0 ? ReflectionProtocol::kNtp
+               : (i == 1 ? ReflectionProtocol::kDns : ReflectionProtocol::kCharGen);
+    specs[i].start = i * 100.0;
+    specs[i].duration_s = 900.0;
+    specs[i].per_reflector_rps = 2.0;
+    specs[i].honeypots_hit = 8;
+  }
+  fleet.run(specs, 0.0, 3600.0);
+  const auto events = fleet.harvest();
+  ASSERT_EQ(events.size(), 3u);
+  // Time-ordered output.
+  EXPECT_LE(events[0].start, events[1].start);
+  EXPECT_LE(events[1].start, events[2].start);
+}
+
+TEST(Fleet, HarvestClearsLogsAndIsRepeatable) {
+  HoneypotFleet fleet(8);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(9, 9, 9, 9);
+  spec.duration_s = 300.0;
+  spec.per_reflector_rps = 2.0;
+  spec.honeypots_hit = 6;
+  fleet.run({&spec, 1}, 0.0, 3600.0);
+  EXPECT_FALSE(fleet.harvest().empty());
+  EXPECT_TRUE(fleet.harvest().empty());  // logs cleared by first harvest
+}
+
+// Property sweep: detection probability grows with attack rate; an attack at
+// rate r is detected iff the per-honeypot request count exceeds 100.
+class FleetDetectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FleetDetectionSweep, DetectionMatchesExpectedCounts) {
+  const double rps = GetParam();
+  HoneypotFleet fleet(static_cast<std::uint64_t>(rps * 1000) + 11);
+  ReflectionAttackSpec spec;
+  spec.victim = Ipv4Addr(10, 0, 0, 1);
+  spec.duration_s = 300.0;
+  spec.per_reflector_rps = rps;
+  spec.honeypots_hit = 24;
+  fleet.run({&spec, 1}, 0.0, 7200.0);
+  const auto events = fleet.harvest();
+  const double expected = rps * 300.0;
+  if (expected > 130.0) {
+    EXPECT_EQ(events.size(), 1u) << "rps=" << rps;
+  } else if (expected < 80.0) {
+    EXPECT_TRUE(events.empty()) << "rps=" << rps;
+  }  // near the threshold either outcome is fine (Poisson noise)
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FleetDetectionSweep,
+                         ::testing::Values(0.05, 0.2, 0.33, 0.5, 1.0, 5.0));
+
+}  // namespace
+}  // namespace dosm::amppot

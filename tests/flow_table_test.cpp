@@ -1,0 +1,228 @@
+// Flow aggregation and Moore-threshold classification tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "telescope/flow_table.h"
+
+namespace dosm::telescope {
+namespace {
+
+using net::Ipv4Addr;
+using net::IpProto;
+
+BackscatterInfo tcp_info(Ipv4Addr victim, std::uint16_t port) {
+  BackscatterInfo info;
+  info.victim = victim;
+  info.attack_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  info.victim_port = port;
+  info.has_port = true;
+  return info;
+}
+
+TEST(Thresholds, DefaultsMatchPaper) {
+  const ClassifierThresholds thresholds;
+  EXPECT_EQ(thresholds.min_packets, 25u);
+  EXPECT_DOUBLE_EQ(thresholds.min_duration_s, 60.0);
+  EXPECT_DOUBLE_EQ(thresholds.min_max_pps, 0.5);
+}
+
+TEST(Thresholds, EachThresholdFiltersIndependently) {
+  TelescopeEvent event;
+  event.packets = 100;
+  event.start = 0;
+  event.end = 120;
+  event.max_pps = 1.0;
+  const ClassifierThresholds thresholds;
+  EXPECT_TRUE(passes_thresholds(event, thresholds));
+  auto few = event;
+  few.packets = 24;
+  EXPECT_FALSE(passes_thresholds(few, thresholds));
+  auto brief = event;
+  brief.end = 59.0;
+  EXPECT_FALSE(passes_thresholds(brief, thresholds));
+  auto weak = event;
+  weak.max_pps = 0.49;
+  EXPECT_FALSE(passes_thresholds(weak, thresholds));
+}
+
+TEST(FlowTable, AggregatesPerVictim) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr v1(1, 1, 1, 1), v2(2, 2, 2, 2);
+  for (int i = 0; i < 30; ++i) {
+    table.add(100.0 + i, tcp_info(v1, 80), 40, Ipv4Addr(44, 0, 0, 1));
+    table.add(100.0 + i, tcp_info(v2, 443), 40, Ipv4Addr(44, 0, 0, 2));
+  }
+  EXPECT_EQ(table.active_flows(), 2u);
+  table.flush();
+  ASSERT_EQ(flows.size(), 2u);
+  for (const auto& flow : flows) {
+    EXPECT_EQ(flow.packets, 30u);
+    EXPECT_EQ(flow.num_ports, 1);
+    EXPECT_DOUBLE_EQ(flow.start, 100.0);
+    EXPECT_DOUBLE_EQ(flow.end, 129.0);
+  }
+}
+
+TEST(FlowTable, ExpiresAfterTimeout) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); },
+                  /*flow_timeout_s=*/300.0);
+  const Ipv4Addr victim(1, 1, 1, 1);
+  table.add(1000.0, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  table.add(1010.0, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 2));
+  // Advance just under the timeout: still active.
+  table.advance(1010.0 + 299.0);
+  EXPECT_EQ(flows.size(), 0u);
+  // Past the timeout (plus sweep granularity): expired.
+  table.advance(1010.0 + 301.0 + 60.0);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(table.active_flows(), 0u);
+}
+
+TEST(FlowTable, GapSplitsIntoTwoFlows) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  table.add(0.0, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  // 10 minutes later: the first flow expires during lazy sweeps.
+  table.add(600.0, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 2));
+  table.flush();
+  EXPECT_EQ(flows.size(), 2u);
+}
+
+TEST(FlowTable, TracksDistinctPortsAndTopPort) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  for (int i = 0; i < 10; ++i)
+    table.add(100.0 + i, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  for (int i = 0; i < 4; ++i)
+    table.add(110.0 + i, tcp_info(victim, 443), 40, Ipv4Addr(44, 0, 0, 1));
+  table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].num_ports, 2);
+  EXPECT_EQ(flows[0].top_port, 80);
+  EXPECT_FALSE(flows[0].single_port());
+}
+
+TEST(FlowTable, MajorityProtocolAttribution) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  BackscatterInfo icmp;
+  icmp.victim = victim;
+  icmp.attack_proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  for (int i = 0; i < 7; ++i)
+    table.add(100.0 + i, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  for (int i = 0; i < 3; ++i)
+    table.add(107.0 + i, icmp, 84, Ipv4Addr(44, 0, 0, 1));
+  table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].attack_proto, static_cast<std::uint8_t>(IpProto::kTcp));
+}
+
+TEST(FlowTable, MaxPpsIsPerMinuteMaximum) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  // Minute 1: 60 packets; minute 2: 120 packets.
+  for (int i = 0; i < 60; ++i)
+    table.add(0.0 + i, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  for (int i = 0; i < 120; ++i)
+    table.add(60.0 + i * 0.5, tcp_info(victim, 80), 40, Ipv4Addr(44, 0, 0, 1));
+  table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0].max_pps, 2.0);  // 120 packets / 60 s
+}
+
+TEST(FlowTable, CountsUniqueTelescopeSources) {
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  for (int i = 0; i < 50; ++i) {
+    table.add(100.0 + i, tcp_info(victim, 80), 40,
+              Ipv4Addr(44, 0, 0, static_cast<std::uint8_t>(i % 10)));
+  }
+  table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].unique_sources, 10u);
+}
+
+TEST(Detector, FullPathFiltersSubThresholdFlows) {
+  std::vector<TelescopeEvent> events;
+  BackscatterDetector detector(
+      [&](const TelescopeEvent& e) { events.push_back(e); });
+  net::PacketRecord rec;
+  rec.src = Ipv4Addr(1, 1, 1, 1);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  rec.src_port = 80;
+  rec.tcp_flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+  rec.ip_len = 40;
+  // Only 10 packets: below the 25-packet threshold.
+  for (int i = 0; i < 10; ++i) {
+    rec.ts_sec = 1000 + i * 10;
+    detector.on_packet(rec);
+  }
+  detector.finish();
+  EXPECT_EQ(events.size(), 0u);
+  EXPECT_EQ(detector.flows_filtered(), 1u);
+  EXPECT_EQ(detector.backscatter_packets(), 10u);
+}
+
+TEST(Detector, IgnoresNonBackscatter) {
+  std::vector<TelescopeEvent> events;
+  BackscatterDetector detector(
+      [&](const TelescopeEvent& e) { events.push_back(e); });
+  net::PacketRecord scan;
+  scan.src = Ipv4Addr(6, 6, 6, 6);
+  scan.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  scan.tcp_flags = net::tcp_flags::kSyn;
+  for (int i = 0; i < 100; ++i) {
+    scan.ts_sec = 1000 + i;
+    detector.on_packet(scan);
+  }
+  detector.finish();
+  EXPECT_EQ(detector.packets_seen(), 100u);
+  EXPECT_EQ(detector.backscatter_packets(), 0u);
+  EXPECT_EQ(events.size(), 0u);
+}
+
+// Parameterized sweep: tightening any threshold never increases the number
+// of accepted events (monotonicity property of the classifier).
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, TighterMeansFewer) {
+  const double scale = GetParam();
+  auto count_with = [&](const ClassifierThresholds& t) {
+    int count = 0;
+    // Synthetic flow population with varied stats.
+    for (int i = 1; i <= 100; ++i) {
+      TelescopeEvent event;
+      event.packets = static_cast<std::uint64_t>(i * 3);
+      event.start = 0;
+      event.end = i * 5.0;
+      event.max_pps = i * 0.05;
+      if (passes_thresholds(event, t)) ++count;
+    }
+    return count;
+  };
+  const ClassifierThresholds base;
+  ClassifierThresholds tight;
+  tight.min_packets = static_cast<std::uint64_t>(base.min_packets * scale);
+  tight.min_duration_s = base.min_duration_s * scale;
+  tight.min_max_pps = base.min_max_pps * scale;
+  if (scale >= 1.0) {
+    EXPECT_LE(count_with(tight), count_with(base));
+  } else {
+    EXPECT_GE(count_with(tight), count_with(base));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ThresholdSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace dosm::telescope

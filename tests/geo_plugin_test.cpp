@@ -1,0 +1,100 @@
+// Geo/ASN tagging plugin tests.
+#include <gtest/gtest.h>
+
+#include "telescope/geo_plugin.h"
+
+namespace dosm::telescope {
+namespace {
+
+using net::Ipv4Addr;
+
+class GeoPluginTest : public ::testing::Test {
+ protected:
+  GeoPluginTest() {
+    geo_.add(net::Prefix::parse("10.0.0.0/8"), meta::CountryCode("US"));
+    geo_.add(net::Prefix::parse("20.0.0.0/8"), meta::CountryCode("FR"));
+    pfx2as_.announce(net::Prefix::parse("10.0.0.0/8"), 26496);
+    pfx2as_.announce(net::Prefix::parse("20.0.0.0/8"), 12276);
+  }
+
+  net::PacketRecord backscatter_from(Ipv4Addr victim) {
+    net::PacketRecord rec;
+    rec.src = victim;
+    rec.dst = Ipv4Addr(44, 0, 0, 1);
+    rec.proto = 6;
+    rec.src_port = 80;
+    rec.tcp_flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+    return rec;
+  }
+
+  meta::GeoDatabase geo_;
+  meta::PrefixToAsMap pfx2as_;
+};
+
+TEST_F(GeoPluginTest, TagsBackscatterVictims) {
+  GeoTaggingPlugin plugin(geo_, pfx2as_);
+  for (int i = 0; i < 7; ++i)
+    plugin.on_packet(backscatter_from(Ipv4Addr(10, 0, 0, 1)));
+  for (int i = 0; i < 3; ++i)
+    plugin.on_packet(backscatter_from(Ipv4Addr(20, 0, 0, 1)));
+  // Non-backscatter (plain SYN) is ignored.
+  auto scan = backscatter_from(Ipv4Addr(10, 0, 0, 2));
+  scan.tcp_flags = net::tcp_flags::kSyn;
+  plugin.on_packet(scan);
+
+  EXPECT_EQ(plugin.tagged_packets(), 10u);
+  const auto countries = plugin.country_ranking();
+  ASSERT_EQ(countries.size(), 2u);
+  EXPECT_EQ(countries[0].first.to_string(), "US");
+  EXPECT_EQ(countries[0].second, 7u);
+  EXPECT_EQ(countries[1].first.to_string(), "FR");
+
+  const auto asns = plugin.asn_ranking();
+  ASSERT_EQ(asns.size(), 2u);
+  EXPECT_EQ(asns[0].first, 26496u);
+  EXPECT_EQ(asns[1].first, 12276u);
+  EXPECT_EQ(plugin.unrouted_packets(), 0u);
+}
+
+TEST_F(GeoPluginTest, CountsUnroutedSeparately) {
+  GeoTaggingPlugin plugin(geo_, pfx2as_);
+  plugin.on_packet(backscatter_from(Ipv4Addr(99, 0, 0, 1)));
+  EXPECT_EQ(plugin.tagged_packets(), 1u);
+  EXPECT_EQ(plugin.unrouted_packets(), 1u);
+  EXPECT_TRUE(plugin.asn_ranking().empty());
+  // Geolocation falls back to the unknown country rather than dropping.
+  const auto countries = plugin.country_ranking();
+  ASSERT_EQ(countries.size(), 1u);
+  EXPECT_EQ(countries[0].first, meta::unknown_country());
+}
+
+TEST_F(GeoPluginTest, IcmpErrorVictimComesFromQuote) {
+  // The tagged victim of an ICMP unreachable is the quoted destination.
+  GeoTaggingPlugin plugin(geo_, pfx2as_);
+  net::PacketRecord rec;
+  rec.src = Ipv4Addr(99, 1, 1, 1);  // router in unmapped space
+  rec.dst = Ipv4Addr(44, 0, 0, 1);
+  rec.proto = 1;
+  rec.icmp_type = 3;
+  rec.has_quoted = true;
+  rec.quoted_proto = 17;
+  rec.quoted_dst = Ipv4Addr(20, 1, 2, 3);  // true victim in FR
+  plugin.on_packet(rec);
+  const auto countries = plugin.country_ranking();
+  ASSERT_EQ(countries.size(), 1u);
+  EXPECT_EQ(countries[0].first.to_string(), "FR");
+}
+
+TEST_F(GeoPluginTest, RunsInPipeline) {
+  Pipeline pipeline;
+  auto& geo = pipeline.emplace_plugin<GeoTaggingPlugin>(geo_, pfx2as_);
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 5; ++i)
+    packets.push_back(backscatter_from(Ipv4Addr(10, 0, 0, 1)));
+  pipeline.replay(packets);
+  pipeline.finish();
+  EXPECT_EQ(geo.tagged_packets(), 5u);
+}
+
+}  // namespace
+}  // namespace dosm::telescope

@@ -1,0 +1,160 @@
+// Packet encode/decode round-trip and checksum tests.
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+
+namespace dosm::net {
+namespace {
+
+PacketRecord tcp_record() {
+  PacketRecord rec;
+  rec.ts_sec = 1425168000;
+  rec.ts_usec = 123456;
+  rec.src = Ipv4Addr(93, 184, 216, 34);
+  rec.dst = Ipv4Addr(44, 12, 34, 56);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  rec.src_port = 80;
+  rec.dst_port = 54321;
+  rec.tcp_flags = tcp_flags::kSyn | tcp_flags::kAck;
+  rec.ttl = 57;
+  return rec;
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example-style vector.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  const auto sum = internet_checksum(data);
+  // Verifies the defining property: checksum over data + checksum == 0.
+  std::vector<std::uint8_t> with_sum(data, data + sizeof(data));
+  with_sum.push_back(static_cast<std::uint8_t>(sum >> 8));
+  with_sum.push_back(static_cast<std::uint8_t>(sum & 0xff));
+  EXPECT_EQ(internet_checksum(with_sum), 0);
+}
+
+TEST(InternetChecksum, OddLengthPads) {
+  const std::uint8_t data[] = {0xab};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(EncodeDecode, TcpRoundTrip) {
+  const auto rec = tcp_record();
+  const auto bytes = encode_packet(rec);
+  ASSERT_EQ(bytes.size(), 40u);
+  bool checksum_ok = false;
+  const auto decoded = decode_packet(bytes, rec.ts_sec, rec.ts_usec, &checksum_ok);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(checksum_ok);
+  EXPECT_EQ(decoded->src, rec.src);
+  EXPECT_EQ(decoded->dst, rec.dst);
+  EXPECT_EQ(decoded->proto, rec.proto);
+  EXPECT_EQ(decoded->src_port, 80);
+  EXPECT_EQ(decoded->dst_port, 54321);
+  EXPECT_EQ(decoded->tcp_flags, tcp_flags::kSyn | tcp_flags::kAck);
+  EXPECT_EQ(decoded->ttl, 57);
+  EXPECT_EQ(decoded->ip_len, 40);
+  EXPECT_EQ(decoded->ts_sec, rec.ts_sec);
+  EXPECT_EQ(decoded->ts_usec, rec.ts_usec);
+}
+
+TEST(EncodeDecode, UdpRoundTrip) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(10, 0, 0, 1);
+  rec.dst = Ipv4Addr(10, 0, 0, 2);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  rec.src_port = 53;
+  rec.dst_port = 33333;
+  const auto bytes = encode_packet(rec);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_udp());
+  EXPECT_EQ(decoded->src_port, 53);
+  EXPECT_EQ(decoded->dst_port, 33333);
+}
+
+TEST(EncodeDecode, IcmpEchoReplyRoundTrip) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(1, 1, 1, 1);
+  rec.dst = Ipv4Addr(44, 0, 0, 1);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kEchoReply);
+  const auto bytes = encode_packet(rec);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_icmp());
+  EXPECT_EQ(decoded->icmp_type, 0);
+  EXPECT_FALSE(decoded->has_quoted);
+}
+
+TEST(EncodeDecode, IcmpUnreachableCarriesQuotedDatagram) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(5, 5, 5, 5);          // router
+  rec.dst = Ipv4Addr(44, 7, 7, 7);         // telescope (spoofed source)
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kDestUnreachable);
+  rec.icmp_code = 3;
+  rec.has_quoted = true;
+  rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  rec.quoted_src = rec.dst;
+  rec.quoted_dst = Ipv4Addr(9, 9, 9, 9);   // the victim
+  rec.quoted_src_port = 40000;
+  rec.quoted_dst_port = 27015;
+  const auto bytes = encode_packet(rec);
+  ASSERT_EQ(bytes.size(), 20u + 8u + 20u + 8u);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->has_quoted);
+  EXPECT_EQ(decoded->quoted_proto, static_cast<std::uint8_t>(IpProto::kUdp));
+  EXPECT_EQ(decoded->quoted_src, rec.quoted_src);
+  EXPECT_EQ(decoded->quoted_dst, rec.quoted_dst);
+  EXPECT_EQ(decoded->quoted_src_port, 40000);
+  EXPECT_EQ(decoded->quoted_dst_port, 27015);
+}
+
+TEST(EncodeDecode, OtherProtocolBareHeader) {
+  PacketRecord rec;
+  rec.src = Ipv4Addr(2, 2, 2, 2);
+  rec.dst = Ipv4Addr(3, 3, 3, 3);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIgmp);
+  const auto bytes = encode_packet(rec);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->proto, static_cast<std::uint8_t>(IpProto::kIgmp));
+}
+
+TEST(Decode, RejectsGarbage) {
+  EXPECT_FALSE(decode_packet({}).has_value());
+  const std::uint8_t short_buf[10] = {0x45};
+  EXPECT_FALSE(decode_packet(short_buf).has_value());
+  std::uint8_t not_ipv4[20] = {0x65};  // version 6
+  EXPECT_FALSE(decode_packet(not_ipv4).has_value());
+}
+
+TEST(Decode, ToleratesTruncatedTransport) {
+  // Valid IP header claiming TCP, but the transport header is missing:
+  // decode keeps the IP view with zero ports.
+  auto bytes = encode_packet(tcp_record());
+  bytes.resize(24);  // 20 IP + 4 transport bytes (under the 14 needed)
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src_port, 0);
+  EXPECT_EQ(decoded->tcp_flags, 0);
+}
+
+TEST(Decode, ReportsBadChecksum) {
+  auto bytes = encode_packet(tcp_record());
+  bytes[10] ^= 0xff;  // corrupt the IP checksum
+  bool checksum_ok = true;
+  const auto decoded = decode_packet(bytes, 0, 0, &checksum_ok);
+  ASSERT_TRUE(decoded.has_value());  // tolerated but flagged
+  EXPECT_FALSE(checksum_ok);
+}
+
+TEST(PacketRecord, TimestampCombinesParts) {
+  PacketRecord rec;
+  rec.ts_sec = 100;
+  rec.ts_usec = 500000;
+  EXPECT_DOUBLE_EQ(rec.timestamp(), 100.5);
+}
+
+}  // namespace
+}  // namespace dosm::net

@@ -1,0 +1,232 @@
+// Hosting ecosystem tests: domain registration, DNS state, co-hosting
+// skew, preexisting DPS customers, provider front IPs.
+#include <gtest/gtest.h>
+
+#include "dps/classifier.h"
+#include "sim/hosting.h"
+
+namespace dosm::sim {
+namespace {
+
+class HostingTest : public ::testing::Test {
+ protected:
+  static constexpr int kDays = 120;
+  static constexpr int kDomains = 12000;
+
+  HostingTest()
+      : rng_(7),
+        population_(rng_),
+        providers_(dps::paper_providers()),
+        store_(kDays) {
+    HostingConfig config;
+    config.num_domains = kDomains;
+    config.num_generic_hosters = 25;
+    hosting_ = std::make_unique<HostingEcosystem>(rng_, population_, providers_,
+                                                  names_, store_, config);
+  }
+
+  Rng rng_;
+  Population population_;
+  dps::ProviderRegistry providers_;
+  dns::NameTable names_;
+  dns::SnapshotStore store_;
+  std::unique_ptr<HostingEcosystem> hosting_;
+};
+
+TEST_F(HostingTest, RegistersRequestedDomains) {
+  EXPECT_EQ(store_.num_domains(), static_cast<std::size_t>(kDomains));
+  EXPECT_EQ(hosting_->num_sites(), static_cast<std::size_t>(kDomains));
+  // TLD mix ~ .com 82.7%, .net 10.3%, .org 7%.
+  const auto com = hosting_->domains_in_tld("com");
+  const auto net = hosting_->domains_in_tld("net");
+  const auto org = hosting_->domains_in_tld("org");
+  EXPECT_EQ(com + net + org, static_cast<std::uint64_t>(kDomains));
+  EXPECT_GT(com, 7u * net);
+  EXPECT_GT(net, org);
+}
+
+TEST_F(HostingTest, EverySiteHasInitialDnsState) {
+  for (dns::DomainId id = 0; id < kDomains; ++id) {
+    const auto& site = hosting_->site(id);
+    const auto record = store_.record_on(id, site.first_seen);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_TRUE(record->has_website());
+    if (site.preexisting == dps::kNoProvider) {
+      EXPECT_EQ(record->www_a, site.origin_ip);
+      EXPECT_NE(record->ns, dns::kNoName);
+    }
+  }
+}
+
+TEST_F(HostingTest, MegaHostersExistAndConcentrateSites) {
+  const auto& hosters = hosting_->hosters();
+  std::size_t mega = 0;
+  bool found_godaddy = false, found_ovh = false;
+  for (const auto& hoster : hosters) {
+    if (hoster.mega) ++mega;
+    if (hoster.name == "GoDaddy") found_godaddy = true;
+    if (hoster.name == "OVH") found_ovh = true;
+  }
+  EXPECT_GE(mega, 10u);
+  EXPECT_TRUE(found_godaddy);
+  EXPECT_TRUE(found_ovh);
+
+  // Co-hosting skew: the most-loaded IP hosts far more sites than the
+  // median hosting IP.
+  std::size_t max_sites = 0, hosting_ips = 0;
+  store_.build_reverse_index();
+  for (const auto& ip : store_.hosting_ips()) {
+    ++hosting_ips;
+    max_sites = std::max(max_sites, store_.count_sites_on(ip, kDays - 1));
+  }
+  EXPECT_GT(hosting_ips, 500u);  // plenty of self-hosted singletons
+  EXPECT_GT(max_sites, 50u);     // and a few heavy shared IPs
+}
+
+TEST_F(HostingTest, PreexistingCustomersAreDetectable) {
+  const dps::Classifier classifier(providers_, names_);
+  std::size_t preexisting = 0, detected = 0;
+  for (dns::DomainId id = 0; id < kDomains; ++id) {
+    const auto& site = hosting_->site(id);
+    if (site.preexisting == dps::kNoProvider) continue;
+    ++preexisting;
+    const auto record = store_.record_on(id, site.first_seen);
+    ASSERT_TRUE(record.has_value());
+    const auto provider = classifier.classify(*record);
+    ASSERT_TRUE(provider.has_value());
+    EXPECT_EQ(*provider, site.preexisting);
+    ++detected;
+  }
+  EXPECT_GT(preexisting, 20u);
+  EXPECT_EQ(preexisting, detected);
+}
+
+TEST_F(HostingTest, OriginIndexMatchesSites) {
+  for (dns::DomainId id = 0; id < 200; ++id) {
+    const auto& site = hosting_->site(id);
+    const auto domains = hosting_->domains_on_origin(site.origin_ip);
+    EXPECT_NE(std::find(domains.begin(), domains.end(), id), domains.end());
+  }
+  EXPECT_TRUE(
+      hosting_->domains_on_origin(net::Ipv4Addr(1, 2, 3, 4)).empty());
+}
+
+TEST_F(HostingTest, HosterOfIpRoundTrips) {
+  for (std::size_t h = 0; h < hosting_->hosters().size(); ++h) {
+    for (const auto& ip : hosting_->hosters()[h].ips) {
+      EXPECT_EQ(hosting_->hoster_of_ip(ip), static_cast<int>(h));
+    }
+  }
+  EXPECT_EQ(hosting_->hoster_of_ip(net::Ipv4Addr(1, 2, 3, 4)), -1);
+}
+
+TEST_F(HostingTest, AttackSamplerPrefersLoadedIps) {
+  // Sampling hosting IPs should hit mega-hoster IPs much more often than
+  // their share of the IP population (popularity-weighted targeting).
+  Rng rng(11);
+  int mega_hits = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto ip = hosting_->sample_hosting_ip(rng);
+    const int h = hosting_->hoster_of_ip(ip);
+    if (h >= 0 && hosting_->hosters()[static_cast<std::size_t>(h)].mega)
+      ++mega_hits;
+  }
+  std::size_t mega_ips = 0;
+  for (const auto& hoster : hosting_->hosters())
+    if (hoster.mega) mega_ips += hoster.ips.size();
+  store_.build_reverse_index();
+  const std::size_t all_ips = store_.hosting_ips().size();
+  // Expected attacks *per IP* must be higher for (loaded) mega-hoster IPs
+  // than for the rest of the hosting population.
+  const double rate_mega =
+      static_cast<double>(mega_hits) / static_cast<double>(mega_ips);
+  const double rate_rest = static_cast<double>(kDraws - mega_hits) /
+                           static_cast<double>(all_ips - mega_ips);
+  EXPECT_GT(rate_mega, rate_rest);
+}
+
+TEST_F(HostingTest, ProtectedRecordsPointIntoProviderSpace) {
+  Rng rng(13);
+  for (const auto& provider : providers_.all()) {
+    const auto front = hosting_->provider_front_ip(provider.id, rng);
+    bool inside = false;
+    for (const auto& prefix : provider.prefixes) inside |= prefix.contains(front);
+    EXPECT_TRUE(inside) << provider.name;
+    const auto record = hosting_->protected_record(0, provider.id, rng);
+    EXPECT_NE(record.www_cname, dns::kNoName);
+    EXPECT_TRUE(record.has_website());
+  }
+}
+
+TEST_F(HostingTest, ProviderSamplerFollowsMarketShares) {
+  Rng rng(17);
+  std::vector<int> counts(providers_.size() + 1, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[hosting_->sample_provider(rng)];
+  const auto neustar = *providers_.find("Neustar");
+  const auto level3 = *providers_.find("Level 3");
+  const auto virtualroad = *providers_.find("VirtualRoad");
+  // Neustar (10.78M in Table 3) must dominate Level 3 (0.47M) and
+  // VirtualRoad (<100).
+  EXPECT_GT(counts[neustar], 10 * counts[level3]);
+  EXPECT_GT(counts[level3], counts[virtualroad]);
+}
+
+TEST_F(HostingTest, SharedMailInfrastructure) {
+  // Hosted domains with mail ride their hoster's shared exchangers; the
+  // ground-truth mail index and the DNS MX records must agree.
+  std::size_t hosted_mail = 0, independent_mail = 0;
+  for (dns::DomainId id = 0; id < kDomains; ++id) {
+    const auto& site = hosting_->site(id);
+    const auto record = store_.record_on(id, site.first_seen);
+    ASSERT_TRUE(record.has_value());
+    if (record->mx == dns::kNoName) continue;
+    ASSERT_NE(record->mx_a, net::Ipv4Addr());
+    const auto served = hosting_->domains_with_mail_on(record->mx_a);
+    EXPECT_NE(std::find(served.begin(), served.end(), id), served.end());
+    if (site.hoster >= 0) {
+      ++hosted_mail;
+      const auto& hoster =
+          hosting_->hosters()[static_cast<std::size_t>(site.hoster)];
+      EXPECT_EQ(record->mx, hoster.mail_name);
+      EXPECT_NE(std::find(hoster.mail_ips.begin(), hoster.mail_ips.end(),
+                          record->mx_a),
+                hoster.mail_ips.end());
+    } else {
+      ++independent_mail;
+      EXPECT_EQ(record->mx_a, site.origin_ip);
+    }
+  }
+  EXPECT_GT(hosted_mail, 1000u);       // ~half of hosted domains
+  EXPECT_GT(independent_mail, 1000u);  // ~half of self/micro domains
+
+  // Every hoster exposes at least one mail exchanger.
+  for (const auto& hoster : hosting_->hosters()) {
+    EXPECT_FALSE(hoster.mail_ips.empty()) << hoster.name;
+    EXPECT_NE(hoster.mail_name, dns::kNoName);
+  }
+  EXPECT_TRUE(
+      hosting_->domains_with_mail_on(net::Ipv4Addr(1, 2, 3, 4)).empty());
+}
+
+TEST_F(HostingTest, DpsFrontDetection) {
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const auto front = hosting_->sample_dps_front_ip(rng);
+    EXPECT_TRUE(hosting_->is_dps_front(front));
+    EXPECT_TRUE(hosting_->hosts_websites(front));
+  }
+  EXPECT_FALSE(hosting_->is_dps_front(net::Ipv4Addr(8, 8, 8, 8)));
+}
+
+TEST_F(HostingTest, LateRegistrationsAppearMidWindow) {
+  int late = 0;
+  for (dns::DomainId id = 0; id < kDomains; ++id)
+    if (hosting_->site(id).first_seen > 0) ++late;
+  // ~18% of domains register after day 0.
+  EXPECT_GT(late, kDomains / 10);
+  EXPECT_LT(late, kDomains / 3);
+}
+
+}  // namespace
+}  // namespace dosm::sim

@@ -1,0 +1,106 @@
+// IPv4 address and prefix tests.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace dosm::net {
+namespace {
+
+TEST(Ipv4Addr, ConstructionAndOctets) {
+  const Ipv4Addr a(192, 168, 1, 42);
+  EXPECT_EQ(a.value(), 0xc0a8012au);
+  EXPECT_EQ(a.first_octet(), 192);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0"), Ipv4Addr(0));
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255"), Ipv4Addr(0xffffffffu));
+  EXPECT_EQ(Ipv4Addr::parse("10.0.0.1"), Ipv4Addr(10, 0, 0, 1));
+}
+
+TEST(Ipv4Addr, ParseInvalid) {
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("256.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1..2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse(""), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.1000"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, NetworkRollups) {
+  const Ipv4Addr a(203, 0, 113, 77);
+  EXPECT_EQ(a.slash24(), Ipv4Addr(203, 0, 113, 0));
+  EXPECT_EQ(a.slash16(), Ipv4Addr(203, 0, 0, 0));
+  EXPECT_EQ(a.slash8(), Ipv4Addr(203, 0, 0, 0));
+}
+
+TEST(Ipv4Addr, OrderingAndHash) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  std::unordered_set<Ipv4Addr> set;
+  set.insert(Ipv4Addr(10, 0, 0, 1));
+  set.insert(Ipv4Addr(10, 0, 0, 1));
+  set.insert(Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Prefix, NormalizesNetworkAddress) {
+  const Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.network(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p = Prefix::parse("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 169, 0, 0)));
+  const Prefix all = Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Addr(1, 2, 3, 4)));
+  const Prefix host = Prefix::parse("10.0.0.1/32");
+  EXPECT_TRUE(host.contains(Ipv4Addr(10, 0, 0, 1)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(10, 0, 0, 2)));
+}
+
+TEST(Prefix, NumAddressesAndIndexing) {
+  const Prefix p = Prefix::parse("10.0.0.0/24");
+  EXPECT_EQ(p.num_addresses(), 256u);
+  EXPECT_EQ(p.address_at(0), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(p.address_at(255), Ipv4Addr(10, 0, 0, 255));
+  EXPECT_THROW(p.address_at(256), std::out_of_range);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/0").num_addresses(), 1ull << 32);
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/x"), std::invalid_argument);
+  EXPECT_THROW(Prefix(Ipv4Addr(1, 2, 3, 4), 40), std::invalid_argument);
+}
+
+// Property: every address inside a prefix round-trips through contains().
+class PrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSweep, AddressAtIsContained) {
+  const int len = GetParam();
+  const Prefix p(Ipv4Addr(172, 16, 37, 200), len);
+  const auto step = std::max<std::uint64_t>(1, p.num_addresses() / 64);
+  for (std::uint64_t i = 0; i < p.num_addresses(); i += step) {
+    EXPECT_TRUE(p.contains(p.address_at(i)));
+  }
+  if (len > 0) {
+    // The address just past the prefix is not contained.
+    const Ipv4Addr beyond(p.network().value() +
+                          static_cast<std::uint32_t>(p.num_addresses()));
+    EXPECT_FALSE(p.contains(beyond));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixSweep,
+                         ::testing::Values(8, 12, 16, 20, 24, 28, 32));
+
+}  // namespace
+}  // namespace dosm::net

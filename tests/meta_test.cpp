@@ -1,0 +1,143 @@
+// Metadata layer tests: longest-prefix match, geolocation, prefix-to-AS.
+#include <gtest/gtest.h>
+
+#include "meta/geo.h"
+#include "meta/pfx2as.h"
+#include "meta/prefix_map.h"
+
+namespace dosm::meta {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap<int> map;
+  map.insert(Prefix::parse("10.0.0.0/8"), 8);
+  map.insert(Prefix::parse("10.1.0.0/16"), 16);
+  map.insert(Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(map.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(map.lookup(Ipv4Addr(10, 1, 9, 9)), 16);
+  EXPECT_EQ(map.lookup(Ipv4Addr(10, 200, 0, 1)), 8);
+  EXPECT_FALSE(map.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixMap, DefaultRouteMatchesEverything) {
+  PrefixMap<int> map;
+  map.insert(Prefix::parse("0.0.0.0/0"), 1);
+  EXPECT_EQ(map.lookup(Ipv4Addr(255, 255, 255, 255)), 1);
+  EXPECT_EQ(map.lookup(Ipv4Addr(0)), 1);
+}
+
+TEST(PrefixMap, HostRoutes) {
+  PrefixMap<int> map;
+  map.insert(Prefix::parse("1.2.3.4/32"), 32);
+  map.insert(Prefix::parse("1.2.3.0/24"), 24);
+  EXPECT_EQ(map.lookup(Ipv4Addr(1, 2, 3, 4)), 32);
+  EXPECT_EQ(map.lookup(Ipv4Addr(1, 2, 3, 5)), 24);
+}
+
+TEST(PrefixMap, InsertReplacesAndCountsSize) {
+  PrefixMap<int> map;
+  EXPECT_TRUE(map.empty());
+  map.insert(Prefix::parse("10.0.0.0/8"), 1);
+  map.insert(Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.lookup(Ipv4Addr(10, 0, 0, 1)), 2);
+}
+
+TEST(PrefixMap, MatchingPrefixReturnsCoveringRoute) {
+  PrefixMap<int> map;
+  map.insert(Prefix::parse("192.168.0.0/16"), 7);
+  const auto hit = map.matching_prefix(Ipv4Addr(192, 168, 3, 4));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->to_string(), "192.168.0.0/16");
+  EXPECT_FALSE(map.matching_prefix(Ipv4Addr(8, 8, 8, 8)).has_value());
+}
+
+TEST(PrefixMap, ForEachVisitsAll) {
+  PrefixMap<int> map;
+  map.insert(Prefix::parse("10.0.0.0/8"), 1);
+  map.insert(Prefix::parse("20.0.0.0/8"), 2);
+  map.insert(Prefix::parse("10.5.0.0/16"), 3);
+  int count = 0, sum = 0;
+  map.for_each([&](const Prefix&, int v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(CountryCode, ValidatesFormat) {
+  EXPECT_EQ(CountryCode("US").to_string(), "US");
+  EXPECT_EQ(CountryCode("fr").to_string(), "fr");
+  EXPECT_THROW(CountryCode("USA"), std::invalid_argument);
+  EXPECT_THROW(CountryCode("U"), std::invalid_argument);
+  EXPECT_THROW(CountryCode("1A"), std::invalid_argument);
+  EXPECT_FALSE(CountryCode().is_set());
+  EXPECT_TRUE(CountryCode("DE").is_set());
+}
+
+TEST(CountryCode, Ordering) {
+  EXPECT_LT(CountryCode("DE"), CountryCode("US"));
+  EXPECT_EQ(CountryCode("GB"), CountryCode("GB"));
+}
+
+TEST(GeoDatabase, LocateWithFallback) {
+  GeoDatabase geo;
+  geo.add(Prefix::parse("5.0.0.0/8"), CountryCode("DE"));
+  geo.add(Prefix::parse("5.5.0.0/16"), CountryCode("FR"));
+  EXPECT_EQ(geo.locate(Ipv4Addr(5, 5, 1, 1)), CountryCode("FR"));
+  EXPECT_EQ(geo.locate(Ipv4Addr(5, 9, 1, 1)), CountryCode("DE"));
+  EXPECT_EQ(geo.locate(Ipv4Addr(99, 0, 0, 1)), unknown_country());
+  EXPECT_EQ(geo.num_prefixes(), 2u);
+}
+
+TEST(PrefixToAsMap, OriginLookups) {
+  PrefixToAsMap pfx2as;
+  pfx2as.announce(Prefix::parse("203.0.112.0/20"), 12276);
+  pfx2as.announce(Prefix::parse("203.0.113.0/24"), 64500);
+  EXPECT_EQ(pfx2as.origin(Ipv4Addr(203, 0, 113, 7)), 64500u);
+  EXPECT_EQ(pfx2as.origin(Ipv4Addr(203, 0, 112, 7)), 12276u);
+  EXPECT_EQ(pfx2as.origin(Ipv4Addr(8, 8, 8, 8)), kUnknownAsn);
+  const auto covering = pfx2as.covering_prefix(Ipv4Addr(203, 0, 113, 200));
+  ASSERT_TRUE(covering.has_value());
+  EXPECT_EQ(covering->length(), 24);
+}
+
+TEST(AsRegistry, NamesAndFallback) {
+  AsRegistry registry;
+  registry.register_as(12276, "OVH");
+  EXPECT_EQ(registry.name(12276), "OVH");
+  EXPECT_EQ(registry.name(65000), "AS65000");
+  EXPECT_TRUE(registry.contains(12276));
+  EXPECT_FALSE(registry.contains(65000));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// Property: for any inserted prefix, all sampled inside addresses match it
+// or a more specific one; the lookup never returns a shorter match when a
+// longer one covers the address.
+class LpmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpmProperty, SpecificityIsRespected) {
+  const int len = GetParam();
+  PrefixMap<int> map;
+  const Prefix outer(Ipv4Addr(100, 64, 0, 0), len);
+  const Prefix inner(Ipv4Addr(100, 64, 0, 0), len + 4);
+  map.insert(outer, 1);
+  map.insert(inner, 2);
+  EXPECT_EQ(map.lookup(inner.network()), 2);
+  // An address in outer but outside inner maps to outer.
+  const Ipv4Addr outside_inner(
+      inner.network().value() + static_cast<std::uint32_t>(inner.num_addresses()));
+  if (outer.contains(outside_inner)) {
+    EXPECT_EQ(map.lookup(outside_inner), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LpmProperty, ::testing::Values(8, 10, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace dosm::meta

@@ -1,0 +1,219 @@
+// Migration behaviour model tests: intensity-driven urgency, hoster-wide
+// moves, spontaneous adoption, and DNS-side detectability.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dps/classifier.h"
+#include "sim/migration_model.h"
+
+namespace dosm::sim {
+namespace {
+
+using net::Ipv4Addr;
+
+class MigrationModelTest : public ::testing::Test {
+ protected:
+  static constexpr int kDays = 200;
+
+  MigrationModelTest()
+      : rng_(31),
+        population_(rng_),
+        providers_(dps::paper_providers()),
+        store_(kDays),
+        window_{{2015, 3, 1}, {2015, 9, 16}} {
+    HostingConfig config;
+    config.num_domains = 2500;
+    config.num_generic_hosters = 20;
+    hosting_ = std::make_unique<HostingEcosystem>(rng_, population_, providers_,
+                                                  names_, store_, config);
+  }
+
+  GroundTruthAttack attack_on(Ipv4Addr target, int day, double victim_pps) {
+    GroundTruthAttack attack;
+    attack.kind = AttackKind::kDirect;
+    attack.target = target;
+    attack.start = static_cast<double>(window_.day_start(day)) + 3600.0;
+    attack.duration_s = 600.0;
+    attack.victim_pps = victim_pps;
+    attack.ip_proto = 6;
+    attack.ports = {80};
+    return attack;
+  }
+
+  Rng rng_;
+  Population population_;
+  dps::ProviderRegistry providers_;
+  dns::NameTable names_;
+  dns::SnapshotStore store_;
+  StudyWindow window_;
+  std::unique_ptr<HostingEcosystem> hosting_;
+};
+
+TEST_F(MigrationModelTest, SpontaneousAdoptionRunsWithoutAttacks) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 0.05;
+  MigrationModel model(7, *hosting_, store_, window_, config);
+  const auto migrations = model.apply({});
+  // ~5% of the independently-operated (self/micro-hosted) share of ~2500
+  // domains, minus preexisting customers.
+  EXPECT_GT(migrations.size(), 30u);
+  EXPECT_LT(migrations.size(), 160u);
+  for (const auto& migration : migrations) {
+    EXPECT_FALSE(migration.attack_driven);
+    EXPECT_GE(migration.migration_day,
+              store_.entry(migration.domain).first_seen_day);
+  }
+}
+
+TEST_F(MigrationModelTest, AppliedMigrationsAreDetectableViaDns) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 0.02;
+  config.site_base_probability = 0.5;  // make attack-driven moves common
+  MigrationModel model(8, *hosting_, store_, window_, config);
+  // Attack a batch of self-hosted sites hard.
+  std::vector<GroundTruthAttack> attacks;
+  for (dns::DomainId id = 0; id < 300; ++id) {
+    const auto& site = hosting_->site(id);
+    if (site.hoster >= 0 || site.first_seen > 50) continue;
+    attacks.push_back(attack_on(site.origin_ip, 60, 1e6));
+  }
+  const auto migrations = model.apply(attacks);
+  ASSERT_GT(migrations.size(), 10u);
+
+  const dps::Classifier classifier(providers_, names_);
+  for (const auto& migration : migrations) {
+    const auto record = store_.record_on(migration.domain, migration.migration_day);
+    ASSERT_TRUE(record.has_value());
+    const auto provider = classifier.classify(*record);
+    ASSERT_TRUE(provider.has_value());
+    EXPECT_EQ(*provider, migration.provider);
+  }
+}
+
+TEST_F(MigrationModelTest, IntenseAttacksMigrateFasterOnAverage) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 0.0;
+  config.site_base_probability = 0.9;
+  MigrationModel model(9, *hosting_, store_, window_, config);
+
+  // Build a bimodal attack population: many weak, a few extreme (the
+  // extreme class must be a small top fraction for its percentile rank to
+  // approach 1, as in the real heavy-tailed intensity distribution).
+  std::vector<GroundTruthAttack> attacks;
+  std::vector<bool> is_intense;
+  int added = 0;
+  Rng jitter(123);
+  for (dns::DomainId id = 0; id < store_.num_domains() && added < 600; ++id) {
+    const auto& site = hosting_->site(id);
+    if (site.hoster >= 0 || site.first_seen > 20 ||
+        site.preexisting != dps::kNoProvider)
+      continue;
+    const bool intense = (added % 40 == 0);
+    attacks.push_back(attack_on(site.origin_ip, 40,
+                                intense ? 1e7 : jitter.uniform(100.0, 5000.0)));
+    is_intense.push_back(intense);
+    ++added;
+  }
+  const auto migrations = model.apply(attacks);
+  ASSERT_GT(migrations.size(), 100u);
+
+  // Map targets back to intensity class.
+  std::unordered_map<std::uint32_t, bool> intense_by_ip;
+  for (std::size_t i = 0; i < attacks.size(); ++i)
+    intense_by_ip[attacks[i].target.value()] = is_intense[i];
+
+  RunningStats delay_intense, delay_weak;
+  for (const auto& migration : migrations) {
+    if (!migration.attack_driven) continue;
+    const auto& site = hosting_->site(migration.domain);
+    const double delay = migration.migration_day - migration.decision_day;
+    if (intense_by_ip[site.origin_ip.value()])
+      delay_intense.add(delay);
+    else
+      delay_weak.add(delay);
+  }
+  ASSERT_GT(delay_intense.count(), 5u);
+  ASSERT_GT(delay_weak.count(), 50u);
+  EXPECT_LT(delay_intense.mean(), delay_weak.mean());
+}
+
+TEST_F(MigrationModelTest, HosterWideMigrationMovesManySitesAtOnce) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 0.0;
+  config.site_base_probability = 0.0;
+  config.hoster_base_probability = 1.0;  // force the wholesale decision
+  MigrationModel model(10, *hosting_, store_, window_, config);
+
+  // Attack one mega hoster IP.
+  const auto& hosters = hosting_->hosters();
+  std::size_t mega_index = 0;
+  for (std::size_t h = 0; h < hosters.size(); ++h) {
+    if (hosters[h].mega) {
+      mega_index = h;
+      break;
+    }
+  }
+  const auto target = hosters[mega_index].ips.front();
+  // Background attacks populate the intensity-rank pool (a degenerate pool
+  // ranks everything at 0.5, below the trigger threshold); the burst on the
+  // hoster IP then ranks near 1. The wholesale decision fires with
+  // probability capped at 0.9 per attack; a short burst makes the test
+  // deterministic-enough under any seed.
+  std::vector<GroundTruthAttack> attacks;
+  Rng jitter(321);
+  for (int i = 0; i < 200; ++i) {
+    attacks.push_back(attack_on(population_.sample_address(jitter), 10 + i % 15,
+                                jitter.uniform(100.0, 5000.0)));
+  }
+  attacks.push_back(attack_on(target, 30, 1e6));
+  attacks.push_back(attack_on(target, 31, 1e6));
+  attacks.push_back(attack_on(target, 32, 1e6));
+  std::sort(attacks.begin(), attacks.end(),
+            [](const GroundTruthAttack& a, const GroundTruthAttack& b) {
+              return a.start < b.start;
+            });
+  const auto migrations = model.apply(attacks);
+  ASSERT_GE(migrations.size(), 4u);
+  // All migrations share one provider and one decision day (the Wix case).
+  for (const auto& migration : migrations) {
+    EXPECT_TRUE(migration.hoster_wide);
+    EXPECT_EQ(migration.provider, migrations.front().provider);
+    EXPECT_EQ(migration.decision_day, migrations.front().decision_day);
+    EXPECT_GE(migration.decision_day, 30);
+    EXPECT_LE(migration.decision_day, 32);
+  }
+}
+
+TEST_F(MigrationModelTest, PreexistingCustomersNeverMigrate) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 1.0;  // everyone eligible migrates
+  config.site_base_probability = 1.0;
+  MigrationModel model(11, *hosting_, store_, window_, config);
+  const auto migrations = model.apply({});
+  for (const auto& migration : migrations) {
+    EXPECT_EQ(hosting_->site(migration.domain).preexisting, dps::kNoProvider);
+  }
+}
+
+TEST_F(MigrationModelTest, OneMigrationPerDomain) {
+  MigrationConfig config;
+  config.spontaneous_fraction = 0.1;
+  config.site_base_probability = 0.9;
+  MigrationModel model(12, *hosting_, store_, window_, config);
+  std::vector<GroundTruthAttack> attacks;
+  for (dns::DomainId id = 0; id < 500; ++id) {
+    const auto& site = hosting_->site(id);
+    if (site.first_seen > 10) continue;
+    attacks.push_back(attack_on(site.origin_ip, 20, 1e6));
+    attacks.push_back(attack_on(site.origin_ip, 40, 1e6));  // repeat attack
+  }
+  const auto migrations = model.apply(attacks);
+  std::set<dns::DomainId> seen;
+  for (const auto& migration : migrations) {
+    EXPECT_TRUE(seen.insert(migration.domain).second)
+        << "domain migrated twice: " << migration.domain;
+  }
+}
+
+}  // namespace
+}  // namespace dosm::sim

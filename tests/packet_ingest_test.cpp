@@ -1,0 +1,152 @@
+// Packet-level AmpPot ingestion tests: raw UDP datagrams -> requests ->
+// consolidated events, including the full pcap round trip, and agreement
+// with the log-level fleet driver on identical ground truth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "amppot/packet_ingest.h"
+
+namespace dosm::amppot {
+namespace {
+
+using net::Ipv4Addr;
+
+ReflectionAttackSpec ntp_attack(Ipv4Addr victim, double start, double duration,
+                                double rps, int honeypots) {
+  ReflectionAttackSpec spec;
+  spec.victim = victim;
+  spec.protocol = ReflectionProtocol::kNtp;
+  spec.start = start;
+  spec.duration_s = duration;
+  spec.per_reflector_rps = rps;
+  spec.honeypots_hit = honeypots;
+  return spec;
+}
+
+TEST(PacketIngest, SynthesizedRequestsLookRight) {
+  HoneypotFleet fleet(1);
+  const auto spec = ntp_attack(Ipv4Addr(9, 9, 9, 9), 0.0, 300.0, 3.0, 8);
+  const auto packets =
+      synthesize_reflection_requests(fleet, {&spec, 1}, 0.0, 600.0, 7);
+  ASSERT_GT(packets.size(), 5000u);  // ~8 honeypots x 900 requests
+  double prev = -1.0;
+  std::set<std::uint32_t> destinations;
+  for (const auto& rec : packets) {
+    EXPECT_TRUE(rec.is_udp());
+    EXPECT_EQ(rec.src, spec.victim);
+    EXPECT_EQ(rec.dst_port, 123);  // NTP
+    EXPECT_GE(rec.timestamp(), prev);
+    prev = rec.timestamp();
+    destinations.insert(rec.dst.value());
+  }
+  EXPECT_EQ(destinations.size(), 8u);
+}
+
+TEST(PacketIngest, RoutesAndDropsCorrectly) {
+  HoneypotFleet fleet(2);
+  PacketIngest ingest(fleet);
+
+  net::PacketRecord good;
+  good.ts_sec = 100;
+  good.src = Ipv4Addr(9, 9, 9, 9);
+  good.dst = fleet.honeypots()[0].address();
+  good.proto = 17;
+  good.dst_port = 53;  // DNS
+  EXPECT_TRUE(ingest.ingest(good));
+
+  auto wrong_port = good;
+  wrong_port.dst_port = 4444;  // nothing emulated there
+  EXPECT_FALSE(ingest.ingest(wrong_port));
+
+  auto wrong_address = good;
+  wrong_address.dst = Ipv4Addr(8, 8, 8, 8);
+  EXPECT_FALSE(ingest.ingest(wrong_address));
+
+  auto tcp = good;
+  tcp.proto = 6;
+  EXPECT_FALSE(ingest.ingest(tcp));
+
+  const auto& stats = ingest.stats();
+  EXPECT_EQ(stats.packets, 4u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.unknown_port, 1u);
+  EXPECT_EQ(stats.unknown_address, 1u);
+  EXPECT_EQ(stats.non_udp, 1u);
+  EXPECT_EQ(fleet.total_requests(), 1u);
+}
+
+TEST(PacketIngest, PcapRoundTripToEvents) {
+  HoneypotFleet fleet(3);
+  const auto spec = ntp_attack(Ipv4Addr(9, 9, 9, 9), 10.0, 600.0, 2.0, 12);
+  const auto packets =
+      synthesize_reflection_requests(fleet, {&spec, 1}, 0.0, 3600.0, 11);
+
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  net::PcapWriter writer(stream);
+  for (const auto& rec : packets) writer.write_packet(rec);
+  net::PcapReader reader(stream);
+
+  PacketIngest ingest(fleet);
+  const auto stats = ingest.replay(reader);
+  EXPECT_EQ(stats.requests, packets.size());
+
+  const auto events = fleet.harvest();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].victim, spec.victim);
+  EXPECT_EQ(events[0].protocol, ReflectionProtocol::kNtp);
+  EXPECT_EQ(events[0].honeypots, 12u);
+  EXPECT_NEAR(events[0].duration(), 600.0, 40.0);
+  EXPECT_NEAR(events[0].avg_rps(), 2.0, 0.5);
+}
+
+TEST(PacketIngest, AgreesWithLogLevelDriver) {
+  // Same ground truth through both tiers must yield equivalent events.
+  std::vector<ReflectionAttackSpec> specs{
+      ntp_attack(Ipv4Addr(1, 1, 1, 1), 0.0, 400.0, 2.0, 6),
+      ntp_attack(Ipv4Addr(2, 2, 2, 2), 500.0, 300.0, 4.0, 10)};
+  specs[1].protocol = ReflectionProtocol::kCharGen;
+
+  HoneypotFleet log_fleet(4);
+  log_fleet.run(specs, 0.0, 3600.0);
+  const auto log_events = log_fleet.harvest();
+
+  HoneypotFleet packet_fleet(4);
+  const auto packets =
+      synthesize_reflection_requests(packet_fleet, specs, 0.0, 3600.0, 4);
+  PacketIngest ingest(packet_fleet);
+  ingest.replay(packets);
+  const auto packet_events = packet_fleet.harvest();
+
+  ASSERT_EQ(log_events.size(), 2u);
+  ASSERT_EQ(packet_events.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(packet_events[i].victim, log_events[i].victim);
+    EXPECT_EQ(packet_events[i].protocol, log_events[i].protocol);
+    EXPECT_NEAR(packet_events[i].avg_rps(), log_events[i].avg_rps(),
+                0.5 * log_events[i].avg_rps());
+  }
+}
+
+TEST(PacketIngest, ScanProbesStayBelowThreshold) {
+  // A scanner probing each protocol once from its own address produces
+  // requests but no events.
+  HoneypotFleet fleet(5);
+  PacketIngest ingest(fleet);
+  for (int s = 0; s < 50; ++s) {
+    for (const auto& info : all_protocols()) {
+      net::PacketRecord rec;
+      rec.ts_sec = 1000 + s;
+      rec.src = Ipv4Addr(1, 2, 3, static_cast<std::uint8_t>(s));
+      rec.dst = fleet.honeypots()[0].address();
+      rec.proto = 17;
+      rec.dst_port = info.udp_port;
+      ingest.ingest(rec);
+    }
+  }
+  EXPECT_GT(fleet.total_requests(), 300u);
+  EXPECT_TRUE(fleet.harvest().empty());
+}
+
+}  // namespace
+}  // namespace dosm::amppot

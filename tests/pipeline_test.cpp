@@ -1,0 +1,118 @@
+// Corsaro-style pipeline tests: plugin dispatch, stats, pcap replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telescope/pipeline.h"
+
+namespace dosm::telescope {
+namespace {
+
+using net::Ipv4Addr;
+using net::IpProto;
+using net::PacketRecord;
+
+PacketRecord backscatter_at(double ts, Ipv4Addr victim) {
+  PacketRecord rec;
+  rec.ts_sec = static_cast<UnixSeconds>(ts);
+  rec.ts_usec = static_cast<std::uint32_t>((ts - static_cast<UnixSeconds>(ts)) * 1e6);
+  rec.src = victim;
+  rec.dst = Ipv4Addr(44, 3, 2, 1);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  rec.src_port = 80;
+  rec.dst_port = 50000;
+  rec.tcp_flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+  rec.ip_len = 40;
+  return rec;
+}
+
+class CountingPlugin : public PacketPlugin {
+ public:
+  std::string name() const override { return "counting"; }
+  void on_packet(const PacketRecord&) override { ++packets; }
+  void on_end() override { ended = true; }
+  int packets = 0;
+  bool ended = false;
+};
+
+TEST(Pipeline, DispatchesToAllPlugins) {
+  Pipeline pipeline;
+  auto& a = pipeline.emplace_plugin<CountingPlugin>();
+  auto& b = pipeline.emplace_plugin<CountingPlugin>();
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(backscatter_at(100.0 + i, Ipv4Addr(1, 1, 1, 1)));
+  pipeline.replay(packets);
+  pipeline.finish();
+  EXPECT_EQ(a.packets, 5);
+  EXPECT_EQ(b.packets, 5);
+  EXPECT_TRUE(a.ended);
+  EXPECT_TRUE(b.ended);
+}
+
+TEST(Pipeline, RsdosDetectsAttackFromPackets) {
+  Pipeline pipeline;
+  auto& rsdos = pipeline.emplace_plugin<RsdosPlugin>();
+  std::vector<PacketRecord> packets;
+  // A dense flood: 300 packets over 120 seconds.
+  for (int i = 0; i < 300; ++i)
+    packets.push_back(backscatter_at(1000.0 + i * 0.4, Ipv4Addr(7, 7, 7, 7)));
+  pipeline.replay(packets);
+  pipeline.finish();
+  ASSERT_EQ(rsdos.events().size(), 1u);
+  const auto& event = rsdos.events()[0];
+  EXPECT_EQ(event.victim, Ipv4Addr(7, 7, 7, 7));
+  EXPECT_EQ(event.packets, 300u);
+  EXPECT_EQ(event.top_port, 80);
+  EXPECT_GE(event.max_pps, 2.0);
+}
+
+TEST(Pipeline, TrafficStatsCountsProtocols) {
+  Pipeline pipeline;
+  auto& stats = pipeline.emplace_plugin<TrafficStatsPlugin>();
+  std::vector<PacketRecord> packets;
+  packets.push_back(backscatter_at(1.0, Ipv4Addr(1, 1, 1, 1)));
+  PacketRecord udp;
+  udp.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  udp.ip_len = 60;
+  packets.push_back(udp);
+  pipeline.replay(packets);
+  pipeline.finish();
+  EXPECT_EQ(stats.total_packets(), 2u);
+  EXPECT_EQ(stats.backscatter_packets(), 1u);
+  EXPECT_EQ(stats.per_protocol().at(static_cast<std::uint8_t>(IpProto::kTcp)), 1u);
+  EXPECT_EQ(stats.per_protocol().at(static_cast<std::uint8_t>(IpProto::kUdp)), 1u);
+  EXPECT_EQ(stats.total_bytes(), 100u);
+}
+
+TEST(Pipeline, ReplaysFromPcapStream) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  net::PcapWriter writer(stream);
+  for (int i = 0; i < 100; ++i)
+    writer.write_packet(backscatter_at(2000.0 + i, Ipv4Addr(8, 8, 8, 8)));
+  net::PcapReader reader(stream);
+  Pipeline pipeline;
+  auto& rsdos = pipeline.emplace_plugin<RsdosPlugin>();
+  const auto replayed = pipeline.replay(reader);
+  pipeline.finish();
+  EXPECT_EQ(replayed, 100u);
+  ASSERT_EQ(rsdos.events().size(), 1u);
+  EXPECT_EQ(rsdos.events()[0].packets, 100u);
+  EXPECT_NEAR(rsdos.events()[0].duration(), 99.0, 0.01);
+}
+
+TEST(Pipeline, CustomThresholdsAreHonored) {
+  ClassifierThresholds strict;
+  strict.min_packets = 1000;
+  Pipeline pipeline;
+  auto& rsdos = pipeline.emplace_plugin<RsdosPlugin>(strict);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 300; ++i)
+    packets.push_back(backscatter_at(1000.0 + i * 0.4, Ipv4Addr(7, 7, 7, 7)));
+  pipeline.replay(packets);
+  pipeline.finish();
+  EXPECT_EQ(rsdos.events().size(), 0u);
+  EXPECT_EQ(rsdos.detector().flows_filtered(), 1u);
+}
+
+}  // namespace
+}  // namespace dosm::telescope

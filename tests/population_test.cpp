@@ -1,0 +1,113 @@
+// Population model tests: allocation, metadata consistency, sampling bias.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/population.h"
+
+namespace dosm::sim {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(1);
+    population_ = new Population(rng);
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    population_ = nullptr;
+  }
+  static Population* population_;
+};
+
+Population* PopulationTest::population_ = nullptr;
+
+TEST_F(PopulationTest, SampledAddressesAreAnnouncedAndGeolocated) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto addr = population_->sample_address(rng);
+    EXPECT_NE(population_->pfx2as().origin(addr), meta::kUnknownAsn);
+    EXPECT_NE(population_->geo().locate(addr), meta::unknown_country());
+  }
+}
+
+TEST_F(PopulationTest, CountryMixFollowsConfiguredWeights) {
+  Rng rng(3);
+  std::map<std::string, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[population_->geo().locate(population_->sample_address(rng)).to_string()];
+  // US dominates (~27% weight), CN second; JP deliberately tiny.
+  EXPECT_GT(counts["US"], counts["CN"]);
+  EXPECT_GT(counts["CN"], counts["JP"]);
+  EXPECT_GT(counts["US"], kDraws / 6);
+  EXPECT_LT(counts["JP"], kDraws / 25);
+  // France outranks Japan (the paper's OVH effect).
+  EXPECT_GT(counts["FR"], counts["JP"]);
+}
+
+TEST_F(PopulationTest, PinnedOrganizationsExist) {
+  EXPECT_EQ(population_->asn_of("OVH"), 12276u);
+  EXPECT_EQ(population_->asn_of("China Telecom"), 4134u);
+  EXPECT_EQ(population_->asn_of("China Unicom"), 4837u);
+  EXPECT_THROW(population_->asn_of("Cloudflare Inc"), std::out_of_range);
+  EXPECT_EQ(population_->as_registry().name(12276), "OVH");
+}
+
+TEST_F(PopulationTest, PinnedOrgAddressesRouteToTheirAsn) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto addr = population_->sample_address_in_as(12276, rng);
+    EXPECT_EQ(population_->pfx2as().origin(addr), 12276u);
+    EXPECT_EQ(population_->geo().locate(addr), meta::CountryCode("FR"));
+  }
+  EXPECT_THROW(population_->sample_address_in_as(999999, rng),
+               std::out_of_range);
+}
+
+TEST_F(PopulationTest, AddressSpaceAvoidsReservedRanges) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto addr = population_->sample_address(rng);
+    EXPECT_NE(addr.first_octet(), 44) << "telescope space";
+    EXPECT_NE(addr.first_octet(), 203) << "DPS space";
+    EXPECT_NE(addr.first_octet(), 198) << "honeypot space";
+  }
+}
+
+TEST_F(PopulationTest, DeterministicAcrossRebuilds) {
+  Rng rng_a(1), rng_b(1);
+  Population a(rng_a), b(rng_b);
+  Rng sample_a(9), sample_b(9);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.sample_address(sample_a), b.sample_address(sample_b));
+}
+
+TEST(PopulationConfigTest, ScalesWithBlockCount) {
+  Rng rng(6);
+  PopulationConfig small;
+  small.total_slash16 = 200;
+  const Population population(rng, small);
+  EXPECT_GT(population.num_ases(), 50u);
+  EXPECT_GT(population.pfx2as().num_announcements(), 200u / 2);
+}
+
+TEST(PopulationWeights, JapanIsTheNotableException) {
+  // The default weights must encode the paper's observation: Japan ranks
+  // ~3rd in address usage but far lower in attack targets.
+  const auto weights = default_country_weights();
+  double jp = 0, fr = 0, ru = 0, us = 0;
+  for (const auto& w : weights) {
+    if (std::string(w.code) == "JP") jp = w.weight;
+    if (std::string(w.code) == "FR") fr = w.weight;
+    if (std::string(w.code) == "RU") ru = w.weight;
+    if (std::string(w.code) == "US") us = w.weight;
+  }
+  EXPECT_GT(fr, 3.0 * jp);
+  EXPECT_GT(ru, 3.0 * jp);
+  EXPECT_GT(us, 0.2);
+}
+
+}  // namespace
+}  // namespace dosm::sim

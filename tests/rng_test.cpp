@@ -1,0 +1,261 @@
+// Unit and statistical tests for the deterministic RNG layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dosm {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(12346);
+  EXPECT_NE(SplitMix64(12345).next(), c.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) any_nonzero |= rng.next_u64() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(Rng(1).bernoulli(0.0));
+  EXPECT_TRUE(Rng(1).bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 20000.0, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) draws.push_back(rng.lognormal(2.0, 1.0));
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], std::exp(2.0), std::exp(2.0) * 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += double(rng.poisson(3.5));
+  EXPECT_NEAR(sum / 20000.0, 3.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalPath) {
+  Rng rng(41);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = double(rng.poisson(500.0));
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 500.0, 2.0);
+  EXPECT_NEAR(sq / kN - mean * mean, 500.0, 40.0);  // variance == mean
+}
+
+TEST(Rng, BinomialMatchesMoments) {
+  Rng rng(43);
+  // Small-n exact path.
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += double(rng.binomial(20, 0.25));
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.1);
+  // Large-n approximation path.
+  sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += double(rng.binomial(100000, 0.1));
+  EXPECT_NEAR(sum / 5000.0, 10000.0, 50.0);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(47);
+  Rng a = parent.fork("alpha");
+  Rng parent2(47);
+  Rng a2 = parent2.fork("alpha");
+  EXPECT_EQ(a.next_u64(), a2.next_u64());  // fork is deterministic
+  Rng parent3(47);
+  Rng b = parent3.fork("beta");
+  EXPECT_NE(Rng(47).fork("alpha").next_u64(), b.next_u64());
+}
+
+TEST(AliasTable, SamplesProportionally) {
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  const AliasTable table(weights);
+  Rng rng(53);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.6, 0.015);
+}
+
+TEST(AliasTable, HandlesZeroWeights) {
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  const AliasTable table(weights);
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsInvalidInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ZipfSampler, RanksStayInRange) {
+  const ZipfSampler zipf(100, 1.1);
+  Rng rng(61);
+  for (int i = 0; i < 5000; ++i) {
+    const auto rank = zipf.sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 100u);
+  }
+}
+
+TEST(ZipfSampler, Rank1IsMostFrequent) {
+  const ZipfSampler zipf(50, 1.0);
+  Rng rng(67);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+  EXPECT_GT(counts[5], counts[20]);
+  // Zipf(1): P(1)/P(2) ~ 2.
+  EXPECT_NEAR(double(counts[1]) / double(counts[2]), 2.0, 0.3);
+}
+
+TEST(ZipfSampler, SingleElementAlwaysOne) {
+  const ZipfSampler zipf(1, 2.0);
+  Rng rng(71);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("telescope"), fnv1a64("telescope"));
+}
+
+// Property sweep: bounded sampling is unbiased for several bounds.
+class NextBelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextBelowSweep, MeanIsHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761u + 1);
+  double sum = 0.0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) sum += double(rng.next_below(bound));
+  const double expected = (double(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / kDraws, expected, double(bound) * 0.02 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, NextBelowSweep,
+                         ::testing::Values(2, 3, 10, 100, 12345, 1 << 20));
+
+}  // namespace
+}  // namespace dosm

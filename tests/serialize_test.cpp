@@ -1,0 +1,116 @@
+// Event-dump serialization tests: round-trip fidelity, corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/serialize.h"
+#include "sim/scenario.h"
+
+namespace dosm::core {
+namespace {
+
+AttackEvent sample_event(int i) {
+  AttackEvent event;
+  event.source = i % 2 ? EventSource::kHoneypot : EventSource::kTelescope;
+  event.target = net::Ipv4Addr(static_cast<std::uint32_t>(0x0a000000 + i));
+  event.start = 1.4e9 + i * 1000.5;
+  event.end = event.start + 300.25;
+  event.intensity = 3.14159 * i;
+  event.packets = 1000u + static_cast<std::uint64_t>(i);
+  event.ip_proto = 6;
+  event.num_ports = static_cast<std::uint16_t>(i % 5);
+  event.top_port = static_cast<std::uint16_t>(80 + i);
+  event.unique_sources = static_cast<std::uint32_t>(10 * i);
+  event.reflection = amppot::ReflectionProtocol::kNtp;
+  event.honeypots = static_cast<std::uint32_t>(i % 24);
+  return event;
+}
+
+TEST(Serialize, RoundTripPreservesEveryField) {
+  std::vector<AttackEvent> events;
+  for (int i = 0; i < 50; ++i) events.push_back(sample_event(i));
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, events);
+  const auto loaded = read_events(stream);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].source, events[i].source);
+    EXPECT_EQ(loaded[i].target, events[i].target);
+    EXPECT_DOUBLE_EQ(loaded[i].start, events[i].start);
+    EXPECT_DOUBLE_EQ(loaded[i].end, events[i].end);
+    EXPECT_DOUBLE_EQ(loaded[i].intensity, events[i].intensity);
+    EXPECT_EQ(loaded[i].packets, events[i].packets);
+    EXPECT_EQ(loaded[i].ip_proto, events[i].ip_proto);
+    EXPECT_EQ(loaded[i].num_ports, events[i].num_ports);
+    EXPECT_EQ(loaded[i].top_port, events[i].top_port);
+    EXPECT_EQ(loaded[i].unique_sources, events[i].unique_sources);
+    EXPECT_EQ(loaded[i].reflection, events[i].reflection);
+    EXPECT_EQ(loaded[i].honeypots, events[i].honeypots);
+  }
+}
+
+TEST(Serialize, EmptyDumpRoundTrips) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, {});
+  EXPECT_TRUE(read_events(stream).empty());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::istringstream in("NOTANEVENTDUMP", std::ios::binary);
+  EXPECT_THROW(read_events(in), std::runtime_error);
+  std::istringstream empty("", std::ios::binary);
+  EXPECT_THROW(read_events(empty), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  std::vector<AttackEvent> events{sample_event(0), sample_event(1)};
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, events);
+  std::string data = stream.str();
+  data.resize(data.size() - 10);
+  std::istringstream cut(data, std::ios::binary);
+  EXPECT_THROW(read_events(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsBadSourceTag) {
+  std::vector<AttackEvent> events{sample_event(0)};
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, events);
+  std::string data = stream.str();
+  data[12] = '\x7f';  // the first record's source byte
+  std::istringstream bad(data, std::ios::binary);
+  EXPECT_THROW(read_events(bad), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTripAndStagedReanalysis) {
+  // The staged-deployment use case: dump a world's detected events, reload
+  // them into a fresh EventStore, and get identical rollups.
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const std::string path = "/tmp/dosm_serialize_test.bin";
+  std::vector<AttackEvent> events(world->store.events().begin(),
+                                  world->store.events().end());
+  save_events(path, events);
+
+  const auto loaded = load_events(path);
+  EventStore restored(world->window);
+  for (const auto& event : loaded) restored.add(event);
+  restored.finalize();
+
+  const auto& pfx2as = world->population.pfx2as();
+  const auto original =
+      world->store.summarize(SourceFilter::kCombined, pfx2as);
+  const auto reloaded = restored.summarize(SourceFilter::kCombined, pfx2as);
+  EXPECT_EQ(original.events, reloaded.events);
+  EXPECT_EQ(original.unique_targets, reloaded.unique_targets);
+  EXPECT_EQ(original.unique_slash24, reloaded.unique_slash24);
+  EXPECT_EQ(original.unique_asns, reloaded.unique_asns);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_events("/nonexistent/path/events.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dosm::core

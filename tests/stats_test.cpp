@@ -1,0 +1,173 @@
+// Statistics substrate tests: running stats, empirical distributions,
+// log-binned histograms and daily series.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace dosm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MomentsMatchKnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(EmpiricalDistribution, PercentilesInterpolate) {
+  EmpiricalDistribution dist({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(dist.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(dist.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(dist.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(dist.percentile(87.5), 4.5);
+  EXPECT_DOUBLE_EQ(dist.median(), 3.0);
+}
+
+TEST(EmpiricalDistribution, ThrowsOnEmptyPercentile) {
+  EmpiricalDistribution dist;
+  EXPECT_TRUE(dist.empty());
+  EXPECT_THROW(dist.percentile(50), std::logic_error);
+}
+
+TEST(EmpiricalDistribution, CdfCountsAtMostX) {
+  EmpiricalDistribution dist({1.0, 1.0, 2.0, 10.0});
+  EXPECT_DOUBLE_EQ(dist.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(dist.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(dist.cdf(9.99), 0.75);
+  EXPECT_DOUBLE_EQ(dist.cdf(10.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, AddAfterQueryResorts) {
+  EmpiricalDistribution dist({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+  dist.add(0.5);
+  EXPECT_DOUBLE_EQ(dist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(dist.max(), 3.0);
+  EXPECT_NEAR(dist.mean(), (3.0 + 1.0 + 0.5) / 3.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, CdfAtEvaluatesCurve) {
+  EmpiricalDistribution dist({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const std::vector<double> xs{2.0, 5.0, 10.0};
+  const auto curve = cdf_at(dist, xs);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 0.2);
+  EXPECT_DOUBLE_EQ(curve[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].fraction, 1.0);
+}
+
+TEST(LogBinHistogram, BinsMatchFigure6Shape) {
+  LogBinHistogram hist(7);
+  EXPECT_EQ(hist.num_bins(), 8u);  // n=1 plus 7 decades
+  hist.add(1);
+  hist.add(2);
+  hist.add(10);
+  hist.add(11);
+  hist.add(100);
+  hist.add(101);
+  hist.add(5000);
+  hist.add(3600000);  // 3.6M: top bin
+  EXPECT_EQ(hist.bin(0), 1u);  // only the exact value 1
+  EXPECT_EQ(hist.bin(1), 2u);  // (1,10]: 2 and 10
+  EXPECT_EQ(hist.bin(2), 2u);  // (10,100]: 11 and 100
+  EXPECT_EQ(hist.bin(4), 1u);  // (10^3,10^4]: 5000
+  EXPECT_EQ(hist.bin(7), 1u);  // top bin: 3.6M
+  EXPECT_EQ(hist.total(), 8u);
+}
+
+TEST(LogBinHistogram, ExactBoundaries) {
+  LogBinHistogram hist(7);
+  hist.add(1);     // bin 0
+  hist.add(10);    // bin 1 (1 < n <= 10)
+  hist.add(11);    // bin 2
+  hist.add(100);   // bin 2
+  hist.add(101);   // bin 3
+  EXPECT_EQ(hist.bin(0), 1u);
+  EXPECT_EQ(hist.bin(1), 1u);
+  EXPECT_EQ(hist.bin(2), 2u);
+  EXPECT_EQ(hist.bin(3), 1u);
+}
+
+TEST(LogBinHistogram, IgnoresZeroClampsHuge) {
+  LogBinHistogram hist(3);
+  hist.add(0);
+  EXPECT_EQ(hist.total(), 0u);
+  hist.add(1000000000);  // far above 10^3: clamps into the top bin
+  EXPECT_EQ(hist.bin(3), 1u);
+}
+
+TEST(LogBinHistogram, Labels) {
+  LogBinHistogram hist(3);
+  EXPECT_EQ(hist.bin_label(0), "n=1");
+  EXPECT_EQ(hist.bin_label(1), "1<n<=10^1");
+  EXPECT_EQ(hist.bin_label(2), "10^1<n<=10^2");
+  EXPECT_THROW(hist.bin_label(9), std::out_of_range);
+}
+
+TEST(DailySeries, AddSetAndAggregates) {
+  DailySeries series(5);
+  series.add(0, 2.0);
+  series.add(0, 3.0);
+  series.set(4, 10.0);
+  EXPECT_DOUBLE_EQ(series.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(series.at(4), 10.0);
+  EXPECT_DOUBLE_EQ(series.total(), 15.0);
+  EXPECT_DOUBLE_EQ(series.daily_mean(), 3.0);
+  EXPECT_DOUBLE_EQ(series.max(), 10.0);
+  EXPECT_EQ(series.argmax(), 4);
+  EXPECT_THROW(series.add(5, 1.0), std::out_of_range);
+}
+
+TEST(DailySeries, SmoothingPreservesConstants) {
+  DailySeries series(10);
+  for (int d = 0; d < 10; ++d) series.set(d, 4.0);
+  const auto smooth = series.smoothed(5);
+  for (int d = 0; d < 10; ++d) EXPECT_DOUBLE_EQ(smooth.at(d), 4.0);
+}
+
+TEST(DailySeries, SmoothingAveragesSpike) {
+  DailySeries series(7);
+  series.set(3, 7.0);
+  const auto smooth = series.smoothed(7);
+  EXPECT_DOUBLE_EQ(smooth.at(3), 1.0);  // 7 / window of 7
+  EXPECT_GT(smooth.at(0), 0.0);         // partial edge window
+}
+
+// Property: percentile is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  EmpiricalDistribution dist;
+  std::uint64_t x = static_cast<std::uint64_t>(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    dist.add(double(x >> 40));
+  }
+  double prev = dist.percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = dist.percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1, 2, 3, 7, 19));
+
+}  // namespace
+}  // namespace dosm

@@ -1,0 +1,163 @@
+// Near-realtime streaming fusion tests (§9 extension).
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "sim/scenario.h"
+
+namespace dosm::core {
+namespace {
+
+using net::Ipv4Addr;
+
+AttackEvent event_at(StudyWindow window, int day, double offset_s,
+                     EventSource source, Ipv4Addr target) {
+  AttackEvent event;
+  event.source = source;
+  event.target = target;
+  event.start = static_cast<double>(window.day_start(day)) + offset_s;
+  event.end = event.start + 300.0;
+  event.intensity = 1.0;
+  return event;
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StudyWindow window_{};
+  std::vector<DaySummary> summaries_;
+  std::vector<StreamAlert> alerts_;
+
+  StreamingFusion make(StreamingFusion::Config config = {}) {
+    return StreamingFusion(
+        window_, config,
+        [this](const DaySummary& s) { summaries_.push_back(s); },
+        [this](const StreamAlert& a) { alerts_.push_back(a); });
+  }
+};
+
+TEST_F(StreamingTest, EmitsPerDaySummaries) {
+  auto fusion = make();
+  fusion.ingest(event_at(window_, 0, 100, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  fusion.ingest(event_at(window_, 0, 200, EventSource::kHoneypot, Ipv4Addr(2, 2, 2, 2)));
+  fusion.ingest(event_at(window_, 1, 100, EventSource::kTelescope, Ipv4Addr(3, 3, 3, 3)));
+  fusion.finish();
+  ASSERT_EQ(summaries_.size(), 2u);
+  EXPECT_EQ(summaries_[0].day, 0);
+  EXPECT_EQ(summaries_[0].attacks, 2u);
+  EXPECT_EQ(summaries_[0].telescope_attacks, 1u);
+  EXPECT_EQ(summaries_[0].honeypot_attacks, 1u);
+  EXPECT_EQ(summaries_[0].unique_targets, 2u);
+  EXPECT_EQ(summaries_[1].attacks, 1u);
+  EXPECT_EQ(fusion.events_ingested(), 3u);
+  EXPECT_EQ(fusion.days_emitted(), 2u);
+}
+
+TEST_F(StreamingTest, EmitsEmptyDaysBetweenEvents) {
+  auto fusion = make();
+  fusion.ingest(event_at(window_, 0, 100, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  fusion.ingest(event_at(window_, 3, 100, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  fusion.finish();
+  ASSERT_EQ(summaries_.size(), 4u);  // days 0,1,2,3
+  EXPECT_EQ(summaries_[1].attacks, 0u);
+  EXPECT_EQ(summaries_[2].unique_targets, 0u);
+}
+
+TEST_F(StreamingTest, CoTargetingDetectedWithinDay) {
+  auto fusion = make();
+  const Ipv4Addr both(9, 9, 9, 9);
+  fusion.ingest(event_at(window_, 0, 100, EventSource::kTelescope, both));
+  fusion.ingest(event_at(window_, 0, 200, EventSource::kHoneypot, both));
+  fusion.ingest(event_at(window_, 0, 300, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  fusion.finish();
+  ASSERT_EQ(summaries_.size(), 1u);
+  EXPECT_EQ(summaries_[0].unique_targets, 2u);
+  EXPECT_EQ(summaries_[0].co_targeted, 1u);
+}
+
+TEST_F(StreamingTest, RejectsOutOfOrderEvents) {
+  auto fusion = make();
+  fusion.ingest(event_at(window_, 1, 100, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  EXPECT_THROW(fusion.ingest(event_at(window_, 0, 100, EventSource::kTelescope,
+                                      Ipv4Addr(1, 1, 1, 1))),
+               std::invalid_argument);
+}
+
+TEST_F(StreamingTest, IgnoresEventsOutsideWindow) {
+  auto fusion = make();
+  AttackEvent early;
+  early.start = static_cast<double>(window_.start_time()) - 10.0;
+  early.end = early.start + 60.0;
+  fusion.ingest(early);
+  fusion.finish();
+  EXPECT_EQ(fusion.events_ingested(), 0u);
+  EXPECT_EQ(summaries_.size(), 0u);
+}
+
+TEST_F(StreamingTest, AlertsOnAttackSpike) {
+  StreamingFusion::Config config;
+  config.min_baseline_days = 3;
+  config.spike_factor = 2.0;
+  auto fusion = make(config);
+  // Baseline: 2 attacks/day for 5 days, then a 10-attack day.
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 2; ++i) {
+      fusion.ingest(event_at(window_, day, 100 + i, EventSource::kTelescope,
+                             Ipv4Addr(1, 1, static_cast<std::uint8_t>(day),
+                                      static_cast<std::uint8_t>(i))));
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    fusion.ingest(event_at(window_, 5, 100 + i, EventSource::kTelescope,
+                           Ipv4Addr(2, 2, 2, static_cast<std::uint8_t>(i))));
+  }
+  fusion.finish();
+  ASSERT_GE(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].kind, "attack-spike");
+  EXPECT_EQ(alerts_[0].day, 5);
+  EXPECT_DOUBLE_EQ(alerts_[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(alerts_[0].baseline, 2.0);
+}
+
+TEST_F(StreamingTest, NoAlertBeforeBaselineEstablished) {
+  StreamingFusion::Config config;
+  config.min_baseline_days = 7;
+  auto fusion = make(config);
+  // A huge spike on day 2: baseline too short to alert.
+  fusion.ingest(event_at(window_, 0, 100, EventSource::kTelescope, Ipv4Addr(1, 1, 1, 1)));
+  for (int i = 0; i < 100; ++i)
+    fusion.ingest(event_at(window_, 2, 100 + i, EventSource::kTelescope,
+                           Ipv4Addr(1, 1, 2, static_cast<std::uint8_t>(i))));
+  fusion.finish();
+  EXPECT_EQ(alerts_.size(), 0u);
+}
+
+TEST_F(StreamingTest, RequiresSummaryCallback) {
+  EXPECT_THROW(StreamingFusion(window_, {}, nullptr), std::invalid_argument);
+}
+
+TEST_F(StreamingTest, MatchesBatchAggregationOnSimulatedWorld) {
+  // The streaming path must agree with the batch daily_breakdown on a
+  // real simulated event stream.
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  auto fusion = StreamingFusion(
+      world->window, {},
+      [this](const DaySummary& s) { summaries_.push_back(s); });
+  for (const auto& event : world->store.events()) fusion.ingest(event);
+  fusion.finish();
+
+  const auto batch = world->store.daily_breakdown(
+      SourceFilter::kCombined, world->population.pfx2as());
+  ASSERT_LE(summaries_.size(),
+            static_cast<std::size_t>(world->window.num_days()));
+  for (const auto& summary : summaries_) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(summary.attacks),
+                     batch.attacks.at(summary.day))
+        << "day " << summary.day;
+    EXPECT_DOUBLE_EQ(static_cast<double>(summary.unique_targets),
+                     batch.unique_targets.at(summary.day));
+  }
+  // The campaign days should fire spike alerts on a full run with alerts.
+  EXPECT_EQ(fusion.events_ingested(), world->store.size());
+}
+
+}  // namespace
+}  // namespace dosm::core

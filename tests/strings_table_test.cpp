@@ -1,0 +1,94 @@
+// String helpers and text-table rendering tests.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace dosm {
+namespace {
+
+TEST(HumanCount, Magnitudes) {
+  EXPECT_EQ(human_count(12470000), "12.47M");
+  EXPECT_EQ(human_count(8430), "8.43k");
+  EXPECT_EQ(human_count(731), "731");
+  EXPECT_EQ(human_count(1257600000000.0), "1257.60G");
+  EXPECT_EQ(human_count(0), "0");
+  EXPECT_EQ(human_count(3.14159, 1), "3.1");
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(percent(0.2556), "25.56%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.031, 1), "3.1%");
+}
+
+TEST(Fixed, Formatting) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.5, 0), "-2");  // round-to-even snprintf behavior
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("xyz", '.').size(), 1u);
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  \t "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("WwW.ExAmPlE.CoM"), "www.example.com");
+}
+
+TEST(IEndsWith, CaseInsensitive) {
+  EXPECT_TRUE(iends_with("www.example.COM", ".com"));
+  EXPECT_TRUE(iends_with("abc", "abc"));
+  EXPECT_FALSE(iends_with("abc", "abcd"));
+  EXPECT_FALSE(iends_with("example.org", ".com"));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "count"});
+  table.add_row({"alpha", "12"});
+  table.add_row({"b", "3456"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned numbers: "12" is padded to the width of "count"/"3456".
+  EXPECT_NE(out.find("   12"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+  EXPECT_NO_THROW(table.to_csv());
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable table({"k", "v"});
+  table.add_row({"with,comma", "with\"quote"});
+  const auto csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, AlignmentOverride) {
+  TextTable table({"x", "y"});
+  table.set_align(1, Align::kLeft);
+  table.add_row({"1", "ab"});
+  EXPECT_THROW(table.set_align(5, Align::kLeft), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dosm

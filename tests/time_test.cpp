@@ -1,0 +1,98 @@
+// Civil-date arithmetic and study-window tests.
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace dosm {
+namespace {
+
+TEST(CivilDate, EpochIsZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilDate, KnownDates) {
+  EXPECT_EQ(days_from_civil({2015, 3, 1}), 16495);
+  EXPECT_EQ(days_from_civil({2017, 2, 28}), 17225);
+  EXPECT_EQ(days_from_civil({2000, 1, 1}), 10957);
+}
+
+TEST(CivilDate, RoundTripsAcrossYears) {
+  for (std::int64_t d = -1000; d <= 40000; d += 37) {
+    EXPECT_EQ(days_from_civil(civil_from_days(d)), d);
+  }
+}
+
+TEST(CivilDate, LeapYearHandling) {
+  // 2016 was a leap year: Feb 29 exists.
+  const auto feb29 = days_from_civil({2016, 2, 29});
+  EXPECT_EQ(civil_from_days(feb29), (CivilDate{2016, 2, 29}));
+  EXPECT_EQ(civil_from_days(feb29 + 1), (CivilDate{2016, 3, 1}));
+  // 1900 was not (divisible by 100 but not 400).
+  EXPECT_EQ(days_from_civil({1900, 3, 1}) - days_from_civil({1900, 2, 28}), 1);
+  // 2000 was (divisible by 400).
+  EXPECT_EQ(days_from_civil({2000, 3, 1}) - days_from_civil({2000, 2, 28}), 2);
+}
+
+TEST(CivilDate, UnixConversions) {
+  EXPECT_EQ(unix_from_civil({1970, 1, 2}), 86400);
+  EXPECT_EQ(civil_from_unix(86399), (CivilDate{1970, 1, 1}));
+  EXPECT_EQ(civil_from_unix(86400), (CivilDate{1970, 1, 2}));
+}
+
+TEST(CivilDate, DayIndexFloorsNegatives) {
+  EXPECT_EQ(day_index(-1), -1);
+  EXPECT_EQ(day_index(-86400), -1);
+  EXPECT_EQ(day_index(-86401), -2);
+  EXPECT_EQ(day_index(0), 0);
+}
+
+TEST(CivilDate, Formatting) {
+  EXPECT_EQ(to_string(CivilDate{2015, 3, 1}), "2015-03-01");
+  EXPECT_EQ(to_string(CivilDate{2017, 12, 31}), "2017-12-31");
+}
+
+TEST(CivilDate, Parsing) {
+  EXPECT_EQ(parse_civil("2016-11-04"), (CivilDate{2016, 11, 4}));
+  EXPECT_THROW(parse_civil("not-a-date"), std::invalid_argument);
+  EXPECT_THROW(parse_civil("2016-13-01"), std::invalid_argument);
+  EXPECT_THROW(parse_civil("2016-00-10"), std::invalid_argument);
+}
+
+TEST(StudyWindow, PaperWindowIs731Days) {
+  const StudyWindow window;
+  EXPECT_EQ(window.num_days(), 731);  // includes the 2016 leap day
+  EXPECT_EQ(window.end_time() - window.start_time(), 731 * kSecondsPerDay);
+}
+
+TEST(StudyWindow, ContainsAndDayOf) {
+  const StudyWindow window;
+  EXPECT_TRUE(window.contains(window.start_time()));
+  EXPECT_FALSE(window.contains(window.start_time() - 1));
+  EXPECT_TRUE(window.contains(window.end_time() - 1));
+  EXPECT_FALSE(window.contains(window.end_time()));
+  EXPECT_EQ(window.day_of(window.start_time()), 0);
+  EXPECT_EQ(window.day_of(window.end_time() - 1), 730);
+  EXPECT_EQ(window.day_of(window.start_time() + 3 * kSecondsPerDay + 5), 3);
+}
+
+TEST(StudyWindow, DayStartAndDateRoundTrip) {
+  const StudyWindow window;
+  for (int d : {0, 100, 365, 730}) {
+    EXPECT_EQ(window.day_of(window.day_start(d)), d);
+  }
+  EXPECT_EQ(window.date_of_day(0), (CivilDate{2015, 3, 1}));
+  EXPECT_EQ(window.date_of_day(730), (CivilDate{2017, 2, 28}));
+  EXPECT_EQ(window.date_of_day(366), (CivilDate{2016, 3, 1}));
+}
+
+TEST(FormatDuration, HumanReadable) {
+  EXPECT_EQ(format_duration(45), "45s");
+  EXPECT_EQ(format_duration(60), "1m");
+  EXPECT_EQ(format_duration(255), "4m15s");
+  EXPECT_EQ(format_duration(3600), "1h");
+  EXPECT_EQ(format_duration(4 * 3600 + 12 * 60), "4h12m");
+}
+
+}  // namespace
+}  // namespace dosm

@@ -1,0 +1,85 @@
+// Detector-validation tests: ground truth is used ONLY here (scoring), and
+// the scores must show the designed behaviour — recall rising with
+// intensity, honeypot recall near-total above threshold, migrations
+// re-found from DNS.
+#include <gtest/gtest.h>
+
+#include "sim/validation.h"
+
+namespace dosm::sim {
+namespace {
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config = ScenarioConfig::small();
+    config.window.end = {2015, 8, 27};  // 180 days
+    config.seed = 4242;
+    world_ = build_world(config).release();
+    validation_ = new DetectorValidation(validate_detectors(*world_));
+  }
+  static void TearDownTestSuite() {
+    delete validation_;
+    delete world_;
+  }
+  static World* world_;
+  static DetectorValidation* validation_;
+};
+
+World* ValidationTest::world_ = nullptr;
+DetectorValidation* ValidationTest::validation_ = nullptr;
+
+TEST_F(ValidationTest, TelescopeRecallRisesWithIntensity) {
+  const auto& buckets = validation_->telescope_by_intensity;
+  // Below ~0.1 pps at the telescope nothing should be detectable; above
+  // ~10 pps nearly everything should be.
+  double low_recall = 1.0, high_recall = 0.0;
+  for (const auto& bucket : buckets) {
+    if (bucket.attacks < 20) continue;
+    if (bucket.hi <= 0.1) low_recall = std::min(low_recall, bucket.recall());
+    if (bucket.lo >= 10.0) high_recall = std::max(high_recall, bucket.recall());
+  }
+  EXPECT_LT(low_recall, 0.05);
+  EXPECT_GT(high_recall, 0.8);
+  // Monotone (non-strict) across populated buckets.
+  double prev = -1.0;
+  for (const auto& bucket : buckets) {
+    if (bucket.attacks < 30) continue;
+    EXPECT_GE(bucket.recall(), prev - 0.1) << "bucket " << bucket.lo;
+    prev = bucket.recall();
+  }
+}
+
+TEST_F(ValidationTest, OverallRecallsMatchDesign) {
+  // Most direct ground-truth attacks sit below the Moore thresholds by
+  // design (see AttackerConfig::direct_intensity_mu).
+  EXPECT_GT(validation_->direct_recall(), 0.05);
+  EXPECT_LT(validation_->direct_recall(), 0.6);
+  // Reflection attacks above the request threshold are almost all caught.
+  EXPECT_GT(validation_->reflection_recall(), 0.7);
+}
+
+TEST_F(ValidationTest, DetectedAttributesTrackTruth) {
+  ASSERT_GT(validation_->matched_events, 100u);
+  // Observed durations are clipped estimates of the true span.
+  EXPECT_LT(validation_->duration_relative_error, 0.25);
+  // Observed max-pps is the busiest-minute Poisson maximum: biased high
+  // relative to the mean rate (substantially so at sub-1-pps rates where a
+  // single busy minute doubles the estimate), but within a small factor.
+  EXPECT_LT(validation_->intensity_relative_error, 1.0);
+}
+
+TEST_F(ValidationTest, MigrationDetectionRecall) {
+  const auto migration = validate_migration_detection(*world_);
+  ASSERT_GT(migration.ground_truth, 20u);
+  // Every applied DNS change must be re-found by the classifier...
+  EXPECT_GT(migration.recall(), 0.95);
+  // ...and nearly all with the exact day (same-day registration edge cases
+  // may land on the domain's first-seen day instead).
+  EXPECT_GT(static_cast<double>(migration.date_exact) /
+                static_cast<double>(std::max<std::uint64_t>(migration.detected, 1)),
+            0.9);
+}
+
+}  // namespace
+}  // namespace dosm::sim
