@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounding_check.dir/bench_bounding_check.cpp.o"
+  "CMakeFiles/bench_bounding_check.dir/bench_bounding_check.cpp.o.d"
+  "bench_bounding_check"
+  "bench_bounding_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounding_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_migration_delay.dir/bench_fig10_migration_delay.cpp.o"
+  "CMakeFiles/bench_fig10_migration_delay.dir/bench_fig10_migration_delay.cpp.o.d"
+  "bench_fig10_migration_delay"
+  "bench_fig10_migration_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_migration_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

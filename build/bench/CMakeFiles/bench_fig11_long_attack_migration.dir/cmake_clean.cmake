@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_long_attack_migration.dir/bench_fig11_long_attack_migration.cpp.o"
+  "CMakeFiles/bench_fig11_long_attack_migration.dir/bench_fig11_long_attack_migration.cpp.o.d"
+  "bench_fig11_long_attack_migration"
+  "bench_fig11_long_attack_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_long_attack_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_long_attack_migration.
+# This may be replaced when dependencies are built.

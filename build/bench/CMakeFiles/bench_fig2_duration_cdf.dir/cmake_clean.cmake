@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_duration_cdf.dir/bench_fig2_duration_cdf.cpp.o"
+  "CMakeFiles/bench_fig2_duration_cdf.dir/bench_fig2_duration_cdf.cpp.o.d"
+  "bench_fig2_duration_cdf"
+  "bench_fig2_duration_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_duration_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_telescope_intensity.dir/bench_fig3_telescope_intensity.cpp.o"
+  "CMakeFiles/bench_fig3_telescope_intensity.dir/bench_fig3_telescope_intensity.cpp.o.d"
+  "bench_fig3_telescope_intensity"
+  "bench_fig3_telescope_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_telescope_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

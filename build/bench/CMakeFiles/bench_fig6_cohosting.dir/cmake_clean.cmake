@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cohosting.dir/bench_fig6_cohosting.cpp.o"
+  "CMakeFiles/bench_fig6_cohosting.dir/bench_fig6_cohosting.cpp.o.d"
+  "bench_fig6_cohosting"
+  "bench_fig6_cohosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cohosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_web_impact.dir/bench_fig7_web_impact.cpp.o"
+  "CMakeFiles/bench_fig7_web_impact.dir/bench_fig7_web_impact.cpp.o.d"
+  "bench_fig7_web_impact"
+  "bench_fig7_web_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_web_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_taxonomy.dir/bench_fig8_taxonomy.cpp.o"
+  "CMakeFiles/bench_fig8_taxonomy.dir/bench_fig8_taxonomy.cpp.o.d"
+  "bench_fig8_taxonomy"
+  "bench_fig8_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_attack_frequency.dir/bench_fig9_attack_frequency.cpp.o"
+  "CMakeFiles/bench_fig9_attack_frequency.dir/bench_fig9_attack_frequency.cpp.o.d"
+  "bench_fig9_attack_frequency"
+  "bench_fig9_attack_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_attack_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mail_impact.dir/bench_mail_impact.cpp.o"
+  "CMakeFiles/bench_mail_impact.dir/bench_mail_impact.cpp.o.d"
+  "bench_mail_impact"
+  "bench_mail_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mail_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_attack_events.dir/bench_table1_attack_events.cpp.o"
+  "CMakeFiles/bench_table1_attack_events.dir/bench_table1_attack_events.cpp.o.d"
+  "bench_table1_attack_events"
+  "bench_table1_attack_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_attack_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dns_dataset.dir/bench_table2_dns_dataset.cpp.o"
+  "CMakeFiles/bench_table2_dns_dataset.dir/bench_table2_dns_dataset.cpp.o.d"
+  "bench_table2_dns_dataset"
+  "bench_table2_dns_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dns_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dps_use.dir/bench_table3_dps_use.cpp.o"
+  "CMakeFiles/bench_table3_dps_use.dir/bench_table3_dps_use.cpp.o.d"
+  "bench_table3_dps_use"
+  "bench_table3_dps_use.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dps_use.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ip_protocols.dir/bench_table5_ip_protocols.cpp.o"
+  "CMakeFiles/bench_table5_ip_protocols.dir/bench_table5_ip_protocols.cpp.o.d"
+  "bench_table5_ip_protocols"
+  "bench_table5_ip_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ip_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_port_cardinality.dir/bench_table7_port_cardinality.cpp.o"
+  "CMakeFiles/bench_table7_port_cardinality.dir/bench_table7_port_cardinality.cpp.o.d"
+  "bench_table7_port_cardinality"
+  "bench_table7_port_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_port_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_services.dir/bench_table8_services.cpp.o"
+  "CMakeFiles/bench_table8_services.dir/bench_table8_services.cpp.o.d"
+  "bench_table8_services"
+  "bench_table8_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_intensity_dist.dir/bench_table9_intensity_dist.cpp.o"
+  "CMakeFiles/bench_table9_intensity_dist.dir/bench_table9_intensity_dist.cpp.o.d"
+  "bench_table9_intensity_dist"
+  "bench_table9_intensity_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_intensity_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

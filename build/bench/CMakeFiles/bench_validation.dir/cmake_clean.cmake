@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation.dir/bench_validation.cpp.o"
+  "CMakeFiles/bench_validation.dir/bench_validation.cpp.o.d"
+  "bench_validation"
+  "bench_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

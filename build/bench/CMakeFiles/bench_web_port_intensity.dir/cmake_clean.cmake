@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_port_intensity.dir/bench_web_port_intensity.cpp.o"
+  "CMakeFiles/bench_web_port_intensity.dir/bench_web_port_intensity.cpp.o.d"
+  "bench_web_port_intensity"
+  "bench_web_port_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_port_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_migration_study.dir/dps_migration_study.cpp.o"
+  "CMakeFiles/dps_migration_study.dir/dps_migration_study.cpp.o.d"
+  "dps_migration_study"
+  "dps_migration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_migration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

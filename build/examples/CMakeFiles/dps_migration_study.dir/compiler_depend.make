@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dps_migration_study.
+# This may be replaced when dependencies are built.

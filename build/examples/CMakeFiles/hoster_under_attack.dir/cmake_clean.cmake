@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoster_under_attack.dir/hoster_under_attack.cpp.o"
+  "CMakeFiles/hoster_under_attack.dir/hoster_under_attack.cpp.o.d"
+  "hoster_under_attack"
+  "hoster_under_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoster_under_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hoster_under_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_monitor.dir/streaming_monitor.cpp.o"
+  "CMakeFiles/streaming_monitor.dir/streaming_monitor.cpp.o.d"
+  "streaming_monitor"
+  "streaming_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_pipeline.dir/telescope_pipeline.cpp.o"
+  "CMakeFiles/telescope_pipeline.dir/telescope_pipeline.cpp.o.d"
+  "telescope_pipeline"
+  "telescope_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

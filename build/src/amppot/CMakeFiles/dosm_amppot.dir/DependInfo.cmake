@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amppot/consolidator.cpp" "src/amppot/CMakeFiles/dosm_amppot.dir/consolidator.cpp.o" "gcc" "src/amppot/CMakeFiles/dosm_amppot.dir/consolidator.cpp.o.d"
+  "/root/repo/src/amppot/fleet.cpp" "src/amppot/CMakeFiles/dosm_amppot.dir/fleet.cpp.o" "gcc" "src/amppot/CMakeFiles/dosm_amppot.dir/fleet.cpp.o.d"
+  "/root/repo/src/amppot/honeypot.cpp" "src/amppot/CMakeFiles/dosm_amppot.dir/honeypot.cpp.o" "gcc" "src/amppot/CMakeFiles/dosm_amppot.dir/honeypot.cpp.o.d"
+  "/root/repo/src/amppot/packet_ingest.cpp" "src/amppot/CMakeFiles/dosm_amppot.dir/packet_ingest.cpp.o" "gcc" "src/amppot/CMakeFiles/dosm_amppot.dir/packet_ingest.cpp.o.d"
+  "/root/repo/src/amppot/protocols.cpp" "src/amppot/CMakeFiles/dosm_amppot.dir/protocols.cpp.o" "gcc" "src/amppot/CMakeFiles/dosm_amppot.dir/protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dosm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dosm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/dosm_meta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

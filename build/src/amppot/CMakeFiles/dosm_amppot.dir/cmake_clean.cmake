@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_amppot.dir/consolidator.cpp.o"
+  "CMakeFiles/dosm_amppot.dir/consolidator.cpp.o.d"
+  "CMakeFiles/dosm_amppot.dir/fleet.cpp.o"
+  "CMakeFiles/dosm_amppot.dir/fleet.cpp.o.d"
+  "CMakeFiles/dosm_amppot.dir/honeypot.cpp.o"
+  "CMakeFiles/dosm_amppot.dir/honeypot.cpp.o.d"
+  "CMakeFiles/dosm_amppot.dir/packet_ingest.cpp.o"
+  "CMakeFiles/dosm_amppot.dir/packet_ingest.cpp.o.d"
+  "CMakeFiles/dosm_amppot.dir/protocols.cpp.o"
+  "CMakeFiles/dosm_amppot.dir/protocols.cpp.o.d"
+  "libdosm_amppot.a"
+  "libdosm_amppot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_amppot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

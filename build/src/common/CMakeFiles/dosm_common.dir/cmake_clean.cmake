@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_common.dir/rng.cpp.o"
+  "CMakeFiles/dosm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dosm_common.dir/stats.cpp.o"
+  "CMakeFiles/dosm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dosm_common.dir/strings.cpp.o"
+  "CMakeFiles/dosm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/dosm_common.dir/table.cpp.o"
+  "CMakeFiles/dosm_common.dir/table.cpp.o.d"
+  "CMakeFiles/dosm_common.dir/time.cpp.o"
+  "CMakeFiles/dosm_common.dir/time.cpp.o.d"
+  "libdosm_common.a"
+  "libdosm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/dosm_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/dosm_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/event_store.cpp" "src/core/CMakeFiles/dosm_core.dir/event_store.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/event_store.cpp.o.d"
+  "/root/repo/src/core/impact.cpp" "src/core/CMakeFiles/dosm_core.dir/impact.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/impact.cpp.o.d"
+  "/root/repo/src/core/joint.cpp" "src/core/CMakeFiles/dosm_core.dir/joint.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/joint.cpp.o.d"
+  "/root/repo/src/core/mail_impact.cpp" "src/core/CMakeFiles/dosm_core.dir/mail_impact.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/mail_impact.cpp.o.d"
+  "/root/repo/src/core/migration_analysis.cpp" "src/core/CMakeFiles/dosm_core.dir/migration_analysis.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/migration_analysis.cpp.o.d"
+  "/root/repo/src/core/ports.cpp" "src/core/CMakeFiles/dosm_core.dir/ports.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/ports.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/dosm_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/dosm_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/core/CMakeFiles/dosm_core.dir/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/dosm_core.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telescope/CMakeFiles/dosm_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/amppot/CMakeFiles/dosm_amppot.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dosm_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dps/CMakeFiles/dosm_dps.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/dosm_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dosm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

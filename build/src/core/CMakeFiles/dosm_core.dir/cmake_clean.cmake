@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_core.dir/attribution.cpp.o"
+  "CMakeFiles/dosm_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/event.cpp.o"
+  "CMakeFiles/dosm_core.dir/event.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/event_store.cpp.o"
+  "CMakeFiles/dosm_core.dir/event_store.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/impact.cpp.o"
+  "CMakeFiles/dosm_core.dir/impact.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/joint.cpp.o"
+  "CMakeFiles/dosm_core.dir/joint.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/mail_impact.cpp.o"
+  "CMakeFiles/dosm_core.dir/mail_impact.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/migration_analysis.cpp.o"
+  "CMakeFiles/dosm_core.dir/migration_analysis.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/ports.cpp.o"
+  "CMakeFiles/dosm_core.dir/ports.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/serialize.cpp.o"
+  "CMakeFiles/dosm_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/streaming.cpp.o"
+  "CMakeFiles/dosm_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/dosm_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/dosm_core.dir/taxonomy.cpp.o.d"
+  "libdosm_core.a"
+  "libdosm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/names.cpp" "src/dns/CMakeFiles/dosm_dns.dir/names.cpp.o" "gcc" "src/dns/CMakeFiles/dosm_dns.dir/names.cpp.o.d"
+  "/root/repo/src/dns/snapshot.cpp" "src/dns/CMakeFiles/dosm_dns.dir/snapshot.cpp.o" "gcc" "src/dns/CMakeFiles/dosm_dns.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dosm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_dns.dir/names.cpp.o"
+  "CMakeFiles/dosm_dns.dir/names.cpp.o.d"
+  "CMakeFiles/dosm_dns.dir/snapshot.cpp.o"
+  "CMakeFiles/dosm_dns.dir/snapshot.cpp.o.d"
+  "libdosm_dns.a"
+  "libdosm_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_dps.dir/classifier.cpp.o"
+  "CMakeFiles/dosm_dps.dir/classifier.cpp.o.d"
+  "CMakeFiles/dosm_dps.dir/migration.cpp.o"
+  "CMakeFiles/dosm_dps.dir/migration.cpp.o.d"
+  "CMakeFiles/dosm_dps.dir/providers.cpp.o"
+  "CMakeFiles/dosm_dps.dir/providers.cpp.o.d"
+  "libdosm_dps.a"
+  "libdosm_dps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_dps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

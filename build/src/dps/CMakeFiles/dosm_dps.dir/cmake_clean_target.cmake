@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdosm_dps.a"
+)

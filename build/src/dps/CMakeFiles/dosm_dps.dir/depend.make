@@ -1,0 +1,2 @@
+# Empty dependencies file for dosm_dps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_meta.dir/geo.cpp.o"
+  "CMakeFiles/dosm_meta.dir/geo.cpp.o.d"
+  "CMakeFiles/dosm_meta.dir/pfx2as.cpp.o"
+  "CMakeFiles/dosm_meta.dir/pfx2as.cpp.o.d"
+  "libdosm_meta.a"
+  "libdosm_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dosm_meta.
+# This may be replaced when dependencies are built.

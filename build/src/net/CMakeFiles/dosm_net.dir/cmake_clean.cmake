@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_net.dir/headers.cpp.o"
+  "CMakeFiles/dosm_net.dir/headers.cpp.o.d"
+  "CMakeFiles/dosm_net.dir/ipv4.cpp.o"
+  "CMakeFiles/dosm_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dosm_net.dir/pcap.cpp.o"
+  "CMakeFiles/dosm_net.dir/pcap.cpp.o.d"
+  "libdosm_net.a"
+  "libdosm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_sim.dir/attacker.cpp.o"
+  "CMakeFiles/dosm_sim.dir/attacker.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/hosting.cpp.o"
+  "CMakeFiles/dosm_sim.dir/hosting.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/migration_model.cpp.o"
+  "CMakeFiles/dosm_sim.dir/migration_model.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/observe.cpp.o"
+  "CMakeFiles/dosm_sim.dir/observe.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/population.cpp.o"
+  "CMakeFiles/dosm_sim.dir/population.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dosm_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/dosm_sim.dir/validation.cpp.o"
+  "CMakeFiles/dosm_sim.dir/validation.cpp.o.d"
+  "libdosm_sim.a"
+  "libdosm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/backscatter.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/backscatter.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/backscatter.cpp.o.d"
+  "/root/repo/src/telescope/flow_table.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/flow_table.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/flow_table.cpp.o.d"
+  "/root/repo/src/telescope/flowtuple.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/flowtuple.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/flowtuple.cpp.o.d"
+  "/root/repo/src/telescope/geo_plugin.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/geo_plugin.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/geo_plugin.cpp.o.d"
+  "/root/repo/src/telescope/pipeline.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/pipeline.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/pipeline.cpp.o.d"
+  "/root/repo/src/telescope/synthesizer.cpp" "src/telescope/CMakeFiles/dosm_telescope.dir/synthesizer.cpp.o" "gcc" "src/telescope/CMakeFiles/dosm_telescope.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dosm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosm_telescope.dir/backscatter.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/backscatter.cpp.o.d"
+  "CMakeFiles/dosm_telescope.dir/flow_table.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/flow_table.cpp.o.d"
+  "CMakeFiles/dosm_telescope.dir/flowtuple.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/flowtuple.cpp.o.d"
+  "CMakeFiles/dosm_telescope.dir/geo_plugin.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/geo_plugin.cpp.o.d"
+  "CMakeFiles/dosm_telescope.dir/pipeline.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dosm_telescope.dir/synthesizer.cpp.o"
+  "CMakeFiles/dosm_telescope.dir/synthesizer.cpp.o.d"
+  "libdosm_telescope.a"
+  "libdosm_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosm_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

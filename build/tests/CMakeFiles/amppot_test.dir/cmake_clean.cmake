@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amppot_test.dir/amppot_test.cpp.o"
+  "CMakeFiles/amppot_test.dir/amppot_test.cpp.o.d"
+  "amppot_test"
+  "amppot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amppot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacker_test.dir/attacker_test.cpp.o"
+  "CMakeFiles/attacker_test.dir/attacker_test.cpp.o.d"
+  "attacker_test"
+  "attacker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

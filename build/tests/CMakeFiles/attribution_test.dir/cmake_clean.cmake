@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_test.dir/attribution_test.cpp.o"
+  "CMakeFiles/attribution_test.dir/attribution_test.cpp.o.d"
+  "attribution_test"
+  "attribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

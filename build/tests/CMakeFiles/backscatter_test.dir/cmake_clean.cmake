@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backscatter_test.dir/backscatter_test.cpp.o"
+  "CMakeFiles/backscatter_test.dir/backscatter_test.cpp.o.d"
+  "backscatter_test"
+  "backscatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backscatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_test.dir/dps_test.cpp.o"
+  "CMakeFiles/dps_test.dir/dps_test.cpp.o.d"
+  "dps_test"
+  "dps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_store_test.dir/event_store_test.cpp.o"
+  "CMakeFiles/event_store_test.dir/event_store_test.cpp.o.d"
+  "event_store_test"
+  "event_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_test.dir/fleet_test.cpp.o"
+  "CMakeFiles/fleet_test.dir/fleet_test.cpp.o.d"
+  "fleet_test"
+  "fleet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_table_test.dir/flow_table_test.cpp.o"
+  "CMakeFiles/flow_table_test.dir/flow_table_test.cpp.o.d"
+  "flow_table_test"
+  "flow_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowtuple_test.dir/flowtuple_test.cpp.o"
+  "CMakeFiles/flowtuple_test.dir/flowtuple_test.cpp.o.d"
+  "flowtuple_test"
+  "flowtuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowtuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

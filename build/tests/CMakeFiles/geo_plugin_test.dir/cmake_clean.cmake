@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_plugin_test.dir/geo_plugin_test.cpp.o"
+  "CMakeFiles/geo_plugin_test.dir/geo_plugin_test.cpp.o.d"
+  "geo_plugin_test"
+  "geo_plugin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

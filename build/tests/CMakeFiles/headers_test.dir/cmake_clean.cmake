@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headers_test.dir/headers_test.cpp.o"
+  "CMakeFiles/headers_test.dir/headers_test.cpp.o.d"
+  "headers_test"
+  "headers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosting_test.dir/hosting_test.cpp.o"
+  "CMakeFiles/hosting_test.dir/hosting_test.cpp.o.d"
+  "hosting_test"
+  "hosting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv4_test.dir/ipv4_test.cpp.o"
+  "CMakeFiles/ipv4_test.dir/ipv4_test.cpp.o.d"
+  "ipv4_test"
+  "ipv4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

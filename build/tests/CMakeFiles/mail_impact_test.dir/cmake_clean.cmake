@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_impact_test.dir/mail_impact_test.cpp.o"
+  "CMakeFiles/mail_impact_test.dir/mail_impact_test.cpp.o.d"
+  "mail_impact_test"
+  "mail_impact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_impact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

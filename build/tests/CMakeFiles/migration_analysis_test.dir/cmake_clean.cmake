@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_analysis_test.dir/migration_analysis_test.cpp.o"
+  "CMakeFiles/migration_analysis_test.dir/migration_analysis_test.cpp.o.d"
+  "migration_analysis_test"
+  "migration_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

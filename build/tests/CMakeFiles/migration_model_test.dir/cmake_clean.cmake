@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_model_test.dir/migration_model_test.cpp.o"
+  "CMakeFiles/migration_model_test.dir/migration_model_test.cpp.o.d"
+  "migration_model_test"
+  "migration_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

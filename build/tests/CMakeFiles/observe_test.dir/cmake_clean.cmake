@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observe_test.dir/observe_test.cpp.o"
+  "CMakeFiles/observe_test.dir/observe_test.cpp.o.d"
+  "observe_test"
+  "observe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

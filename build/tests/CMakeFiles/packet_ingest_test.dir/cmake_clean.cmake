@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_ingest_test.dir/packet_ingest_test.cpp.o"
+  "CMakeFiles/packet_ingest_test.dir/packet_ingest_test.cpp.o.d"
+  "packet_ingest_test"
+  "packet_ingest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_ingest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

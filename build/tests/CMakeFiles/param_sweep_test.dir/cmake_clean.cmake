@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_sweep_test.dir/param_sweep_test.cpp.o"
+  "CMakeFiles/param_sweep_test.dir/param_sweep_test.cpp.o.d"
+  "param_sweep_test"
+  "param_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_test.dir/pcap_test.cpp.o"
+  "CMakeFiles/pcap_test.dir/pcap_test.cpp.o.d"
+  "pcap_test"
+  "pcap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

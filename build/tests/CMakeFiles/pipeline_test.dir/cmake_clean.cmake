@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o.d"
+  "pipeline_test"
+  "pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ports_test.dir/ports_test.cpp.o"
+  "CMakeFiles/ports_test.dir/ports_test.cpp.o.d"
+  "ports_test"
+  "ports_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dosm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dosm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/dosm_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/amppot/CMakeFiles/dosm_amppot.dir/DependInfo.cmake"
+  "/root/repo/build/src/dps/CMakeFiles/dosm_dps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dosm_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/dosm_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dosm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_table_test.dir/strings_table_test.cpp.o"
+  "CMakeFiles/strings_table_test.dir/strings_table_test.cpp.o.d"
+  "strings_table_test"
+  "strings_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesizer_test.dir/synthesizer_test.cpp.o"
+  "CMakeFiles/synthesizer_test.dir/synthesizer_test.cpp.o.d"
+  "synthesizer_test"
+  "synthesizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_test.dir/time_test.cpp.o"
+  "CMakeFiles/time_test.dir/time_test.cpp.o.d"
+  "time_test"
+  "time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosmeter.dir/dosmeter_cli.cpp.o"
+  "CMakeFiles/dosmeter.dir/dosmeter_cli.cpp.o.d"
+  "dosmeter"
+  "dosmeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosmeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
