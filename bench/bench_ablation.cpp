@@ -22,7 +22,7 @@ std::vector<telescope::SpoofedAttackSpec> sweep_attacks(Rng& rng, int n) {
   std::vector<telescope::SpoofedAttackSpec> specs;
   for (int i = 0; i < n; ++i) {
     telescope::SpoofedAttackSpec spec;
-    spec.victim = net::Ipv4Addr(static_cast<std::uint32_t>(0x0a000000u + i));
+    spec.victim = net::Ipv4Addr(0x0a000000u + static_cast<std::uint32_t>(i));
     spec.start = rng.uniform(0.0, 43200.0);
     spec.duration_s = rng.lognormal(6.12, 1.9);
     spec.victim_pps = 256.0 * rng.lognormal(0.5, 2.0);
@@ -32,7 +32,7 @@ std::vector<telescope::SpoofedAttackSpec> sweep_attacks(Rng& rng, int n) {
   for (int i = 0; i < 30; ++i) {
     telescope::SpoofedAttackSpec burst;
     burst.victim =
-        net::Ipv4Addr(static_cast<std::uint32_t>(0x0c000000u + i));
+        net::Ipv4Addr(0x0c000000u + static_cast<std::uint32_t>(i));
     burst.start = rng.uniform(50000.0, 80000.0);
     burst.duration_s = 300.0;
     burst.victim_pps = 256.0 * 50.0;
@@ -98,7 +98,7 @@ void fleet_size_sweep() {
     std::vector<amppot::ReflectionAttackSpec> specs;
     for (int i = 0; i < 120; ++i) {
       amppot::ReflectionAttackSpec spec;
-      spec.victim = net::Ipv4Addr(static_cast<std::uint32_t>(0x0b000000u + i));
+      spec.victim = net::Ipv4Addr(0x0b000000u + static_cast<std::uint32_t>(i));
       spec.start = rng.uniform(0.0, 43200.0);
       spec.duration_s = 600.0;
       spec.per_reflector_rps = 2.0;
@@ -134,7 +134,7 @@ void tier_agreement() {
     spec.duration_s = duration;
     spec.victim_pps = victim_pps;
     spec.ports = {80};
-    telescope::TelescopeSynthesizer synthesizer(902 + i);
+    telescope::TelescopeSynthesizer synthesizer(static_cast<std::uint64_t>(902 + i));
     const auto packets = synthesizer.synthesize({&spec, 1}, 0.0, 5e5);
     telescope::Pipeline pipeline;
     auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
@@ -149,7 +149,7 @@ void tier_agreement() {
     attack.duration_s = duration;
     attack.victim_pps = victim_pps;
     attack.ports = {80};
-    Rng observe_rng(1000 + i);
+    Rng observe_rng(static_cast<std::uint64_t>(1000 + i));
     const bool analytic_detected =
         sim::observe_telescope(attack, observe_rng).has_value();
 

@@ -110,7 +110,7 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   if (p >= 1.0) return n;
   if (n <= 64) {
     std::uint64_t k = 0;
-    for (std::uint64_t i = 0; i < n; ++i) k += bernoulli(p) ? 1 : 0;
+    for (std::uint64_t i = 0; i < n; ++i) k += bernoulli(p) ? 1u : 0u;
     return k;
   }
   const double mean = static_cast<double>(n) * p;
@@ -222,8 +222,8 @@ std::uint64_t ZipfSampler::sample(Rng& rng) const {
 
 std::uint64_t fnv1a64(std::string_view bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     h *= 0x100000001b3ULL;
   }
   return h;

@@ -1,5 +1,6 @@
 #include "common/time.h"
 
+#include <charconv>
 #include <cstdio>
 #include <stdexcept>
 
@@ -13,7 +14,7 @@ std::int64_t days_from_civil(CivilDate d) {
   y -= m <= 2;
   const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
   const auto yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + dd - 1;
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;       // [0, 146096]
   return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
 }
@@ -28,7 +29,7 @@ CivilDate civil_from_days(std::int64_t days) {
   const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);     // [0, 365]
   const unsigned mp = (5 * doy + 2) / 153;                          // [0, 11]
   const unsigned d = doy - (153 * mp + 2) / 5 + 1;                  // [1, 31]
-  const unsigned m = mp + (mp < 10 ? 3 : -9);                       // [1, 12]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                     // [1, 12]
   return CivilDate{static_cast<int>(y + (m <= 2)), m, d};
 }
 
@@ -51,8 +52,19 @@ std::string to_string(CivilDate d) {
 CivilDate parse_civil(const std::string& s) {
   int y = 0;
   unsigned m = 0, d = 0;
-  if (std::sscanf(s.c_str(), "%d-%u-%u", &y, &m, &d) != 3 || m < 1 || m > 12 ||
-      d < 1 || d > 31) {
+  const char* const end = s.data() + s.size();
+  const auto ry = std::from_chars(s.data(), end, y);
+  bool ok = ry.ec == std::errc{} && ry.ptr != end && *ry.ptr == '-';
+  std::from_chars_result rm{end, std::errc{}};
+  if (ok) {
+    rm = std::from_chars(ry.ptr + 1, end, m);
+    ok = rm.ec == std::errc{} && rm.ptr != end && *rm.ptr == '-';
+  }
+  if (ok) {
+    const auto rd = std::from_chars(rm.ptr + 1, end, d);
+    ok = rd.ec == std::errc{} && rd.ptr == end;
+  }
+  if (!ok || m < 1 || m > 12 || d < 1 || d > 31) {
     throw std::invalid_argument("parse_civil: malformed date: " + s);
   }
   return CivilDate{y, m, d};

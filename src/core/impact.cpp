@@ -34,7 +34,7 @@ int DomainAttackInfo::latest_long_attack_on_or_before(int day, double min_s) con
   int best = -1;
   for (const auto& touch : touches) {
     if (touch.day > day) break;
-    if (touch.honeypot && touch.duration_s >= min_s) best = touch.day;
+    if (touch.honeypot && static_cast<double>(touch.duration_s) >= min_s) best = touch.day;
   }
   return best;
 }

@@ -101,14 +101,15 @@ TEST(Fleet, SimultaneousAttacksOnDistinctVictims) {
   HoneypotFleet fleet(7);
   std::vector<ReflectionAttackSpec> specs(3);
   for (int i = 0; i < 3; ++i) {
-    specs[i].victim = Ipv4Addr(9, 9, 9, static_cast<std::uint8_t>(i + 1));
-    specs[i].protocol =
+    auto& spec = specs[static_cast<std::size_t>(i)];
+    spec.victim = Ipv4Addr(9, 9, 9, static_cast<std::uint8_t>(i + 1));
+    spec.protocol =
         i == 0 ? ReflectionProtocol::kNtp
                : (i == 1 ? ReflectionProtocol::kDns : ReflectionProtocol::kCharGen);
-    specs[i].start = i * 100.0;
-    specs[i].duration_s = 900.0;
-    specs[i].per_reflector_rps = 2.0;
-    specs[i].honeypots_hit = 8;
+    spec.start = i * 100.0;
+    spec.duration_s = 900.0;
+    spec.per_reflector_rps = 2.0;
+    spec.honeypots_hit = 8;
   }
   fleet.run(specs, 0.0, 3600.0);
   const auto events = fleet.harvest();

@@ -211,7 +211,8 @@ TEST_P(ThresholdSweep, TighterMeansFewer) {
   };
   const ClassifierThresholds base;
   ClassifierThresholds tight;
-  tight.min_packets = static_cast<std::uint64_t>(base.min_packets * scale);
+  tight.min_packets =
+      static_cast<std::uint64_t>(static_cast<double>(base.min_packets) * scale);
   tight.min_duration_s = base.min_duration_s * scale;
   tight.min_max_pps = base.min_max_pps * scale;
   if (scale >= 1.0) {

@@ -1,0 +1,23 @@
+// Fixture: none of this may be flagged — banned tokens appear only inside
+// comments and string literals, counters are integral, and new/delete is
+// outside the analysis directories anyway.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+// The EWMA keeps the old weight and folds in the new value each tick;
+// never calls rand() or system_clock (this comment must not trip the lint).
+struct CleanStats {
+  std::uint64_t packet_count = 0;
+  std::uint64_t n_bytes = 0;
+  double mean_rate_pps = 0.0;   // a rate, not a counter: double is fine
+  double total_weight = 0.0;    // accumulated weights are not packet counters
+};
+
+std::string clean_describe() {
+  return "strcpy(, rand( and delete p are just words in this string";
+}
+
+void clean_copy(void* dst, const void* src, std::size_t n) {
+  std::memcpy(dst, src, n);  // bounded memory copy is allowed
+}

@@ -1,0 +1,7 @@
+// Fixture: packet/byte/request counters declared floating-point must be
+// flagged — counter accumulation must be exact.
+struct FixtureStats {
+  double packet_count = 0;
+  float n_bytes = 0;
+  double total_requests = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: parent-relative includes and C-compat headers must be flagged.
+#include "../core/event.h"
+#include <stdlib.h>
+#include <bits/stdc++.h>
+
+int fixture_includes() { return 0; }

@@ -1,0 +1,8 @@
+// Fixture: an inline lint:allow(<rule>) marker suppresses exactly that rule
+// on its own line.
+#include <random>
+
+unsigned fixture_entropy_shim() {
+  std::random_device rd;  // lint:allow(nondeterminism) — fixture exception
+  return rd();
+}

@@ -1,0 +1,9 @@
+// Fixture: unseeded / libc randomness outside common/rng must be flagged.
+#include <cstdlib>
+#include <random>
+
+int fixture_random() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return rand() + static_cast<int>(gen());
+}

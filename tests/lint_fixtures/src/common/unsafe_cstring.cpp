@@ -1,0 +1,9 @@
+// Fixture: unbounded C string/format functions must be flagged.
+#include <cstring>
+#include <cstdio>
+
+void fixture_copy(char* dst, const char* src) {
+  strcpy(dst, src);
+  char buf[16];
+  sprintf(buf, "%s", src);
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock time sources must be flagged in pipeline code.
+#include <chrono>
+#include <ctime>
+
+long fixture_now() {
+  auto tp = std::chrono::system_clock::now();
+  auto tick = std::chrono::steady_clock::now();
+  std::time_t t = time(nullptr);
+  (void)tp;
+  (void)tick;
+  return static_cast<long>(t);
+}

@@ -1,0 +1,11 @@
+// Fixture: raw new/delete in analysis code (src/core et al.) must be flagged.
+struct FixtureEvent {
+  int id = 0;
+};
+
+void fixture_leaky() {
+  auto* ev = new FixtureEvent;
+  delete ev;
+  int* arr = new int[8];
+  delete[] arr;
+}

@@ -1,0 +1,163 @@
+// Unit tests for dosmeter_lint: every banned pattern must fire on its fixture
+// file, clean code must stay clean, and both exception mechanisms (allowlist
+// entries, inline lint:allow markers) must suppress.
+#include "lint/lint_core.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace dosm::lint {
+namespace {
+
+std::vector<Violation> lint_fixtures(const std::vector<AllowEntry>& allow = {}) {
+  return lint_tree(DOSM_LINT_FIXTURE_DIR, {"src"}, allow);
+}
+
+std::map<std::string, std::set<std::string>> rules_by_file(
+    const std::vector<Violation>& violations) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const auto& v : violations) out[v.file].insert(v.rule);
+  return out;
+}
+
+TEST(LintFixtures, EachBannedPatternFires) {
+  const auto by_file = rules_by_file(lint_fixtures());
+  EXPECT_EQ(by_file.at("src/common/wall_clock.cpp"),
+            std::set<std::string>{"wall-clock"});
+  EXPECT_EQ(by_file.at("src/common/nondeterminism.cpp"),
+            std::set<std::string>{"nondeterminism"});
+  EXPECT_EQ(by_file.at("src/common/unsafe_cstring.cpp"),
+            std::set<std::string>{"unsafe-cstring"});
+  EXPECT_EQ(by_file.at("src/common/float_counter.cpp"),
+            std::set<std::string>{"float-counter"});
+  EXPECT_EQ(by_file.at("src/core/raw_new_delete.cpp"),
+            std::set<std::string>{"raw-new-delete"});
+  EXPECT_EQ(by_file.at("src/common/include_hygiene.cpp"),
+            std::set<std::string>{"include-hygiene"});
+}
+
+TEST(LintFixtures, IncludeHygieneSeesInsideQuotedIncludePaths) {
+  // The banned "../" lives inside a string literal, which blanking erases;
+  // the rule must match raw include lines. All three banned forms fire.
+  int hygiene_hits = 0;
+  for (const auto& v : lint_fixtures()) {
+    if (v.file == "src/common/include_hygiene.cpp") ++hygiene_hits;
+  }
+  EXPECT_EQ(hygiene_hits, 3);
+}
+
+TEST(LintSource, CommentedOutIncludeStaysQuiet) {
+  const char* code =
+      "// #include \"../legacy/old.h\"\n"
+      "/* #include <stdlib.h> */\n"
+      "const char* s = \"#include <bits/stdc++.h>\";\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(lint_source("src/common/x.cpp", code, {}).empty());
+}
+
+TEST(LintFixtures, CleanFileStaysClean) {
+  const auto by_file = rules_by_file(lint_fixtures());
+  EXPECT_EQ(by_file.count("src/common/clean.cpp"), 0u)
+      << "banned tokens in comments/strings must not fire";
+}
+
+TEST(LintFixtures, InlineAllowMarkerSuppresses) {
+  const auto by_file = rules_by_file(lint_fixtures());
+  EXPECT_EQ(by_file.count("src/common/inline_allow.cpp"), 0u);
+}
+
+TEST(LintFixtures, WallClockFixtureFlagsEveryClockLine) {
+  int wall_clock_hits = 0;
+  for (const auto& v : lint_fixtures()) {
+    if (v.file == "src/common/wall_clock.cpp") {
+      EXPECT_EQ(v.rule, "wall-clock");
+      ++wall_clock_hits;
+    }
+  }
+  // system_clock, steady_clock, and time(nullptr) are three separate lines.
+  EXPECT_EQ(wall_clock_hits, 3);
+}
+
+TEST(LintFixtures, RawNewDeleteOnlyAppliesToAnalysisDirs) {
+  // The same contents outside src/core (etc.) must not fire.
+  std::ifstream in(std::filesystem::path(DOSM_LINT_FIXTURE_DIR) /
+                   "src/core/raw_new_delete.cpp");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_FALSE(lint_source("src/core/fixture.cpp", buf.str(), {}).empty());
+  EXPECT_TRUE(lint_source("src/common/fixture.cpp", buf.str(), {}).empty());
+}
+
+TEST(LintAllowlist, EntrySuppressesRuleForMatchingSuffix) {
+  const std::vector<AllowEntry> allow = {{"wall-clock", "wall_clock.cpp"}};
+  const auto by_file = rules_by_file(lint_fixtures(allow));
+  EXPECT_EQ(by_file.count("src/common/wall_clock.cpp"), 0u);
+  // Other files and rules are untouched.
+  EXPECT_EQ(by_file.count("src/common/nondeterminism.cpp"), 1u);
+}
+
+TEST(LintAllowlist, WildcardRuleMatchesAnyRule) {
+  const std::vector<AllowEntry> allow = {{"*", "src/common/include_hygiene.cpp"}};
+  const auto by_file = rules_by_file(lint_fixtures(allow));
+  EXPECT_EQ(by_file.count("src/common/include_hygiene.cpp"), 0u);
+}
+
+TEST(LintAllowlist, ParserSkipsCommentsAndBlanks) {
+  const auto entries = parse_allowlist(
+      "# header comment\n"
+      "\n"
+      "nondeterminism src/common/rng.cpp\n"
+      "* tools/legacy.cpp   # trailing note\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "nondeterminism");
+  EXPECT_EQ(entries[0].path_suffix, "src/common/rng.cpp");
+  EXPECT_EQ(entries[1].rule, "*");
+  EXPECT_EQ(entries[1].path_suffix, "tools/legacy.cpp");
+}
+
+TEST(LintSource, LiteralsAndCommentsAreBlanked) {
+  const char* code =
+      "#include <string>\n"
+      "// rand() in a comment is fine\n"
+      "/* so is strcpy( in a block\n"
+      "   comment spanning lines */\n"
+      "std::string s = \"std::random_device in a string\";\n"
+      "const char* r = R\"(sprintf( inside a raw string)\";\n";
+  EXPECT_TRUE(lint_source("src/common/x.cpp", code, {}).empty());
+}
+
+TEST(LintSource, ViolationCarriesLineNumberAndRule) {
+  const char* code =
+      "#include <cstdlib>\n"
+      "int f() {\n"
+      "  return rand();\n"
+      "}\n";
+  const auto violations = lint_source("src/common/x.cpp", code, {});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 3);
+  EXPECT_EQ(violations[0].rule, "nondeterminism");
+  EXPECT_EQ(format_violation(violations[0]).substr(0, 19), "src/common/x.cpp:3:");
+}
+
+TEST(LintRepo, SrcAndToolsAreInvariantClean) {
+  std::vector<AllowEntry> allow;
+  const auto allowlist_path =
+      std::filesystem::path(DOSM_LINT_SOURCE_ROOT) / "tools/lint_allowlist.txt";
+  if (std::filesystem::exists(allowlist_path)) {
+    std::ifstream in(allowlist_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    allow = parse_allowlist(buf.str());
+  }
+  const auto violations = lint_tree(DOSM_LINT_SOURCE_ROOT, {"src", "tools"}, allow);
+  for (const auto& v : violations) ADD_FAILURE() << format_violation(v);
+}
+
+}  // namespace
+}  // namespace dosm::lint

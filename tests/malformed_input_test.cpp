@@ -1,0 +1,256 @@
+// Deterministic malformed-input tests for the byte-level parsers.
+//
+// The net/headers decoder and net/pcap reader sit at the trust boundary of
+// the telescope pipeline: they consume raw capture bytes. These tests feed
+// them truncated, corrupted, and adversarial inputs and assert they reject
+// cleanly (nullopt / exception) instead of reading out of bounds. The suite
+// is part of the ASan+UBSan leg of tools/check.sh, which turns any OOB read
+// into a hard failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/headers.h"
+#include "net/pcap.h"
+
+namespace dosm::net {
+namespace {
+
+PacketRecord make_tcp_record() {
+  PacketRecord rec;
+  rec.ts_sec = 1425168000;
+  rec.src = Ipv4Addr(192, 0, 2, 1);
+  rec.dst = Ipv4Addr(44, 1, 2, 3);
+  rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  rec.src_port = 80;
+  rec.dst_port = 31337;
+  rec.tcp_flags = tcp_flags::kSyn | tcp_flags::kAck;
+  return rec;
+}
+
+// --- net/headers: decode_packet ------------------------------------------
+
+TEST(MalformedHeaders, EmptyAndTinyInputsAreRejected) {
+  EXPECT_FALSE(decode_packet({}).has_value());
+  const std::vector<std::uint8_t> one = {0x45};
+  EXPECT_FALSE(decode_packet(one).has_value());
+  std::vector<std::uint8_t> nineteen(19, 0);
+  nineteen[0] = 0x45;
+  EXPECT_FALSE(decode_packet(nineteen).has_value());
+}
+
+TEST(MalformedHeaders, NonIpv4VersionIsRejected) {
+  std::vector<std::uint8_t> pkt(40, 0);
+  pkt[0] = 0x65;  // version 6
+  EXPECT_FALSE(decode_packet(pkt).has_value());
+}
+
+TEST(MalformedHeaders, ImpossiblyShortIhlIsRejected) {
+  // IHL < 5 words would place the transport header inside the IP header.
+  for (std::uint8_t ihl_words = 0; ihl_words < 5; ++ihl_words) {
+    std::vector<std::uint8_t> pkt(40, 0);
+    pkt[0] = static_cast<std::uint8_t>(0x40 | ihl_words);
+    EXPECT_FALSE(decode_packet(pkt).has_value()) << "IHL " << int{ihl_words};
+  }
+}
+
+TEST(MalformedHeaders, IhlPastEndOfBufferIsRejected) {
+  // IHL of 15 words (60 bytes) on a 20-byte capture: options claim bytes the
+  // buffer does not have.
+  std::vector<std::uint8_t> pkt(20, 0);
+  pkt[0] = 0x4f;
+  pkt[9] = static_cast<std::uint8_t>(IpProto::kTcp);
+  EXPECT_FALSE(decode_packet(pkt).has_value());
+}
+
+TEST(MalformedHeaders, TruncatedTcpKeepsIpViewWithZeroPorts) {
+  auto bytes = encode_packet(make_tcp_record());
+  // Cut mid-TCP-header: IP layer decodes, transport fields must stay zeroed
+  // rather than being read past the end.
+  bytes.resize(25);
+  const auto rec = decode_packet(bytes);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->is_tcp());
+  EXPECT_EQ(rec->src_port, 0);
+  EXPECT_EQ(rec->dst_port, 0);
+  EXPECT_EQ(rec->tcp_flags, 0);
+}
+
+TEST(MalformedHeaders, ZeroLengthUdpKeepsIpViewWithZeroPorts) {
+  // A bare IP header claiming UDP but carrying no UDP header at all.
+  std::vector<std::uint8_t> pkt(20, 0);
+  pkt[0] = 0x45;
+  pkt[9] = static_cast<std::uint8_t>(IpProto::kUdp);
+  const auto rec = decode_packet(pkt);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->is_udp());
+  EXPECT_EQ(rec->src_port, 0);
+  EXPECT_EQ(rec->dst_port, 0);
+}
+
+TEST(MalformedHeaders, IcmpErrorWithTruncatedQuoteHasNoQuotedView) {
+  PacketRecord rec = make_tcp_record();
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kDestUnreachable);
+  rec.has_quoted = true;
+  rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  rec.quoted_src = Ipv4Addr(10, 1, 1, 1);
+  rec.quoted_dst = Ipv4Addr(10, 2, 2, 2);
+  rec.quoted_src_port = 53;
+  rec.quoted_dst_port = 4444;
+  auto bytes = encode_packet(rec);
+  // Cut inside the quoted IP header: the outer ICMP view must survive and
+  // the quoted view must be dropped.
+  bytes.resize(20 + 8 + 10);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_icmp());
+  EXPECT_FALSE(decoded->has_quoted);
+}
+
+TEST(MalformedHeaders, QuotedHeaderWithImpossibleIhlIsDropped) {
+  PacketRecord rec = make_tcp_record();
+  rec.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  rec.icmp_type = static_cast<std::uint8_t>(IcmpType::kTimeExceeded);
+  rec.has_quoted = true;
+  rec.quoted_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  auto bytes = encode_packet(rec);
+  bytes[20 + 8] = 0x4f;  // quoted IHL 60 bytes > remaining capture
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->has_quoted);
+}
+
+TEST(MalformedHeaders, EveryTruncationOfAValidPacketIsHandled) {
+  const auto full = encode_packet(make_tcp_record());
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(full.data(), len);
+    const auto rec = decode_packet(prefix);  // must not read past `len`
+    if (len >= 20) {
+      EXPECT_TRUE(rec.has_value()) << "prefix " << len;
+    } else {
+      EXPECT_FALSE(rec.has_value()) << "prefix " << len;
+    }
+  }
+}
+
+TEST(MalformedHeaders, SeededByteMutationSweepNeverReadsOutOfBounds) {
+  // 2000 deterministic single/multi-byte corruptions of a valid packet.
+  // decode_packet may reject or misparse, but must never crash (ASan).
+  Rng rng(20170301);
+  const auto base = encode_packet(make_tcp_record());
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto pkt = base;
+    const std::uint64_t flips = 1 + rng.next_below(3);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(pkt.size());
+      pkt[pos] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    (void)decode_packet(pkt);
+  }
+}
+
+// --- net/pcap: PcapReader -------------------------------------------------
+
+std::string valid_pcap_bytes(int frames) {
+  std::ostringstream out(std::ios::binary);
+  PcapWriter writer(out);
+  for (int i = 0; i < frames; ++i) {
+    auto rec = make_tcp_record();
+    rec.ts_usec = static_cast<std::uint32_t>(i);
+    writer.write_packet(rec);
+  }
+  return out.str();
+}
+
+TEST(MalformedPcap, BadMagicIsRejected) {
+  std::istringstream in(std::string("\xde\xad\xbe\xef" "0123456789abcdefghij", 24),
+                        std::ios::binary);
+  EXPECT_THROW(PcapReader reader(in), std::runtime_error);
+}
+
+TEST(MalformedPcap, TruncatedGlobalHeaderIsRejected) {
+  const std::string file = valid_pcap_bytes(1);
+  for (std::size_t len : {0u, 3u, 4u, 10u, 23u}) {
+    std::istringstream in(file.substr(0, len), std::ios::binary);
+    EXPECT_THROW(PcapReader reader(in), std::runtime_error) << "len " << len;
+  }
+}
+
+TEST(MalformedPcap, UnsupportedVersionIsRejected) {
+  std::string file = valid_pcap_bytes(1);
+  file[4] = 7;  // version major 7
+  std::istringstream in(file, std::ios::binary);
+  EXPECT_THROW(PcapReader reader(in), std::runtime_error);
+}
+
+TEST(MalformedPcap, CaplenPastEndOfFileIsRejected) {
+  std::string file = valid_pcap_bytes(1);
+  // Record header starts at offset 24; caplen is its third u32 (offset 32).
+  file[32] = static_cast<char>(0xff);  // caplen low byte: now 0x1ff > body
+  std::istringstream in(file, std::ios::binary);
+  PcapReader reader(in);
+  EXPECT_THROW(reader.next_frame(), std::runtime_error);
+}
+
+TEST(MalformedPcap, ImplausibleCaplenIsRejected) {
+  std::string file = valid_pcap_bytes(1);
+  file[35] = static_cast<char>(0x40);  // caplen high byte: > 2^26 sanity cap
+  std::istringstream in(file, std::ios::binary);
+  PcapReader reader(in);
+  EXPECT_THROW(reader.next_frame(), std::runtime_error);
+}
+
+TEST(MalformedPcap, TruncatedRecordHeaderIsRejected) {
+  const std::string file = valid_pcap_bytes(1);
+  std::istringstream in(file.substr(0, 24 + 7), std::ios::binary);
+  PcapReader reader(in);
+  EXPECT_THROW(reader.next_frame(), std::runtime_error);
+}
+
+TEST(MalformedPcap, TruncatedRecordBodyIsRejected) {
+  const std::string file = valid_pcap_bytes(1);
+  std::istringstream in(file.substr(0, file.size() - 5), std::ios::binary);
+  PcapReader reader(in);
+  EXPECT_THROW(reader.next_frame(), std::runtime_error);
+}
+
+TEST(MalformedPcap, EveryFileTruncationEitherParsesOrThrows) {
+  const std::string file = valid_pcap_bytes(3);
+  for (std::size_t len = 0; len <= file.size(); ++len) {
+    const auto slice = file.substr(0, len);
+    const std::vector<std::uint8_t> bytes(slice.begin(), slice.end());
+    try {
+      const auto records = decode_pcap(bytes);
+      EXPECT_LE(records.size(), 3u) << "prefix " << len;
+    } catch (const std::runtime_error&) {
+      // Rejecting a truncated file is the correct outcome.
+    }
+  }
+}
+
+TEST(MalformedPcap, SeededCorruptionSweepNeverReadsOutOfBounds) {
+  Rng rng(20170302);
+  const std::string file = valid_pcap_bytes(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = file;
+    const std::uint64_t flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.next_below(256));
+    }
+    const std::vector<std::uint8_t> bytes(mutated.begin(), mutated.end());
+    try {
+      (void)decode_pcap(bytes);
+    } catch (const std::runtime_error&) {
+      // Acceptable: reader rejected the corruption.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dosm::net

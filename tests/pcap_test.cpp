@@ -12,7 +12,7 @@ PacketRecord sample_packet(std::uint32_t i) {
   PacketRecord rec;
   rec.ts_sec = 1425168000 + static_cast<UnixSeconds>(i);
   rec.ts_usec = i * 100;
-  rec.src = Ipv4Addr(10, 0, 0, 1 + (i % 200));
+  rec.src = Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(1 + (i % 200)));
   rec.dst = Ipv4Addr(44, 1, 2, static_cast<std::uint8_t>(i));
   rec.proto = static_cast<std::uint8_t>(IpProto::kTcp);
   rec.src_port = 80;

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# tools/check.sh — the repo's correctness-tooling driver.
+#
+# Configures, builds, and tests the project under each checking mode:
+#
+#   hardened   escalated warning set promoted to errors (build only)
+#   asan       AddressSanitizer + UndefinedBehaviorSanitizer, full test suite
+#   tsan       ThreadSanitizer, full test suite
+#   lint       dosmeter_lint (repo-invariant linter) over src/
+#   tidy       clang-tidy over src/ and tools/ (skipped if not installed)
+#
+# Usage:
+#   tools/check.sh            # hardened + asan + tsan + lint (+ tidy if available)
+#   tools/check.sh asan lint  # just the named modes
+#
+# Build trees land in build-check-<mode>/ so they never disturb ./build.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+MODES=("$@")
+if [ ${#MODES[@]} -eq 0 ]; then
+  MODES=(hardened asan tsan lint)
+  if command -v clang-tidy >/dev/null 2>&1; then
+    MODES+=(tidy)
+  fi
+fi
+
+# Make every sanitizer finding fatal and actionable.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+configure_and_build() {
+  local dir="$1"; shift
+  local targets=()
+  while [ "${1:-}" = "--target" ]; do
+    targets+=(--target "$2")
+    shift 2
+  done
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j "$JOBS" "${targets[@]}"
+}
+
+run_tests() {
+  ctest --test-dir "$1" --output-on-failure -j "$JOBS"
+}
+
+for mode in "${MODES[@]}"; do
+  echo
+  echo "==================================================================="
+  echo "== check.sh mode: $mode"
+  echo "==================================================================="
+  case "$mode" in
+    hardened)
+      configure_and_build "$ROOT/build-check-hardened" -DDOSMETER_HARDENED=ON
+      ;;
+    asan)
+      configure_and_build "$ROOT/build-check-asan" -DDOSMETER_SANITIZE=address
+      run_tests "$ROOT/build-check-asan"
+      ;;
+    tsan)
+      configure_and_build "$ROOT/build-check-tsan" -DDOSMETER_SANITIZE=thread
+      run_tests "$ROOT/build-check-tsan"
+      ;;
+    lint)
+      configure_and_build "$ROOT/build-check-lint" --target dosmeter_lint
+      "$ROOT/build-check-lint/tools/dosmeter_lint" --root "$ROOT" src tools
+      ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; cannot run tidy mode" >&2
+        exit 1
+      fi
+      configure_and_build "$ROOT/build-check-lint" --target tidy
+      ;;
+    *)
+      echo "unknown mode: $mode (expected hardened|asan|tsan|lint|tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "check.sh: all requested modes passed (${MODES[*]})"

@@ -1,0 +1,292 @@
+#include "lint/lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace dosm::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table. Each rule is a regex applied per line to comment/string-blanked
+// text, restricted to paths matching `path_filter` (empty = everywhere).
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  const char* id;
+  const char* detail;
+  std::regex pattern;
+  // Only applies to files whose relative path starts with one of these
+  // prefixes; empty means the rule applies to every scanned file.
+  std::vector<std::string> path_prefixes;
+  // Match against the raw line instead of the comment/string-blanked one.
+  // Needed for include rules: the banned path lives inside the "..." literal
+  // that blanking erases. Guarded so commented-out includes stay quiet.
+  bool match_raw = false;
+};
+
+// Analysis modules: results-bearing pipeline code where ownership must go
+// through containers / smart pointers, never raw new/delete.
+const std::vector<std::string> kAnalysisDirs = {
+    "src/core/", "src/telescope/", "src/amppot/",
+    "src/dps/",  "src/dns/",       "src/meta/",
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = [] {
+    std::vector<Rule> r;
+    const auto flags = std::regex::ECMAScript | std::regex::optimize;
+    r.push_back(Rule{
+        "wall-clock",
+        "wall-clock time source; pipeline time must come from the simulated "
+        "clock (common/time) so runs are reproducible",
+        std::regex(R"(std::chrono::(system_clock|high_resolution_clock|steady_clock)|\b(gettimeofday|clock_gettime|localtime(_r)?|gmtime(_r)?|mktime)\s*\(|\btime\s*\(\s*(nullptr|NULL|0|&))",
+                   flags),
+        {}});
+    r.push_back(Rule{
+        "nondeterminism",
+        "nondeterministic randomness; all randomness must flow through a "
+        "seeded dosm::Rng (common/rng)",
+        std::regex(R"(\b(rand|srand|rand_r|drand48|random)\s*\(|std::random_device|std::mt19937(_64)?|std::default_random_engine|std::minstd_rand0?\b)",
+                   flags),
+        {}});
+    r.push_back(Rule{
+        "unsafe-cstring",
+        "banned unsafe C string/format function; use std::string / "
+        "std::format / bounded operations",
+        std::regex(R"(\b(strcpy|strcat|sprintf|vsprintf|gets|strtok|strncpy|strncat|scanf|sscanf|alloca)\s*\()",
+                   flags),
+        {}});
+    r.push_back(Rule{
+        "float-counter",
+        "packet/byte/request counter declared as float/double; counters must "
+        "be integral (std::uint64_t) so accumulation is exact",
+        std::regex(R"(\b(float|double)\s+((n|num|total|cum|sum)_?(pkts?|packets?|bytes?|requests?|reqs?)|(pkts?|packets?|bytes?|requests?|reqs?)_?(count|cnt|total|sum|num|seen|sent|recvd?|rx|tx))\b)",
+                   flags),
+        {}});
+    r.push_back(Rule{
+        "raw-new-delete",
+        "raw new/delete in analysis code; use containers or smart pointers",
+        std::regex(R"(\bnew\s+[A-Za-z_:<]|\bnew\s*\[|\bdelete\s+[A-Za-z_*]|\bdelete\s*\[)",
+                   flags),
+        kAnalysisDirs});
+    r.push_back(Rule{
+        "include-hygiene",
+        "banned include: no parent-relative paths, <bits/...>, or C-compat "
+        "headers (use the <c...> equivalents)",
+        std::regex(R"(#\s*include\s+("\.\./|<bits/|<(assert|ctype|errno|float|limits|locale|math|setjmp|signal|stdarg|stddef|stdio|stdint|stdlib|string|time)\.h>))",
+                   flags),
+        {},
+        /*match_raw=*/true});
+    return r;
+  }();
+  return kRules;
+}
+
+bool starts_with_any(std::string_view path, const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  return std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
+    return path.substr(0, p.size()) == p;
+  });
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Blanks comments and string/char literals with spaces, preserving line
+// structure so reported line numbers match the raw file.
+std::string blank_comments_and_literals(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw string literals: )delim"
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string literal? Look back for R prefix.
+          if (i > 0 && out[i - 1] == 'R') {
+            std::size_t j = i + 1;
+            while (j < out.size() && out[j] != '(') ++j;
+            raw_delim = ")" + out.substr(i + 1, j - (i + 1)) + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Skip digit separators like 1'000'000.
+          if (!(i > 0 && (std::isalnum(static_cast<unsigned char>(out[i - 1])) != 0) &&
+                (std::isalnum(static_cast<unsigned char>(next)) != 0))) {
+            state = State::kChar;
+          }
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool allowed(const std::vector<AllowEntry>& allow, std::string_view rule,
+             std::string_view rel_path) {
+  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
+    return (e.rule == "*" || e.rule == rule) && ends_with(rel_path, e.path_suffix);
+  });
+}
+
+bool has_inline_allow(std::string_view raw_line, std::string_view rule) {
+  const std::string marker = "lint:allow(" + std::string(rule) + ")";
+  return raw_line.find(marker) != std::string_view::npos;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::vector<AllowEntry> parse_allowlist(std::string_view text) {
+  std::vector<AllowEntry> entries;
+  for (const std::string& line : split_lines(text)) {
+    std::istringstream in(line);
+    std::string rule;
+    std::string suffix;
+    if (!(in >> rule) || rule[0] == '#') continue;
+    if (in >> suffix) entries.push_back(AllowEntry{rule, suffix});
+  }
+  return entries;
+}
+
+std::vector<Violation> lint_source(std::string_view rel_path,
+                                   std::string_view contents,
+                                   const std::vector<AllowEntry>& allow) {
+  std::vector<Violation> out;
+  const std::string blanked = blank_comments_and_literals(contents);
+  const std::vector<std::string> raw_lines = split_lines(contents);
+  const std::vector<std::string> code_lines = split_lines(blanked);
+  for (const Rule& rule : rules()) {
+    if (!starts_with_any(rel_path, rule.path_prefixes)) continue;
+    if (allowed(allow, rule.id, rel_path)) continue;
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      if (rule.match_raw) {
+        static const std::regex kIncludeDirective(R"(^\s*#\s*include\b)");
+        if (!std::regex_search(code_lines[i], kIncludeDirective)) continue;
+        if (i >= raw_lines.size() || !std::regex_search(raw_lines[i], rule.pattern)) continue;
+      } else {
+        if (!std::regex_search(code_lines[i], rule.pattern)) continue;
+      }
+      if (i < raw_lines.size() && has_inline_allow(raw_lines[i], rule.id)) continue;
+      out.push_back(Violation{std::string(rel_path), static_cast<int>(i) + 1,
+                              rule.id, rule.detail});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const std::vector<std::string>& subdirs,
+                                 const std::vector<AllowEntry>& allow) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  for (const std::string& subdir : subdirs) {
+    const fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string contents = buf.str();
+      auto file_violations = lint_source(rel, contents, allow);
+      out.insert(out.end(), file_violations.begin(), file_violations.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::string format_violation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " + v.detail;
+}
+
+}  // namespace dosm::lint

@@ -1,0 +1,53 @@
+#pragma once
+// dosmeter_lint — repo-specific invariant linter (see README.md).
+//
+// Enforces the determinism and safety rules generic tools cannot express:
+//   wall-clock        no wall-clock time sources in pipeline code
+//   nondeterminism    no unseeded / libc randomness outside common/rng
+//   unsafe-cstring    no unbounded C string/format functions
+//   float-counter     packet/byte/request counters must be integral
+//   raw-new-delete    no raw new/delete in analysis code
+//   include-hygiene   no parent-relative includes, C-compat headers, bits/
+//
+// Exceptions go through tools/lint_allowlist.txt ("rule path-suffix" lines)
+// or an inline "lint:allow(rule)" comment on the offending line.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosm::lint {
+
+struct Violation {
+  std::string file;  // path relative to the scanned root, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string detail;
+};
+
+struct AllowEntry {
+  std::string rule;         // rule id, or "*" for any rule
+  std::string path_suffix;  // matched against the end of the relative path
+};
+
+// Parses allowlist text: one "rule path-suffix" pair per line; '#' comments
+// and blank lines ignored.
+std::vector<AllowEntry> parse_allowlist(std::string_view text);
+
+// Lints one file's contents. Comments and string/char literals are blanked
+// before rules run, so banned tokens inside them never fire; the inline
+// "lint:allow(rule)" marker is read from the raw text.
+std::vector<Violation> lint_source(std::string_view rel_path,
+                                   std::string_view contents,
+                                   const std::vector<AllowEntry>& allow);
+
+// Recursively lints every .h/.hpp/.cc/.cpp file under root/<subdir> for each
+// subdir. Returned violations are sorted by (file, line, rule).
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const std::vector<std::string>& subdirs,
+                                 const std::vector<AllowEntry>& allow);
+
+// Human-readable one-line rendering: "file:line: [rule] detail".
+std::string format_violation(const Violation& v);
+
+}  // namespace dosm::lint
