@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       },
       [&](const core::StreamAlert& alert) {
         std::cout << to_string(world->window.date_of_day(alert.day)) << "  *** "
-                  << alert.kind << ": " << fixed(alert.value, 0)
+                  << to_string(alert.kind) << ": " << fixed(alert.value, 0)
                   << " vs trailing baseline " << fixed(alert.baseline, 1)
                   << " (x" << fixed(alert.value / alert.baseline, 1) << ")\n";
       });

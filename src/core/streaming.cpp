@@ -5,6 +5,16 @@
 
 namespace dosm::core {
 
+std::string to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kAttackSpike:
+      return "attack-spike";
+    case AlertKind::kTargetSpike:
+      return "target-spike";
+  }
+  return "unknown";
+}
+
 StreamingFusion::StreamingFusion(StudyWindow window, Config config,
                                  SummaryCallback on_summary,
                                  AlertCallback on_alert)
@@ -61,16 +71,16 @@ void StreamingFusion::close_day() {
 
   // Spike detection against the trailing baseline (before appending the
   // new value, so a spike does not mask itself).
-  check_spike("attack-spike", static_cast<double>(pending_.attacks),
+  check_spike(AlertKind::kAttackSpike, static_cast<double>(pending_.attacks),
               attack_history_);
-  check_spike("target-spike", static_cast<double>(pending_.unique_targets),
-              target_history_);
+  check_spike(AlertKind::kTargetSpike,
+              static_cast<double>(pending_.unique_targets), target_history_);
 
   on_summary_(pending_);
   ++days_emitted_;
 }
 
-void StreamingFusion::check_spike(const char* kind, double value,
+void StreamingFusion::check_spike(AlertKind kind, double value,
                                   std::deque<double>& history) {
   if (static_cast<int>(history.size()) >= config_.min_baseline_days &&
       on_alert_) {

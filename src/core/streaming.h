@@ -33,10 +33,18 @@ struct DaySummary {
   std::uint64_t co_targeted = 0;
 };
 
+/// What spiked against the trailing baseline.
+enum class AlertKind : std::uint8_t {
+  kAttackSpike,  // the day's attack count
+  kTargetSpike,  // the day's unique-target count
+};
+
+std::string to_string(AlertKind kind);
+
 /// An anomaly detected against the trailing baseline.
 struct StreamAlert {
   int day = 0;
-  std::string kind;        // "attack-spike" | "target-spike"
+  AlertKind kind = AlertKind::kAttackSpike;
   double value = 0.0;      // the day's value
   double baseline = 0.0;   // trailing mean it was compared against
 };
@@ -73,7 +81,7 @@ class StreamingFusion {
 
  private:
   void close_day();
-  void check_spike(const char* kind, double value, std::deque<double>& history);
+  void check_spike(AlertKind kind, double value, std::deque<double>& history);
 
   StudyWindow window_;
   Config config_;

@@ -1,0 +1,59 @@
+#include "query/engine.h"
+
+#include <stdexcept>
+
+namespace dosm::query {
+
+QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> initial)
+    : current_(std::move(initial)) {
+  if (snapshot()) publishes_.store(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Snapshot> QueryEngine::snapshot() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+void QueryEngine::publish(std::shared_ptr<const Snapshot> next) {
+  if (!next) throw std::invalid_argument("QueryEngine::publish: null snapshot");
+  const auto current = snapshot();
+  if (current && next->version() <= current->version())
+    throw std::invalid_argument(
+        "QueryEngine::publish: snapshot version must increase");
+  current_.store(std::move(next), std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SnapshotPublisher::SnapshotPublisher(QueryEngine& engine, StudyWindow window,
+                                     const meta::PrefixToAsMap& pfx2as,
+                                     const meta::GeoDatabase& geo)
+    : engine_(&engine), window_(window), builder_(window, pfx2as, geo) {}
+
+void SnapshotPublisher::ingest(const core::AttackEvent& event) {
+  if (event.start < last_start_)
+    throw std::invalid_argument(
+        "SnapshotPublisher::ingest: events must arrive in time order");
+  last_start_ = event.start;
+
+  const auto t = static_cast<UnixSeconds>(event.start);
+  if (!window_.contains(t)) return;
+  const int day = window_.day_of(t);
+  if (current_day_ >= 0 && day > current_day_) publish_now();
+  current_day_ = day;
+
+  builder_.add(event);
+  ++events_ingested_;
+}
+
+void SnapshotPublisher::finish() {
+  if (current_day_ >= 0) publish_now();
+  current_day_ = -1;
+}
+
+void SnapshotPublisher::publish_now() {
+  engine_->publish(
+      std::make_shared<const Snapshot>(builder_.build(), next_version_));
+  ++next_version_;
+  ++snapshots_published_;
+}
+
+}  // namespace dosm::query

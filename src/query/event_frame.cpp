@@ -1,0 +1,87 @@
+#include "query/event_frame.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dosm::query {
+
+PackedCountry pack_country(meta::CountryCode country) {
+  const auto s = country.to_string();
+  return static_cast<PackedCountry>(
+      (static_cast<unsigned char>(s[0]) << 8) |
+      static_cast<unsigned char>(s[1]));
+}
+
+meta::CountryCode unpack_country(PackedCountry packed) {
+  const char chars[2] = {static_cast<char>(packed >> 8),
+                         static_cast<char>(packed & 0xff)};
+  return meta::CountryCode(std::string_view(chars, 2));
+}
+
+FrameBuilder::FrameBuilder(StudyWindow window,
+                           const meta::PrefixToAsMap& pfx2as,
+                           const meta::GeoDatabase& geo)
+    : window_(window), pfx2as_(&pfx2as), geo_(&geo) {}
+
+void FrameBuilder::add(const core::AttackEvent& event) {
+  Row row;
+  row.start = event.start;
+  row.end = event.end;
+  row.intensity = event.intensity;
+  row.target = event.target.value();
+  row.source = static_cast<std::uint8_t>(event.source);
+  row.ip_proto = event.ip_proto;
+  row.top_port = event.top_port;
+  row.asn = pfx2as_->origin(event.target);
+  row.country = pack_country(geo_->locate(event.target));
+  const auto t = static_cast<UnixSeconds>(event.start);
+  row.day = window_.contains(t) ? window_.day_of(t) : -1;
+  rows_.push_back(row);
+}
+
+void FrameBuilder::add(std::span<const core::AttackEvent> events) {
+  rows_.reserve(rows_.size() + events.size());
+  for (const auto& event : events) add(event);
+}
+
+EventFrame FrameBuilder::build() const {
+  std::vector<std::uint32_t> order(rows_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Row& ra = rows_[a];
+              const Row& rb = rows_[b];
+              return std::tie(ra.start, ra.target, ra.source) <
+                     std::tie(rb.start, rb.target, rb.source);
+            });
+
+  EventFrame frame;
+  frame.window_ = window_;
+  const std::size_t n = rows_.size();
+  frame.start_.reserve(n);
+  frame.end_.reserve(n);
+  frame.intensity_.reserve(n);
+  frame.target_.reserve(n);
+  frame.source_.reserve(n);
+  frame.ip_proto_.reserve(n);
+  frame.top_port_.reserve(n);
+  frame.asn_.reserve(n);
+  frame.country_.reserve(n);
+  frame.day_.reserve(n);
+  for (const std::uint32_t i : order) {
+    const Row& row = rows_[i];
+    frame.start_.push_back(row.start);
+    frame.end_.push_back(row.end);
+    frame.intensity_.push_back(row.intensity);
+    frame.target_.push_back(row.target);
+    frame.source_.push_back(row.source);
+    frame.ip_proto_.push_back(row.ip_proto);
+    frame.top_port_.push_back(row.top_port);
+    frame.asn_.push_back(row.asn);
+    frame.country_.push_back(row.country);
+    frame.day_.push_back(row.day);
+  }
+  return frame;
+}
+
+}  // namespace dosm::query

@@ -1,0 +1,70 @@
+#include "query/index.h"
+
+#include <algorithm>
+
+namespace dosm::query {
+
+FrameIndex::FrameIndex(const EventFrame& frame) : frame_(&frame) {
+  const std::size_t n = frame.size();
+  day_rows_.assign(static_cast<std::size_t>(frame.window().num_days()), {});
+  const auto day = frame.day();
+  const auto target = frame.target();
+  const auto port = frame.top_port();
+  const auto asn = frame.asn();
+  const auto country = frame.country();
+
+  for (std::uint32_t row = 0; row < n; ++row) {
+    if (day[row] >= 0) {
+      auto& range = day_rows_[static_cast<std::size_t>(day[row])];
+      if (range.size() == 0) range.begin = row;
+      range.end = row + 1;
+    }
+    target_[target[row]].push_back(row);
+    slash24_[target[row] & 0xffffff00u].push_back(row);
+    asn_[asn[row]].push_back(row);
+    country_[country[row]].push_back(row);
+    port_[port[row]].push_back(row);
+  }
+}
+
+RowRange FrameIndex::time_range(double t0, double t1) const {
+  const auto start = frame_->start();
+  const auto lo = std::lower_bound(start.begin(), start.end(), t0);
+  const auto hi = std::lower_bound(lo, start.end(), t1);
+  return {static_cast<std::uint32_t>(lo - start.begin()),
+          static_cast<std::uint32_t>(hi - start.begin())};
+}
+
+RowRange FrameIndex::day_range(int day) const {
+  if (day < 0 || static_cast<std::size_t>(day) >= day_rows_.size()) return {};
+  return day_rows_[static_cast<std::size_t>(day)];
+}
+
+std::span<const std::uint32_t> FrameIndex::find(const Postings& postings,
+                                                std::uint32_t key) {
+  const auto it = postings.find(key);
+  if (it == postings.end()) return {};
+  return it->second;
+}
+
+std::span<const std::uint32_t> FrameIndex::by_target(std::uint32_t addr) const {
+  return find(target_, addr);
+}
+
+std::span<const std::uint32_t> FrameIndex::by_slash24(std::uint32_t network) const {
+  return find(slash24_, network & 0xffffff00u);
+}
+
+std::span<const std::uint32_t> FrameIndex::by_asn(meta::Asn asn) const {
+  return find(asn_, asn);
+}
+
+std::span<const std::uint32_t> FrameIndex::by_country(PackedCountry country) const {
+  return find(country_, country);
+}
+
+std::span<const std::uint32_t> FrameIndex::by_port(std::uint16_t port) const {
+  return find(port_, port);
+}
+
+}  // namespace dosm::query

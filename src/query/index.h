@@ -1,0 +1,77 @@
+// Secondary indexes over an EventFrame.
+//
+// Three families, all built in one pass over the sorted frame:
+//
+//   time    — rows are sorted by start, so a time-range filter is two
+//             binary searches yielding a contiguous row range, and each
+//             window day maps to a precomputed [begin, end) row range.
+//   hash    — equality postings (sorted row-id vectors) keyed by target
+//             /32, target /24, origin ASN, country, and top port.
+//
+// The postings vectors are ascending by construction (rows are visited in
+// order), which the executor exploits to clip them against a time range
+// with two more binary searches instead of per-row checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "query/event_frame.h"
+
+namespace dosm::query {
+
+/// A [begin, end) row-id range.
+struct RowRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+class FrameIndex {
+ public:
+  FrameIndex() = default;
+  /// Builds all indexes; the frame must outlive the index (a Snapshot owns
+  /// both).
+  explicit FrameIndex(const EventFrame& frame);
+
+  /// Rows whose start falls in [t0, t1); contiguous because the frame is
+  /// start-sorted.
+  RowRange time_range(double t0, double t1) const;
+
+  /// Rows whose start falls on the given window day (0-based offset).
+  RowRange day_range(int day) const;
+
+  /// Equality postings; empty span when the key was never seen.
+  std::span<const std::uint32_t> by_target(std::uint32_t addr) const;
+  std::span<const std::uint32_t> by_slash24(std::uint32_t network) const;
+  std::span<const std::uint32_t> by_asn(meta::Asn asn) const;
+  std::span<const std::uint32_t> by_country(PackedCountry country) const;
+  std::span<const std::uint32_t> by_port(std::uint16_t port) const;
+
+  std::size_t num_targets() const { return target_.size(); }
+  std::size_t num_slash24() const { return slash24_.size(); }
+  std::size_t num_asns() const { return asn_.size(); }
+  std::size_t num_countries() const { return country_.size(); }
+  std::size_t num_ports() const { return port_.size(); }
+
+ private:
+  using Postings = std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>;
+
+  static std::span<const std::uint32_t> find(const Postings& postings,
+                                             std::uint32_t key);
+
+  const EventFrame* frame_ = nullptr;
+  // day -> [begin, end) row range; out-of-window rows sort to the edges and
+  // belong to no day.
+  std::vector<RowRange> day_rows_;
+  Postings target_;
+  Postings slash24_;
+  Postings asn_;
+  Postings country_;
+  Postings port_;
+};
+
+}  // namespace dosm::query

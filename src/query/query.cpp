@@ -1,0 +1,59 @@
+#include "query/query.h"
+
+#include <sstream>
+
+namespace dosm::query {
+
+std::string to_string(const Query& query) {
+  std::ostringstream out;
+  const char* sep = "";
+  auto field = [&](const std::string& text) {
+    out << sep << text;
+    sep = " AND ";
+  };
+  if (query.time) {
+    std::ostringstream t;
+    t << "start in [" << query.time->begin << ", " << query.time->end << ")";
+    field(t.str());
+  }
+  if (query.source != core::SourceFilter::kCombined)
+    field("source = " + core::to_string(query.source));
+  if (query.prefix) field("target in " + query.prefix->to_string());
+  if (query.asn) field("asn = " + std::to_string(*query.asn));
+  if (query.country) field("country = " + query.country->to_string());
+  if (query.port) field("port = " + std::to_string(*query.port));
+  if (query.min_intensity) {
+    std::ostringstream t;
+    t << "intensity >= " << *query.min_intensity;
+    field(t.str());
+  }
+  if (sep[0] == '\0') return "(all events)";
+  return out.str();
+}
+
+std::string to_string(IndexChoice choice) {
+  switch (choice) {
+    case IndexChoice::kFullScan:
+      return "full-scan";
+    case IndexChoice::kTimeRange:
+      return "time-range";
+    case IndexChoice::kTarget32:
+      return "target-/32";
+    case IndexChoice::kSlash24:
+      return "target-/24";
+    case IndexChoice::kAsn:
+      return "asn";
+    case IndexChoice::kCountry:
+      return "country";
+    case IndexChoice::kPort:
+      return "port";
+  }
+  return "unknown";
+}
+
+std::string to_string(const QueryPlan& plan) {
+  return to_string(plan.choice) + " (" + std::to_string(plan.candidates) +
+         " candidate rows)";
+}
+
+}  // namespace dosm::query

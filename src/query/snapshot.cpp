@@ -1,0 +1,229 @@
+#include "query/snapshot.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dosm::query {
+namespace {
+
+/// Clips an ascending postings list to row ids in [range.begin, range.end).
+std::span<const std::uint32_t> clip(std::span<const std::uint32_t> postings,
+                                    RowRange range) {
+  const auto lo =
+      std::lower_bound(postings.begin(), postings.end(), range.begin);
+  const auto hi = std::lower_bound(lo, postings.end(), range.end);
+  return postings.subspan(static_cast<std::size_t>(lo - postings.begin()),
+                          static_cast<std::size_t>(hi - lo));
+}
+
+}  // namespace
+
+Snapshot::Snapshot(EventFrame frame, std::uint64_t version)
+    : frame_(std::move(frame)), index_(frame_), version_(version) {}
+
+std::shared_ptr<const Snapshot> Snapshot::build(
+    StudyWindow window, std::span<const core::AttackEvent> events,
+    const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
+    std::uint64_t version) {
+  FrameBuilder builder(window, pfx2as, geo);
+  builder.add(events);
+  return std::make_shared<const Snapshot>(builder.build(), version);
+}
+
+std::shared_ptr<const Snapshot> Snapshot::from_store(
+    const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
+    const meta::GeoDatabase& geo, std::uint64_t version) {
+  return build(store.window(), store.events(), pfx2as, geo, version);
+}
+
+QueryPlan Snapshot::plan(const Query& query) const {
+  QueryPlan best{IndexChoice::kFullScan, frame_.size()};
+  // With a time filter, every postings candidate is clipped to the
+  // start-sorted row range first, so its cost is the clipped length.
+  RowRange time_rows{0, static_cast<std::uint32_t>(frame_.size())};
+  if (query.time) {
+    time_rows = index_.time_range(query.time->begin, query.time->end);
+    best = {IndexChoice::kTimeRange, time_rows.size()};
+  }
+  const auto consider = [&](IndexChoice choice,
+                            std::span<const std::uint32_t> postings) {
+    const std::uint64_t cost =
+        query.time ? clip(postings, time_rows).size() : postings.size();
+    if (cost < best.candidates) best = {choice, cost};
+  };
+  if (query.prefix && query.prefix->length() == 32)
+    consider(IndexChoice::kTarget32, index_.by_target(query.prefix->network().value()));
+  if (query.prefix && query.prefix->length() == 24)
+    consider(IndexChoice::kSlash24, index_.by_slash24(query.prefix->network().value()));
+  if (query.asn) consider(IndexChoice::kAsn, index_.by_asn(*query.asn));
+  if (query.country)
+    consider(IndexChoice::kCountry, index_.by_country(pack_country(*query.country)));
+  if (query.port) consider(IndexChoice::kPort, index_.by_port(*query.port));
+  return best;
+}
+
+bool Snapshot::row_matches(const Query& query, std::uint32_t row) const {
+  if (query.time && !(frame_.start()[row] >= query.time->begin &&
+                      frame_.start()[row] < query.time->end))
+    return false;
+  if (!core::matches(query.source, frame_.source_at(row))) return false;
+  if (query.prefix &&
+      (frame_.target()[row] & query.prefix->mask()) !=
+          query.prefix->network().value())
+    return false;
+  if (query.asn && frame_.asn()[row] != *query.asn) return false;
+  if (query.country &&
+      frame_.country()[row] != pack_country(*query.country))
+    return false;
+  if (query.port && frame_.top_port()[row] != *query.port) return false;
+  if (query.min_intensity && frame_.intensity()[row] < *query.min_intensity)
+    return false;
+  return true;
+}
+
+template <typename Fn>
+void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
+  const QueryPlan chosen = plan(query);
+  RowRange time_rows{0, static_cast<std::uint32_t>(frame_.size())};
+  if (query.time)
+    time_rows = index_.time_range(query.time->begin, query.time->end);
+
+  const auto verify_postings = [&](std::span<const std::uint32_t> postings) {
+    for (const std::uint32_t row : clip(postings, time_rows))
+      if (row_matches(query, row)) fn(row);
+  };
+  switch (chosen.choice) {
+    case IndexChoice::kFullScan:
+      for (std::uint32_t row = 0; row < frame_.size(); ++row)
+        if (row_matches(query, row)) fn(row);
+      return;
+    case IndexChoice::kTimeRange:
+      for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row)
+        if (row_matches(query, row)) fn(row);
+      return;
+    case IndexChoice::kTarget32:
+      verify_postings(index_.by_target(query.prefix->network().value()));
+      return;
+    case IndexChoice::kSlash24:
+      verify_postings(index_.by_slash24(query.prefix->network().value()));
+      return;
+    case IndexChoice::kAsn:
+      verify_postings(index_.by_asn(*query.asn));
+      return;
+    case IndexChoice::kCountry:
+      verify_postings(index_.by_country(pack_country(*query.country)));
+      return;
+    case IndexChoice::kPort:
+      verify_postings(index_.by_port(*query.port));
+      return;
+  }
+}
+
+std::uint64_t Snapshot::count(const Query& query) const {
+  std::uint64_t n = 0;
+  for_each_match(query, [&](std::uint32_t) { ++n; });
+  return n;
+}
+
+std::uint64_t Snapshot::unique_targets(const Query& query) const {
+  std::unordered_set<std::uint32_t> targets;
+  for_each_match(query,
+                 [&](std::uint32_t row) { targets.insert(frame_.target()[row]); });
+  return targets.size();
+}
+
+DailySeries Snapshot::daily_attacks(const Query& query) const {
+  DailySeries series(window().num_days());
+  for_each_match(query, [&](std::uint32_t row) {
+    const std::int32_t day = frame_.day()[row];
+    if (day >= 0) series.add(day, 1.0);
+  });
+  return series;
+}
+
+std::vector<TargetCount> Snapshot::top_targets(const Query& query,
+                                               std::size_t k) const {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for_each_match(query, [&](std::uint32_t row) { ++counts[frame_.target()[row]]; });
+  std::vector<TargetCount> out;
+  out.reserve(counts.size());
+  for (const auto& [addr, events] : counts)
+    out.push_back({net::Ipv4Addr(addr), events});
+  std::sort(out.begin(), out.end(),
+            [](const TargetCount& a, const TargetCount& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.target < b.target;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<AsnCount> Snapshot::top_asns(const Query& query,
+                                         std::size_t k) const {
+  std::unordered_map<meta::Asn, std::unordered_set<std::uint32_t>> targets;
+  std::unordered_map<meta::Asn, std::uint64_t> events;
+  for_each_match(query, [&](std::uint32_t row) {
+    const meta::Asn asn = frame_.asn()[row];
+    if (asn == meta::kUnknownAsn) return;
+    targets[asn].insert(frame_.target()[row]);
+    ++events[asn];
+  });
+  std::vector<AsnCount> out;
+  out.reserve(targets.size());
+  for (const auto& [asn, addrs] : targets)
+    out.push_back({asn, addrs.size(), events[asn]});
+  std::sort(out.begin(), out.end(), [](const AsnCount& a, const AsnCount& b) {
+    return std::tuple(b.targets, b.events, a.asn) <
+           std::tuple(a.targets, a.events, b.asn);
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<core::CountryCount> Snapshot::country_ranking(
+    const Query& query) const {
+  // Packed codes order exactly like CountryCode (both compare the two ASCII
+  // letters lexicographically), so sorting on the packed key reproduces the
+  // EventStore tie-break.
+  std::unordered_set<std::uint32_t> seen;
+  std::unordered_map<PackedCountry, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for_each_match(query, [&](std::uint32_t row) {
+    if (!seen.insert(frame_.target()[row]).second) return;
+    ++counts[frame_.country()[row]];
+    ++total;
+  });
+  std::vector<std::pair<PackedCountry, std::uint64_t>> entries(counts.begin(),
+                                                               counts.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<core::CountryCount> out;
+  out.reserve(entries.size());
+  for (const auto& [packed, count] : entries) {
+    out.push_back({unpack_country(packed), count,
+                   total ? static_cast<double>(count) / static_cast<double>(total)
+                         : 0.0});
+  }
+  return out;
+}
+
+std::vector<core::CountryCount> Snapshot::top_countries(const Query& query,
+                                                        std::size_t k) const {
+  auto ranking = country_ranking(query);
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+std::vector<std::uint32_t> Snapshot::match_rows(const Query& query) const {
+  std::vector<std::uint32_t> rows;
+  for_each_match(query, [&](std::uint32_t row) { rows.push_back(row); });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace dosm::query

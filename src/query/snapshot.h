@@ -1,0 +1,86 @@
+// An immutable, indexed, servable view of the fused event dataset.
+//
+// A Snapshot owns a columnar EventFrame plus its FrameIndex and answers
+// Query aggregations through a tiny cost-based planner: every equality
+// filter with a hash index (target /32, /24, ASN, country, port) and the
+// time-range index nominate a candidate row set; the planner picks the
+// smallest and the executor verifies the remaining predicates column-wise.
+// Postings are ascending row ids and rows are start-sorted, so a time
+// filter clips a postings list with two binary searches.
+//
+// Snapshots are immutable after construction and published by shared_ptr
+// (see query/engine.h), so any number of reader threads may query one
+// concurrently with no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/event_store.h"
+#include "query/event_frame.h"
+#include "query/index.h"
+#include "query/query.h"
+
+namespace dosm::query {
+
+class Snapshot {
+ public:
+  /// Builds the index over the given frame. Prefer the named constructors.
+  Snapshot(EventFrame frame, std::uint64_t version);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Builds a snapshot over a raw event span, resolving ASN/country through
+  /// the given metadata (borrowed only during the build).
+  static std::shared_ptr<const Snapshot> build(
+      StudyWindow window, std::span<const core::AttackEvent> events,
+      const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
+      std::uint64_t version = 0);
+
+  /// Builds a snapshot of a (finalized or not) batch EventStore.
+  static std::shared_ptr<const Snapshot> from_store(
+      const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
+      const meta::GeoDatabase& geo, std::uint64_t version = 0);
+
+  const EventFrame& frame() const { return frame_; }
+  const FrameIndex& index() const { return index_; }
+  const StudyWindow& window() const { return frame_.window(); }
+  std::size_t size() const { return frame_.size(); }
+  /// Publication sequence number (monotone per QueryEngine).
+  std::uint64_t version() const { return version_; }
+
+  /// The access path the executor would take, without running the query.
+  QueryPlan plan(const Query& query) const;
+
+  std::uint64_t count(const Query& query) const;
+  std::uint64_t unique_targets(const Query& query) const;
+  /// Attacks per window day (events starting outside the window are
+  /// dropped, as in EventStore::daily_breakdown).
+  DailySeries daily_attacks(const Query& query) const;
+  std::vector<TargetCount> top_targets(const Query& query, std::size_t k) const;
+  std::vector<AsnCount> top_asns(const Query& query, std::size_t k) const;
+  /// Table-4 semantics: unique matching targets per country, descending,
+  /// with shares. Identical output to EventStore::country_ranking for the
+  /// same source filter (regression-tested byte-for-byte).
+  std::vector<core::CountryCount> country_ranking(const Query& query) const;
+  std::vector<core::CountryCount> top_countries(const Query& query,
+                                                std::size_t k) const;
+  /// Matching row ids in frame order (ascending start), for event listings.
+  std::vector<std::uint32_t> match_rows(const Query& query) const;
+
+ private:
+  bool row_matches(const Query& query, std::uint32_t row) const;
+
+  template <typename Fn>
+  void for_each_match(const Query& query, Fn&& fn) const;
+
+  EventFrame frame_;
+  FrameIndex index_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dosm::query

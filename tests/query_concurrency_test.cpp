@@ -1,0 +1,128 @@
+// Serving-layer concurrency: many reader threads query while a publisher
+// swaps in new snapshots at day boundaries. Run under
+// DOSMETER_SANITIZE=thread (tools/check.sh tsan) this proves readers never
+// block on the publisher and never observe torn state: every snapshot a
+// reader holds stays internally consistent no matter how many publishes
+// happen concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/engine.h"
+#include "query/snapshot.h"
+#include "sim/scenario.h"
+
+namespace dosm::query {
+namespace {
+
+TEST(QueryEngineTest, PublishRequiresIncreasingVersions) {
+  StudyWindow window;
+  meta::PrefixToAsMap pfx2as;
+  meta::GeoDatabase geo;
+  QueryEngine engine;
+  EXPECT_EQ(engine.snapshot(), nullptr);
+  EXPECT_THROW(engine.publish(nullptr), std::invalid_argument);
+
+  engine.publish(Snapshot::build(window, {}, pfx2as, geo, 1));
+  ASSERT_NE(engine.snapshot(), nullptr);
+  EXPECT_EQ(engine.snapshot()->version(), 1u);
+  EXPECT_THROW(engine.publish(Snapshot::build(window, {}, pfx2as, geo, 1)),
+               std::invalid_argument);
+  engine.publish(Snapshot::build(window, {}, pfx2as, geo, 2));
+  EXPECT_EQ(engine.snapshot()->version(), 2u);
+  EXPECT_EQ(engine.publishes(), 2u);
+}
+
+TEST(QueryEngineTest, PublisherEmitsOneSnapshotPerCompletedDay) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  QueryEngine engine;
+  SnapshotPublisher publisher(engine, world->window,
+                              world->population.pfx2as(),
+                              world->population.geo());
+  for (const auto& event : world->store.events()) publisher.ingest(event);
+  publisher.finish();
+
+  EXPECT_EQ(publisher.events_ingested(), world->store.size());
+  EXPECT_GE(publisher.snapshots_published(), 2u);
+  const auto snap = engine.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->size(), world->store.size());
+  EXPECT_EQ(snap->version(), publisher.snapshots_published());
+}
+
+TEST(QueryConcurrencyTest, ReadersNeverBlockOrSeeTornState) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto& pfx2as = world->population.pfx2as();
+  const auto& geo = world->population.geo();
+
+  QueryEngine engine;
+  // Seed with an empty snapshot so readers always have something to query.
+  engine.publish(Snapshot::build(world->window, {}, pfx2as, geo, 0));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  const auto reader = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    std::uint64_t last_version = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = engine.snapshot();
+      ASSERT_NE(snap, nullptr);
+      // Versions move forward only.
+      ASSERT_GE(snap->version(), last_version);
+      last_version = snap->version();
+
+      // Internal consistency of whatever snapshot we hold: the unfiltered
+      // count equals the frame size, per-source counts partition it, and
+      // unique targets can never exceed events.
+      const std::uint64_t total = snap->count(Query{});
+      ASSERT_EQ(total, snap->size());
+      Query telescope;
+      telescope.from_source(core::SourceFilter::kTelescope);
+      Query honeypot;
+      honeypot.from_source(core::SourceFilter::kHoneypot);
+      ASSERT_EQ(snap->count(telescope) + snap->count(honeypot), total);
+      ASSERT_LE(snap->unique_targets(Query{}), total);
+
+      // A random indexed query agrees with a full-scan variant of itself
+      // (min_intensity alone cannot use an index).
+      Query indexed;
+      indexed.in_asn(static_cast<meta::Asn>(rng.next_below(64)));
+      const std::uint64_t via_index = snap->count(indexed);
+      Query scan = indexed;
+      scan.at_least(0.0);  // adds a predicate no index covers
+      ASSERT_EQ(snap->count(scan), via_index);
+
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (std::uint64_t t = 0; t < 4; ++t)
+    readers.emplace_back(reader, 0xabc0 + t);
+
+  // Publisher: replay the fused event stream, publishing at day boundaries.
+  SnapshotPublisher publisher(engine, world->window, pfx2as, geo);
+  std::thread writer([&] {
+    for (const auto& event : world->store.events()) publisher.ingest(event);
+    publisher.finish();
+    done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_GE(publisher.snapshots_published(), 2u);
+  EXPECT_GT(reads.load(), 0u);
+  const auto final_snap = engine.snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->size(), world->store.size());
+}
+
+}  // namespace
+}  // namespace dosm::query

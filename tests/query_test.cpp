@@ -1,0 +1,310 @@
+// Query engine correctness: seeded property tests comparing the indexed
+// Snapshot against the ScanOracle (naive linear scan) for every filter /
+// aggregation combination, planner behaviour, and the Table-4 regression
+// (byte-identical to the legacy EventStore scan).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "query/engine.h"
+#include "query/scan.h"
+#include "query/snapshot.h"
+#include "sim/scenario.h"
+
+namespace dosm::query {
+namespace {
+
+using core::AttackEvent;
+using core::EventSource;
+using core::SourceFilter;
+using net::Ipv4Addr;
+
+constexpr const char* kCountries[] = {"US", "CN", "DE", "FR",
+                                      "GB", "NL", "RU", "BR"};
+
+/// A randomized scenario: prefix-structured metadata and an event
+/// population with deliberate key collisions (shared targets, /24s, ASNs,
+/// countries) so indexes and tie-breaks are actually exercised.
+struct Scenario {
+  StudyWindow window;
+  meta::PrefixToAsMap pfx2as;
+  meta::GeoDatabase geo;
+  std::vector<AttackEvent> events;
+  std::vector<Ipv4Addr> pool;  // target pool the events draw from
+};
+
+Scenario make_scenario(std::uint64_t seed, std::size_t num_events) {
+  Rng rng(seed);
+  Scenario s;
+  s.window.end = civil_from_days(days_from_civil(s.window.start) + 29);
+
+  // Eight /8 country blocks; /16 announcements cover only the low second
+  // octets, leaving some targets in unannounced (kUnknownAsn) space.
+  for (int i = 0; i < 8; ++i) {
+    const auto block = Ipv4Addr(static_cast<std::uint8_t>(10 + i), 0, 0, 0);
+    s.geo.add(net::Prefix(block, 8), meta::CountryCode(kCountries[i]));
+    for (int j = 0; j < 4; ++j) {
+      const auto net16 = Ipv4Addr(static_cast<std::uint8_t>(10 + i),
+                                  static_cast<std::uint8_t>(j), 0, 0);
+      s.pfx2as.announce(net::Prefix(net16, 16),
+                        static_cast<meta::Asn>(100 + i * 4 + j));
+    }
+  }
+
+  for (int i = 0; i < 160; ++i) {
+    s.pool.emplace_back(static_cast<std::uint8_t>(10 + rng.next_below(8)),
+                        static_cast<std::uint8_t>(rng.next_below(6)),
+                        static_cast<std::uint8_t>(rng.next_below(4)),
+                        static_cast<std::uint8_t>(rng.next_below(32)));
+  }
+
+  const double t0 = static_cast<double>(s.window.start_time());
+  const double t1 = static_cast<double>(s.window.end_time());
+  const std::uint16_t ports[] = {0, 53, 80, 123, 443};
+  for (std::size_t i = 0; i < num_events; ++i) {
+    AttackEvent event;
+    event.target = s.pool[rng.next_below(s.pool.size())];
+    // ~3% of starts fall outside the window on either side.
+    event.start = rng.uniform(t0 - 43200.0, t1 + 43200.0);
+    event.end = event.start + rng.uniform(60.0, 3600.0);
+    event.source =
+        rng.bernoulli(0.7) ? EventSource::kTelescope : EventSource::kHoneypot;
+    event.intensity = rng.exponential(0.01);
+    if (event.source == EventSource::kTelescope) {
+      event.top_port = ports[rng.next_below(5)];
+      event.ip_proto = rng.bernoulli(0.8) ? 6 : 17;
+    }
+    s.events.push_back(event);
+  }
+  return s;
+}
+
+Query random_query(Rng& rng, const Scenario& s) {
+  Query q;
+  if (rng.bernoulli(0.4)) {
+    const double day0 = static_cast<double>(
+        s.window.day_start(static_cast<int>(rng.next_below(25))));
+    q.between(day0, day0 + static_cast<double>(rng.uniform_int(1, 7)) *
+                               static_cast<double>(kSecondsPerDay));
+  }
+  if (rng.bernoulli(0.4)) {
+    const SourceFilter filters[] = {SourceFilter::kTelescope,
+                                    SourceFilter::kHoneypot,
+                                    SourceFilter::kCombined};
+    q.from_source(filters[rng.next_below(3)]);
+  }
+  if (rng.bernoulli(0.4)) {
+    const int lengths[] = {8, 16, 24, 32};
+    const auto anchor = s.pool[rng.next_below(s.pool.size())];
+    q.in_prefix(net::Prefix(anchor, lengths[rng.next_below(4)]));
+  }
+  if (rng.bernoulli(0.3))
+    q.in_asn(static_cast<meta::Asn>(98 + rng.next_below(36)));
+  if (rng.bernoulli(0.3))
+    q.in_country(rng.bernoulli(0.9)
+                     ? meta::CountryCode(kCountries[rng.next_below(8)])
+                     : meta::unknown_country());
+  if (rng.bernoulli(0.3)) {
+    const std::uint16_t ports[] = {0, 53, 80, 123, 443, 9999};
+    q.on_port(ports[rng.next_below(6)]);
+  }
+  if (rng.bernoulli(0.3)) q.at_least(rng.uniform(0.0, 200.0));
+  return q;
+}
+
+void expect_equal_results(const Snapshot& snap, const ScanOracle& oracle,
+                          const Query& q) {
+  const std::string label = to_string(q);
+  EXPECT_EQ(snap.count(q), oracle.count(q)) << label;
+  EXPECT_EQ(snap.unique_targets(q), oracle.unique_targets(q)) << label;
+
+  const auto snap_daily = snap.daily_attacks(q);
+  const auto oracle_daily = oracle.daily_attacks(q);
+  ASSERT_EQ(snap_daily.num_days(), oracle_daily.num_days());
+  for (int d = 0; d < snap_daily.num_days(); ++d)
+    EXPECT_DOUBLE_EQ(snap_daily.at(d), oracle_daily.at(d))
+        << label << " day " << d;
+
+  EXPECT_EQ(snap.top_targets(q, 5), oracle.top_targets(q, 5)) << label;
+  EXPECT_EQ(snap.top_asns(q, 5), oracle.top_asns(q, 5)) << label;
+
+  const auto snap_countries = snap.country_ranking(q);
+  const auto oracle_countries = oracle.country_ranking(q);
+  ASSERT_EQ(snap_countries.size(), oracle_countries.size()) << label;
+  for (std::size_t i = 0; i < snap_countries.size(); ++i) {
+    EXPECT_EQ(snap_countries[i].country, oracle_countries[i].country) << label;
+    EXPECT_EQ(snap_countries[i].targets, oracle_countries[i].targets) << label;
+    EXPECT_DOUBLE_EQ(snap_countries[i].share, oracle_countries[i].share)
+        << label;
+  }
+
+  EXPECT_EQ(snap.match_rows(q).size(), snap.count(q)) << label;
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryPropertyTest, SnapshotMatchesOracleOnRandomQueries) {
+  const auto scenario = make_scenario(GetParam(), 2000);
+  const auto snap = Snapshot::build(scenario.window, scenario.events,
+                                    scenario.pfx2as, scenario.geo);
+  const ScanOracle oracle(scenario.events, scenario.window, scenario.pfx2as,
+                          scenario.geo);
+  // The unfiltered query plus a battery of random filter combinations.
+  expect_equal_results(*snap, oracle, Query{});
+  Rng rng(GetParam() ^ 0x9e3779b9u);
+  for (int i = 0; i < 60; ++i)
+    expect_equal_results(*snap, oracle, random_query(rng, scenario));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 20170301u));
+
+TEST(QueryPlannerTest, PicksTheCheapestIndex) {
+  const auto scenario = make_scenario(11, 3000);
+  const auto snap = Snapshot::build(scenario.window, scenario.events,
+                                    scenario.pfx2as, scenario.geo);
+
+  EXPECT_EQ(snap->plan(Query{}).choice, IndexChoice::kFullScan);
+  EXPECT_EQ(snap->plan(Query{}).candidates, snap->size());
+
+  // A /32 target is the most selective filter on offer.
+  Query by_target;
+  by_target.in_prefix(net::Prefix(scenario.pool[0], 32));
+  by_target.in_country(meta::CountryCode("US"));
+  EXPECT_EQ(snap->plan(by_target).choice, IndexChoice::kTarget32);
+
+  Query by_slash24;
+  by_slash24.in_prefix(net::Prefix(scenario.pool[0], 24));
+  EXPECT_EQ(snap->plan(by_slash24).choice, IndexChoice::kSlash24);
+
+  // A /8 prefix has no hash index; with no other filter it full-scans.
+  Query by_slash8;
+  by_slash8.in_prefix(net::Prefix(scenario.pool[0], 8));
+  EXPECT_EQ(snap->plan(by_slash8).choice, IndexChoice::kFullScan);
+
+  Query by_asn;
+  by_asn.in_asn(101);
+  EXPECT_EQ(snap->plan(by_asn).choice, IndexChoice::kAsn);
+
+  Query by_country;
+  by_country.in_country(meta::CountryCode("CN"));
+  EXPECT_EQ(snap->plan(by_country).choice, IndexChoice::kCountry);
+
+  // A time filter alone uses the contiguous start-sorted range...
+  Query one_day;
+  const double day0 = static_cast<double>(scenario.window.day_start(3));
+  one_day.between(day0, day0 + static_cast<double>(kSecondsPerDay));
+  const auto time_plan = snap->plan(one_day);
+  EXPECT_EQ(time_plan.choice, IndexChoice::kTimeRange);
+  EXPECT_LE(time_plan.candidates, snap->size() / 10);
+
+  // ...and combined with an equality filter, the postings are clipped to
+  // that range first, so they cost even less than the day itself.
+  Query narrow_time = by_country;
+  narrow_time.between(day0, day0 + static_cast<double>(kSecondsPerDay));
+  const auto plan = snap->plan(narrow_time);
+  EXPECT_EQ(plan.choice, IndexChoice::kCountry);
+  EXPECT_LE(plan.candidates, time_plan.candidates);
+
+  // An unknown key has empty postings: zero candidates.
+  Query miss;
+  miss.in_asn(424242);
+  EXPECT_EQ(snap->plan(miss).choice, IndexChoice::kAsn);
+  EXPECT_EQ(snap->plan(miss).candidates, 0u);
+  EXPECT_EQ(snap->count(miss), 0u);
+}
+
+TEST(QuerySnapshotTest, TimeRangeBoundariesAreHalfOpen) {
+  StudyWindow window;
+  window.end = civil_from_days(days_from_civil(window.start) + 4);
+  meta::PrefixToAsMap pfx2as;
+  meta::GeoDatabase geo;
+  const double day1 = static_cast<double>(window.day_start(1));
+
+  std::vector<AttackEvent> events(3);
+  events[0].start = day1 - 1.0;  // just before the range
+  events[1].start = day1;        // exactly at begin: included
+  events[2].start = day1 + static_cast<double>(kSecondsPerDay);  // at end: excluded
+  for (auto& event : events) {
+    event.target = Ipv4Addr(10, 0, 0, 1);
+    event.end = event.start + 60.0;
+  }
+  const auto snap = Snapshot::build(window, events, pfx2as, geo);
+  Query q;
+  q.between(day1, day1 + static_cast<double>(kSecondsPerDay));
+  EXPECT_EQ(snap->count(q), 1u);
+  const auto rows = snap->match_rows(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(snap->frame().start()[rows[0]], day1);
+}
+
+TEST(QuerySnapshotTest, FromStoreMatchesEventStoreSummaries) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto& pfx2as = world->population.pfx2as();
+  const auto& geo = world->population.geo();
+  const auto snap = Snapshot::from_store(world->store, pfx2as, geo);
+  ASSERT_EQ(snap->size(), world->store.size());
+
+  for (const auto filter : {SourceFilter::kTelescope, SourceFilter::kHoneypot,
+                            SourceFilter::kCombined}) {
+    const auto summary = world->store.summarize(filter, pfx2as);
+    Query q;
+    q.from_source(filter);
+    EXPECT_EQ(snap->count(q), summary.events);
+    EXPECT_EQ(snap->unique_targets(q), summary.unique_targets);
+  }
+
+  // The daily series agrees with the batch daily_breakdown.
+  const auto breakdown =
+      world->store.daily_breakdown(SourceFilter::kCombined, pfx2as);
+  const auto daily = snap->daily_attacks(Query{});
+  ASSERT_EQ(daily.num_days(), breakdown.attacks.num_days());
+  for (int d = 0; d < daily.num_days(); ++d)
+    EXPECT_DOUBLE_EQ(daily.at(d), breakdown.attacks.at(d)) << "day " << d;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: the Table-4 country ranking served by the query
+// engine must be byte-identical to the legacy EventStore linear scan.
+// ---------------------------------------------------------------------------
+
+std::string render_ranking(const std::vector<core::CountryCount>& ranking) {
+  std::ostringstream out;
+  for (const auto& row : ranking) {
+    out << row.country.to_string() << " " << row.targets << " "
+        << percent(row.share, 2) << "\n";
+  }
+  return out.str();
+}
+
+TEST(QueryTable4RegressionTest, CountryRankingIsByteIdenticalToLegacyScan) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto& geo = world->population.geo();
+  const auto snap =
+      Snapshot::from_store(world->store, world->population.pfx2as(), geo);
+
+  for (const auto filter : {SourceFilter::kTelescope, SourceFilter::kHoneypot,
+                            SourceFilter::kCombined}) {
+    const auto legacy = world->store.country_ranking(filter, geo);
+    Query q;
+    q.from_source(filter);
+    const auto served = snap->country_ranking(q);
+
+    ASSERT_EQ(served.size(), legacy.size()) << core::to_string(filter);
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].country, legacy[i].country);
+      EXPECT_EQ(served[i].targets, legacy[i].targets);
+      // Exact double equality: same counts, same division.
+      EXPECT_EQ(served[i].share, legacy[i].share);
+    }
+    EXPECT_EQ(render_ranking(served), render_ranking(legacy))
+        << core::to_string(filter);
+  }
+}
+
+}  // namespace
+}  // namespace dosm::query

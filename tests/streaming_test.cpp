@@ -111,7 +111,8 @@ TEST_F(StreamingTest, AlertsOnAttackSpike) {
   }
   fusion.finish();
   ASSERT_GE(alerts_.size(), 1u);
-  EXPECT_EQ(alerts_[0].kind, "attack-spike");
+  EXPECT_EQ(alerts_[0].kind, AlertKind::kAttackSpike);
+  EXPECT_EQ(to_string(alerts_[0].kind), "attack-spike");
   EXPECT_EQ(alerts_[0].day, 5);
   EXPECT_DOUBLE_EQ(alerts_[0].value, 10.0);
   EXPECT_DOUBLE_EQ(alerts_[0].baseline, 2.0);

@@ -13,9 +13,14 @@
 //     --out DIR           write CSV reports into DIR
 //     --quiet             suppress the text report
 //     --help
+//
+//   dosmeter query [world options] [--load-events F] [filters] [aggregations]
+//     runs ad-hoc queries against the indexed event store (src/query);
+//     see query_usage() below for the filter/aggregation flags.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/strings.h"
@@ -28,6 +33,7 @@
 #include "core/serialize.h"
 #include "core/taxonomy.h"
 #include "dps/classifier.h"
+#include "query/snapshot.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -102,9 +108,213 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
   out << content;
 }
 
+// ---------------------------------------------------------------------------
+// `dosmeter query` — ad-hoc queries against the indexed event store.
+// ---------------------------------------------------------------------------
+
+struct QueryOptions {
+  sim::ScenarioConfig scenario;
+  std::string load_events;  // binary dump instead of a simulated world
+  query::Query query;
+  std::optional<CivilDate> from;
+  std::optional<CivilDate> to;
+  std::string agg = "summary";
+  std::size_t k = 10;
+  bool explain = false;
+};
+
+[[noreturn]] void query_usage(int code) {
+  std::cout <<
+      "dosmeter query — ad-hoc queries over the fused event dataset\n"
+      "dataset (pick one):\n"
+      "  --seed/--days/--domains/--direct/--reflection   simulate a world\n"
+      "  --load-events F   query a binary event dump (dosmeter --save-events);\n"
+      "                    ASN/country columns resolve only with a simulated\n"
+      "                    world, so those filters match nothing on a dump\n"
+      "filters (ANDed):\n"
+      "  --from YYYY-MM-DD     events starting on/after this day\n"
+      "  --to YYYY-MM-DD       events starting on/before this day\n"
+      "  --source S            telescope | honeypot | combined\n"
+      "  --prefix A.B.C.D/L    target inside the CIDR prefix\n"
+      "  --asn N               origin AS of the target\n"
+      "  --country CC          geolocated country of the target\n"
+      "  --port N              dominant victim port\n"
+      "  --min-intensity X     raw intensity >= X\n"
+      "aggregation:\n"
+      "  --agg A    summary | daily | top-targets | top-asns | top-countries\n"
+      "             | events   (default: summary)\n"
+      "  --k N      rows for top-k / events listings (default 10)\n"
+      "  --explain  print the planner's chosen access path\n";
+  std::exit(code);
+}
+
+QueryOptions parse_query_options(int argc, char** argv) {
+  QueryOptions options;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      query_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") query_usage(0);
+    else if (arg == "--seed") options.scenario.seed = std::stoull(need_value(i));
+    else if (arg == "--days") {
+      const int days = std::stoi(need_value(i));
+      if (days < 2) {
+        std::cerr << "--days must be >= 2\n";
+        query_usage(2);
+      }
+      options.scenario.window.end = civil_from_days(
+          days_from_civil(options.scenario.window.start) + days - 1);
+    } else if (arg == "--domains") {
+      options.scenario.hosting.num_domains = std::stoi(need_value(i));
+    } else if (arg == "--direct") {
+      options.scenario.attacker.direct_per_day = std::stod(need_value(i));
+    } else if (arg == "--reflection") {
+      options.scenario.attacker.reflection_per_day = std::stod(need_value(i));
+    } else if (arg == "--load-events") {
+      options.load_events = need_value(i);
+    } else if (arg == "--from") {
+      options.from = parse_civil(need_value(i));
+    } else if (arg == "--to") {
+      options.to = parse_civil(need_value(i));
+    } else if (arg == "--source") {
+      const std::string value = need_value(i);
+      if (value == "telescope")
+        options.query.from_source(core::SourceFilter::kTelescope);
+      else if (value == "honeypot")
+        options.query.from_source(core::SourceFilter::kHoneypot);
+      else if (value == "combined")
+        options.query.from_source(core::SourceFilter::kCombined);
+      else {
+        std::cerr << "--source must be telescope|honeypot|combined\n";
+        query_usage(2);
+      }
+    } else if (arg == "--prefix") {
+      options.query.in_prefix(net::Prefix::parse(need_value(i)));
+    } else if (arg == "--asn") {
+      options.query.in_asn(static_cast<meta::Asn>(std::stoul(need_value(i))));
+    } else if (arg == "--country") {
+      options.query.in_country(meta::CountryCode(need_value(i)));
+    } else if (arg == "--port") {
+      options.query.on_port(static_cast<std::uint16_t>(std::stoi(need_value(i))));
+    } else if (arg == "--min-intensity") {
+      options.query.at_least(std::stod(need_value(i)));
+    } else if (arg == "--agg") {
+      options.agg = need_value(i);
+    } else if (arg == "--k") {
+      options.k = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else {
+      std::cerr << "unknown query option: " << arg << "\n";
+      query_usage(2);
+    }
+  }
+  return options;
+}
+
+int query_main(int argc, char** argv) {
+  QueryOptions options = parse_query_options(argc, argv);
+
+  // Materialize the snapshot: either over a simulated world (full metadata)
+  // or over a binary event dump (empty metadata).
+  std::shared_ptr<const query::Snapshot> snapshot;
+  StudyWindow window = options.scenario.window;
+  const meta::PrefixToAsMap empty_pfx2as;
+  const meta::GeoDatabase empty_geo;
+  std::unique_ptr<sim::World> world;
+  if (!options.load_events.empty()) {
+    const auto events = core::load_events(options.load_events);
+    std::cerr << "[dosmeter] loaded " << events.size() << " events from "
+              << options.load_events << "\n";
+    snapshot = query::Snapshot::build(window, events, empty_pfx2as, empty_geo);
+  } else {
+    std::cerr << "[dosmeter] building " << window.num_days()
+              << "-day world (seed " << options.scenario.seed << ")...\n";
+    world = sim::build_world(options.scenario);
+    snapshot = query::Snapshot::from_store(
+        world->store, world->population.pfx2as(), world->population.geo());
+  }
+  std::cerr << "[dosmeter] snapshot ready: " << snapshot->size()
+            << " events indexed\n";
+
+  // Day filters resolve against the snapshot's window.
+  if (options.from || options.to) {
+    const double begin =
+        options.from ? static_cast<double>(unix_from_civil(*options.from))
+                     : static_cast<double>(window.start_time());
+    const double end =
+        options.to ? static_cast<double>(unix_from_civil(*options.to) +
+                                         kSecondsPerDay)
+                   : static_cast<double>(window.end_time());
+    options.query.between(begin, end);
+  }
+  const query::Query& q = options.query;
+
+  std::cout << "query: " << query::to_string(q) << "\n";
+  if (options.explain)
+    std::cout << "plan:  " << query::to_string(snapshot->plan(q)) << "\n";
+
+  if (options.agg == "summary") {
+    std::cout << "events:         " << snapshot->count(q) << "\n";
+    std::cout << "unique targets: " << snapshot->unique_targets(q) << "\n";
+  } else if (options.agg == "daily") {
+    const auto daily = snapshot->daily_attacks(q);
+    TextTable table({"date", "attacks"});
+    for (int d = 0; d < daily.num_days(); ++d) {
+      if (daily.at(d) == 0.0) continue;
+      table.add_row({to_string(window.date_of_day(d)), fixed(daily.at(d), 0)});
+    }
+    std::cout << table;
+  } else if (options.agg == "top-targets") {
+    TextTable table({"target", "events"});
+    for (const auto& row : snapshot->top_targets(q, options.k))
+      table.add_row({row.target.to_string(), std::to_string(row.events)});
+    std::cout << table;
+  } else if (options.agg == "top-asns") {
+    TextTable table({"asn", "targets", "events"});
+    for (const auto& row : snapshot->top_asns(q, options.k))
+      table.add_row({"AS" + std::to_string(row.asn),
+                     std::to_string(row.targets), std::to_string(row.events)});
+    std::cout << table;
+  } else if (options.agg == "top-countries") {
+    TextTable table({"country", "targets", "share"});
+    for (const auto& row : snapshot->top_countries(q, options.k))
+      table.add_row({row.country.to_string(), std::to_string(row.targets),
+                     percent(row.share, 2)});
+    std::cout << table;
+  } else if (options.agg == "events") {
+    const auto rows = snapshot->match_rows(q);
+    const auto& frame = snapshot->frame();
+    TextTable table({"start", "target", "source", "intensity", "port"});
+    for (std::size_t i = 0; i < rows.size() && i < options.k; ++i) {
+      const auto row = rows[i];
+      table.add_row({fixed(frame.start()[row], 0),
+                     frame.target_at(row).to_string(),
+                     frame.source_at(row) == core::EventSource::kTelescope
+                         ? "telescope"
+                         : "honeypot",
+                     fixed(frame.intensity()[row], 2),
+                     std::to_string(frame.top_port()[row])});
+    }
+    std::cout << table;
+    if (rows.size() > options.k)
+      std::cout << "(" << rows.size() - options.k << " more rows; raise --k)\n";
+  } else {
+    std::cerr << "unknown aggregation: " << options.agg << "\n";
+    query_usage(2);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
+  if (argc > 1 && std::string(argv[1]) == "query") return query_main(argc, argv);
   const Options options = parse_options(argc, argv);
   const auto& config = options.scenario;
 
