@@ -18,7 +18,8 @@ struct Session {
 }  // namespace
 
 std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
-                                         const ConsolidatorConfig& config) {
+                                         const ConsolidatorConfig& config,
+                                         std::int32_t honeypot_id) {
   std::vector<AmpPotEvent> events;
   // Keyed by (victim, protocol); logs are time-ordered so a linear pass with
   // open sessions suffices.
@@ -34,6 +35,7 @@ std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
     event.end = s.end;
     event.requests = s.requests;
     event.honeypots = 1;
+    event.honeypot_id = honeypot_id;
     events.push_back(event);
   };
 
@@ -70,12 +72,22 @@ std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
 
 std::vector<AmpPotEvent> merge_fleet_events(std::vector<AmpPotEvent> events) {
   // Group by (victim, protocol), sort each group by start, merge overlaps.
+  // The key is a total order (std::sort is unstable) so the merge result is
+  // a pure function of the event *set*, independent of input order.
   std::sort(events.begin(), events.end(),
             [](const AmpPotEvent& a, const AmpPotEvent& b) {
-              return std::tie(a.victim, a.protocol, a.start) <
-                     std::tie(b.victim, b.protocol, b.start);
+              return std::tie(a.victim, a.protocol, a.start, a.end, a.requests,
+                              a.honeypot_id) <
+                     std::tie(b.victim, b.protocol, b.start, b.end, b.requests,
+                              b.honeypot_id);
             });
   std::vector<AmpPotEvent> merged;
+  // Distinct contributors of the group currently being merged into
+  // merged.back(): known honeypot ids are deduped (one honeypot emitting
+  // several overlapping sessions counts once); events with unknown identity
+  // (honeypot_id < 0) conservatively keep their own counts.
+  std::vector<std::int32_t> group_ids;
+  std::uint32_t group_unknown = 0;
   for (const auto& event : events) {
     if (!merged.empty()) {
       AmpPotEvent& last = merged.back();
@@ -83,11 +95,26 @@ std::vector<AmpPotEvent> merge_fleet_events(std::vector<AmpPotEvent> events) {
           event.start <= last.end) {
         last.end = std::max(last.end, event.end);
         last.requests += event.requests;
-        last.honeypots += event.honeypots;
+        if (event.honeypot_id >= 0) {
+          if (std::find(group_ids.begin(), group_ids.end(),
+                        event.honeypot_id) == group_ids.end())
+            group_ids.push_back(event.honeypot_id);
+        } else {
+          group_unknown += event.honeypots;
+        }
+        last.honeypots =
+            static_cast<std::uint32_t>(group_ids.size()) + group_unknown;
+        if (last.honeypot_id != event.honeypot_id) last.honeypot_id = -1;
         continue;
       }
     }
     merged.push_back(event);
+    group_ids.clear();
+    group_unknown = 0;
+    if (event.honeypot_id >= 0)
+      group_ids.push_back(event.honeypot_id);
+    else
+      group_unknown = event.honeypots;
   }
   std::sort(merged.begin(), merged.end(),
             [](const AmpPotEvent& a, const AmpPotEvent& b) {

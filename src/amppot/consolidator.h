@@ -30,6 +30,11 @@ struct AmpPotEvent {
   double end = 0.0;
   std::uint64_t requests = 0;   // total across contributing honeypots
   std::uint32_t honeypots = 1;  // distinct honeypots contributing
+  /// Identity of the (single) honeypot that observed this event, or -1 when
+  /// unknown / merged from several honeypots. merge_fleet_events dedupes
+  /// `honeypots` by this id, so one honeypot contributing several
+  /// overlapping sessions counts once.
+  std::int32_t honeypot_id = -1;
 
   double duration() const { return end - start; }
 
@@ -49,9 +54,11 @@ struct ConsolidatorConfig {
 };
 
 /// Stage 1: per-honeypot session extraction. `log` must be time-ordered.
-/// Emitted events have honeypots == 1.
+/// Emitted events have honeypots == 1 and carry `honeypot_id` so the fleet
+/// merge can count distinct contributors.
 std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
-                                         const ConsolidatorConfig& config = {});
+                                         const ConsolidatorConfig& config = {},
+                                         std::int32_t honeypot_id = -1);
 
 /// Stage 2: merges overlapping per-honeypot events (same victim+protocol)
 /// into fleet-level attack events. Input order is arbitrary.

@@ -105,11 +105,15 @@ void HoneypotFleet::run(std::span<const ReflectionAttackSpec> attacks,
 std::vector<AmpPotEvent> HoneypotFleet::harvest(const ConsolidatorConfig& config) {
   std::vector<AmpPotEvent> all;
   for (auto& honeypot : honeypots_) {
-    auto events = consolidate_log(honeypot.log(), config);
+    auto events = consolidate_log(honeypot.log(), config, honeypot.id());
     all.insert(all.end(), events.begin(), events.end());
     honeypot.clear_log();
   }
   return merge_fleet_events(std::move(all));
+}
+
+void HoneypotFleet::clear_logs() {
+  for (auto& honeypot : honeypots_) honeypot.clear_log();
 }
 
 std::uint64_t HoneypotFleet::total_requests() const {

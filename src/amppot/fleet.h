@@ -63,6 +63,10 @@ class HoneypotFleet {
   /// clears the logs. Events are time-ordered.
   std::vector<AmpPotEvent> harvest(const ConsolidatorConfig& config = {});
 
+  /// Clears every honeypot's request log without consolidating (used by the
+  /// parallel harvest path, which reads the logs in place first).
+  void clear_logs();
+
   std::uint64_t total_requests() const;
   std::uint64_t total_replies() const;
 

@@ -27,9 +27,45 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> values)
     : values_(std::move(values)) {}
 
+EmpiricalDistribution::EmpiricalDistribution(const EmpiricalDistribution& other) {
+  const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  values_ = other.values_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    EmpiricalDistribution&& other) noexcept
+    : values_(std::move(other.values_)),
+      sorted_(other.sorted_.load(std::memory_order_relaxed)) {
+  other.values_.clear();
+  other.sorted_.store(false, std::memory_order_relaxed);
+}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    const EmpiricalDistribution& other) {
+  if (this == &other) return *this;
+  const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  values_ = other.values_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    EmpiricalDistribution&& other) noexcept {
+  if (this == &other) return *this;
+  values_ = std::move(other.values_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.values_.clear();
+  other.sorted_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 void EmpiricalDistribution::add(double x) {
   values_.push_back(x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 double EmpiricalDistribution::mean() const {
@@ -75,10 +111,11 @@ std::span<const double> EmpiricalDistribution::sorted() const {
 }
 
 void EmpiricalDistribution::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
-  }
+  if (sorted_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(sort_mutex_);
+  if (sorted_.load(std::memory_order_relaxed)) return;
+  std::sort(values_.begin(), values_.end());
+  sorted_.store(true, std::memory_order_release);
 }
 
 std::vector<CdfPoint> cdf_at(const EmpiricalDistribution& dist,

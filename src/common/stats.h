@@ -2,7 +2,9 @@
 // 3, 4, 9, 10, 11), log-binned histograms (Figure 6), and running summaries.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,11 +37,18 @@ class RunningStats {
 };
 
 /// Holds a full sample and answers percentile / CDF queries. Sorting is done
-/// lazily on first query.
+/// lazily on first query, guarded so any number of threads may run const
+/// queries concurrently; mutation (add) still requires external
+/// synchronization against readers, like any container.
 class EmpiricalDistribution {
  public:
   EmpiricalDistribution() = default;
   explicit EmpiricalDistribution(std::vector<double> values);
+
+  EmpiricalDistribution(const EmpiricalDistribution& other);
+  EmpiricalDistribution(EmpiricalDistribution&& other) noexcept;
+  EmpiricalDistribution& operator=(const EmpiricalDistribution& other);
+  EmpiricalDistribution& operator=(EmpiricalDistribution&& other) noexcept;
 
   void add(double x);
   void reserve(std::size_t n) { values_.reserve(n); }
@@ -66,7 +75,11 @@ class EmpiricalDistribution {
   void ensure_sorted() const;
 
   mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
+  // Double-checked: readers that observe true (acquire) may touch values_
+  // without the mutex; the sorting reader publishes with a release store
+  // while holding sort_mutex_.
+  mutable std::atomic<bool> sorted_{false};
+  mutable std::mutex sort_mutex_;
 };
 
 /// One point of a rendered CDF curve.

@@ -1,5 +1,7 @@
 #include "core/event.h"
 
+#include <tuple>
+
 namespace dosm::core {
 
 std::string to_string(EventSource source) {
@@ -25,6 +27,11 @@ AttackEvent from_telescope(const telescope::TelescopeEvent& event) {
   out.top_port = event.top_port;
   out.unique_sources = event.unique_sources;
   return out;
+}
+
+bool canonical_less(const AttackEvent& a, const AttackEvent& b) {
+  return std::tie(a.start, a.target, a.source, a.reflection) <
+         std::tie(b.start, b.target, b.source, b.reflection);
 }
 
 AttackEvent from_amppot(const amppot::AmpPotEvent& event) {

@@ -68,4 +68,11 @@ AttackEvent from_telescope(const telescope::TelescopeEvent& event);
 /// Lifts a honeypot event into the unified model.
 AttackEvent from_amppot(const amppot::AmpPotEvent& event);
 
+/// Canonical total order on fused detector output: (start, target, source,
+/// reflection). Total because the telescope emits at most one event per
+/// (start, target) and the honeypots at most one per (start, target,
+/// reflection protocol); used to sort dumps deterministically so equal event
+/// sets serialize byte-identically (the CLI --threads determinism check).
+bool canonical_less(const AttackEvent& a, const AttackEvent& b);
+
 }  // namespace dosm::core

@@ -1,0 +1,127 @@
+#include "parallel/detect.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "parallel/merge.h"
+#include "parallel/shard.h"
+#include "parallel/work_queue.h"
+#include "telescope/backscatter.h"
+
+namespace dosm::parallel {
+
+bool telescope_event_less(const telescope::TelescopeEvent& a,
+                          const telescope::TelescopeEvent& b) {
+  return std::tie(a.start, a.victim) < std::tie(b.start, b.victim);
+}
+
+bool amppot_event_less(const amppot::AmpPotEvent& a,
+                       const amppot::AmpPotEvent& b) {
+  return std::tie(a.start, a.victim, a.protocol) <
+         std::tie(b.start, b.victim, b.protocol);
+}
+
+void canonical_sort(std::vector<telescope::TelescopeEvent>& events) {
+  std::sort(events.begin(), events.end(), telescope_event_less);
+}
+
+void canonical_sort(std::vector<amppot::AmpPotEvent>& events) {
+  std::sort(events.begin(), events.end(), amppot_event_less);
+}
+
+ParallelBackscatterDetector::ParallelBackscatterDetector(
+    ParallelConfig parallel, telescope::ClassifierThresholds thresholds,
+    double flow_timeout_s)
+    : parallel_(parallel),
+      thresholds_(thresholds),
+      flow_timeout_s_(flow_timeout_s) {}
+
+std::vector<telescope::TelescopeEvent> ParallelBackscatterDetector::detect(
+    std::span<const net::PacketRecord> packets) {
+  const std::size_t num_shards = parallel_.effective_shards();
+  std::vector<std::vector<telescope::TelescopeEvent>> per_shard(num_shards);
+  std::vector<TelescopeDetectStats> shard_stats(num_shards);
+
+  run_tasks(num_shards, parallel_.threads, [&](std::size_t shard) {
+    auto& events = per_shard[shard];
+    TelescopeDetectStats& stats = shard_stats[shard];
+    telescope::FlowTable table(
+        [&](const telescope::TelescopeEvent& event) {
+          if (telescope::passes_thresholds(event, thresholds_)) {
+            ++stats.events_emitted;
+            events.push_back(event);
+          } else {
+            ++stats.flows_filtered;
+          }
+        },
+        flow_timeout_s_);
+    // Every worker walks the whole stream so its table's lazy sweep fires
+    // at exactly the sequential cadence (see detect.h); only this shard's
+    // backscatter mutates flow state.
+    for (const auto& rec : packets) {
+      if (!telescope::is_backscatter(rec)) {
+        table.advance(rec.timestamp());
+        continue;
+      }
+      const auto info = telescope::classify_backscatter(rec);
+      if (shard_of(info.victim, num_shards) == shard) {
+        ++stats.backscatter_packets;
+        table.add(rec.timestamp(), info, rec.ip_len, rec.dst);
+      } else {
+        table.advance(rec.timestamp());
+      }
+    }
+    table.flush();
+    std::sort(events.begin(), events.end(), telescope_event_less);
+  });
+
+  stats_ = TelescopeDetectStats{};
+  stats_.packets_seen = packets.size();
+  for (const auto& s : shard_stats) {
+    stats_.backscatter_packets += s.backscatter_packets;
+    stats_.flows_filtered += s.flows_filtered;
+    stats_.events_emitted += s.events_emitted;
+  }
+  return kway_merge(std::move(per_shard), telescope_event_less);
+}
+
+std::vector<amppot::AmpPotEvent> parallel_consolidate(
+    std::span<const HoneypotLog> logs, const amppot::ConsolidatorConfig& config,
+    const ParallelConfig& parallel) {
+  const std::size_t num_shards = parallel.effective_shards();
+  std::vector<std::vector<amppot::AmpPotEvent>> per_shard(num_shards);
+
+  run_tasks(num_shards, parallel.threads, [&](std::size_t shard) {
+    std::vector<amppot::AmpPotEvent> stage1;
+    std::vector<amppot::RequestRecord> filtered;
+    for (const auto& log : logs) {
+      filtered.clear();
+      for (const auto& req : log.requests) {
+        if (shard_of(req.source, num_shards) == shard) filtered.push_back(req);
+      }
+      // Sessions are keyed by (victim, protocol), so consolidating the
+      // victim-filtered sub-log yields exactly the sessions the full log
+      // would produce for this shard's victims.
+      auto events = amppot::consolidate_log(filtered, config, log.honeypot_id);
+      stage1.insert(stage1.end(), events.begin(), events.end());
+    }
+    per_shard[shard] = amppot::merge_fleet_events(std::move(stage1));
+  });
+
+  return kway_merge(std::move(per_shard), amppot_event_less);
+}
+
+std::vector<amppot::AmpPotEvent> parallel_harvest(
+    amppot::HoneypotFleet& fleet, const amppot::ConsolidatorConfig& config,
+    const ParallelConfig& parallel) {
+  std::vector<HoneypotLog> logs;
+  logs.reserve(fleet.size());
+  for (const auto& honeypot : fleet.honeypots())
+    logs.push_back({honeypot.id(), honeypot.log()});
+  auto events = parallel_consolidate(logs, config, parallel);
+  fleet.clear_logs();
+  return events;
+}
+
+}  // namespace dosm::parallel

@@ -1,0 +1,130 @@
+// Sharded parallel front-ends for the two detection pipelines.
+//
+// Both detectors keep all per-attack state keyed by the victim address
+// (telescope flows by victim, AmpPot sessions and fleet merge groups by
+// (victim, protocol)), so the packet/request stream can be split by
+// victim-hash across N workers, each running an unmodified sequential
+// detector over its shard, and the per-shard event runs recombined with a
+// deterministic k-way merge.
+//
+// The determinism invariant (tested in parallel_test, enforced in CI):
+// for any thread and shard count, the merged output is byte-identical to
+// the sequential detector's output in canonical order. Two details make
+// this exact rather than approximate:
+//
+//  * Telescope flow expiry is driven by a lazy sweep whose cadence depends
+//    on the timestamps of *all* packets (FlowTable sweeps at most once per
+//    60 s of stream time). Each worker therefore scans the entire packet
+//    stream, feeding `add` for its own shard's backscatter and `advance`
+//    for everything else, so every shard's sweep schedule — and hence flow
+//    splitting — matches the sequential table exactly. The scan is cheap
+//    (backscatter test + one hash); the per-flow state updates, which
+//    dominate, are what gets divided N ways.
+//
+//  * Events are merged on the totally-ordered key (start, victim
+//    [, protocol]); victims are unique to a shard, so no cross-shard ties
+//    exist and the merge order is a pure function of the event set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amppot/consolidator.h"
+#include "amppot/fleet.h"
+#include "net/headers.h"
+#include "telescope/flow_table.h"
+
+namespace dosm::parallel {
+
+/// Execution knobs shared by the parallel detectors. The output is
+/// byte-identical for every (threads, shards) combination; the knobs only
+/// trade memory and load balance against speed.
+struct ParallelConfig {
+  /// Worker threads; <= 1 runs every shard inline on the caller.
+  int threads = 1;
+  /// Victim-hash shards (work-queue tasks); 0 means one per thread.
+  /// More shards than threads improves load balance on skewed victim
+  /// distributions at the cost of extra stream scans.
+  int shards = 0;
+
+  /// Shard count actually used: max(shards, 1), defaulted to threads.
+  std::size_t effective_shards() const {
+    const int s = shards > 0 ? shards : threads;
+    return static_cast<std::size_t>(s > 1 ? s : 1);
+  }
+};
+
+/// Canonical total order on telescope events: (start, victim). A victim has
+/// at most one open flow at a time, so the key is unique across a capture.
+bool telescope_event_less(const telescope::TelescopeEvent& a,
+                          const telescope::TelescopeEvent& b);
+
+/// Canonical total order on AmpPot events: (start, victim, protocol) — the
+/// order consolidate_log and merge_fleet_events already emit.
+bool amppot_event_less(const amppot::AmpPotEvent& a,
+                       const amppot::AmpPotEvent& b);
+
+/// Sorts sequential detector output into the canonical order the parallel
+/// path emits, for byte-for-byte comparison.
+void canonical_sort(std::vector<telescope::TelescopeEvent>& events);
+void canonical_sort(std::vector<amppot::AmpPotEvent>& events);
+
+/// Aggregated counters matching BackscatterDetector's accessors.
+struct TelescopeDetectStats {
+  std::uint64_t packets_seen = 0;
+  std::uint64_t backscatter_packets = 0;
+  std::uint64_t flows_filtered = 0;
+  std::uint64_t events_emitted = 0;
+};
+
+/// Sharded, work-queue-driven equivalent of BackscatterDetector over an
+/// in-memory capture (time-ordered, as FlowTable requires). Stateless
+/// between calls: each detect() processes one complete capture.
+class ParallelBackscatterDetector {
+ public:
+  explicit ParallelBackscatterDetector(
+      ParallelConfig parallel = {},
+      telescope::ClassifierThresholds thresholds = {},
+      double flow_timeout_s = 300.0);
+
+  /// Detects attack events in `packets`; returns them in canonical
+  /// (start, victim) order, byte-identical to the sequential detector for
+  /// any thread/shard count.
+  std::vector<telescope::TelescopeEvent> detect(
+      std::span<const net::PacketRecord> packets);
+
+  /// Counters for the most recent detect() call.
+  const TelescopeDetectStats& stats() const { return stats_; }
+
+ private:
+  ParallelConfig parallel_;
+  telescope::ClassifierThresholds thresholds_;
+  double flow_timeout_s_;
+  TelescopeDetectStats stats_;
+};
+
+/// One honeypot's time-ordered request log plus the honeypot's identity
+/// (carried through to events for distinct-honeypot accounting).
+struct HoneypotLog {
+  std::int32_t honeypot_id = -1;
+  std::span<const amppot::RequestRecord> requests;
+};
+
+/// Sharded equivalent of per-honeypot consolidate_log + fleet-level
+/// merge_fleet_events over a whole fleet's logs. Returns fleet-level events
+/// in canonical (start, victim, protocol) order, byte-identical to the
+/// sequential two-stage path for any thread/shard count.
+std::vector<amppot::AmpPotEvent> parallel_consolidate(
+    std::span<const HoneypotLog> logs,
+    const amppot::ConsolidatorConfig& config = {},
+    const ParallelConfig& parallel = {});
+
+/// Drop-in parallel HoneypotFleet::harvest: consolidates every honeypot's
+/// log with parallel_consolidate and clears the logs.
+std::vector<amppot::AmpPotEvent> parallel_harvest(
+    amppot::HoneypotFleet& fleet,
+    const amppot::ConsolidatorConfig& config = {},
+    const ParallelConfig& parallel = {});
+
+}  // namespace dosm::parallel

@@ -1,0 +1,45 @@
+// Deterministic k-way merge of per-shard result runs.
+//
+// Each shard emits its events pre-sorted under a strict-weak-order
+// comparator; the merge interleaves the runs into one globally sorted
+// vector. Elements that compare equivalent are taken from the
+// lowest-numbered run first, so the output is a pure function of the run
+// contents — never of thread scheduling — which is what makes the parallel
+// pipeline byte-identical to the sequential one for any shard/thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dosm::parallel {
+
+/// Merges `runs` (each sorted under `less`) into one sorted vector.
+/// Equivalent elements keep run-index order. Consumes the runs.
+template <typename T, typename Less>
+std::vector<T> kway_merge(std::vector<std::vector<T>> runs, Less less) {
+  std::vector<T> out;
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  out.reserve(total);
+
+  // Head position per run; a linear scan over the (small, = shard count)
+  // run set beats a heap for the k this pipeline uses.
+  std::vector<std::size_t> head(runs.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = runs.size();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (head[r] >= runs[r].size()) continue;
+      if (best == runs.size() ||
+          less(runs[r][head[r]], runs[best][head[best]])) {
+        best = r;  // strictly-less only: ties stay with the lower run index
+      }
+    }
+    out.push_back(std::move(runs[best][head[best]]));
+    ++head[best];
+  }
+  return out;
+}
+
+}  // namespace dosm::parallel

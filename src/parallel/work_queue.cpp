@@ -1,0 +1,54 @@
+#include "parallel/work_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dosm::parallel {
+
+void run_tasks(std::size_t num_tasks, int threads,
+               const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  const std::size_t workers =
+      threads <= 1 ? 1
+                   : std::min<std::size_t>(static_cast<std::size_t>(threads),
+                                           num_tasks);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&] {
+    while (!failed.load(std::memory_order_acquire)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) return;
+      try {
+        task(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the caller is worker 0
+  for (auto& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dosm::parallel

@@ -1,0 +1,27 @@
+// Work-queue execution primitive for the sharded detection pipeline.
+//
+// The parallel layer decomposes detection into independent shard tasks and
+// drains them through a shared atomic work queue: up to `threads` workers
+// repeatedly claim the next unclaimed task index until none remain. Task
+// side effects land in per-task slots chosen by the *task index*, never by
+// worker identity or completion order, so results are deterministic no
+// matter how the OS schedules the workers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dosm::parallel {
+
+/// Runs `task(0) .. task(num_tasks - 1)` across up to `threads` worker
+/// threads pulling indices from a shared queue. With `threads <= 1` (or a
+/// single task) everything runs inline on the caller, in index order —
+/// the degenerate case used for the `--threads 1` reference path.
+///
+/// When no task throws, every task is executed exactly once. If a task
+/// throws, the first captured exception is rethrown on the caller after all
+/// workers have joined; tasks not yet claimed at that point are skipped.
+void run_tasks(std::size_t num_tasks, int threads,
+               const std::function<void(std::size_t)>& task);
+
+}  // namespace dosm::parallel

@@ -1,0 +1,87 @@
+#include "parallel/workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dosm::parallel {
+
+DetectWorkload make_workload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Rng direct_rng = rng.fork("direct");
+  Rng reflection_rng = rng.fork("reflection");
+
+  std::vector<telescope::SpoofedAttackSpec> direct;
+  direct.reserve(static_cast<std::size_t>(std::max(config.direct_attacks, 0)));
+  for (int i = 0; i < config.direct_attacks; ++i) {
+    telescope::SpoofedAttackSpec spec;
+    spec.victim = net::Ipv4Addr(
+        static_cast<std::uint32_t>(direct_rng.next_u64()));
+    spec.start = direct_rng.uniform(0.0, config.window_s);
+    // Durations straddle the 60 s threshold; clip so flows close in-window.
+    spec.duration_s = std::min(direct_rng.lognormal(4.6, 1.1),
+                               config.window_s - spec.start);
+    // Backscatter pps at the telescope is victim_pps / 256; median ~1.5 pps
+    // observed, so roughly half the flows clear the 0.5 pps / 25 pkt bar.
+    spec.victim_pps = 256.0 * direct_rng.lognormal(0.4, 1.2);
+    spec.response_rate = direct_rng.uniform(0.6, 1.0);
+    const double proto_pick = direct_rng.uniform();
+    if (proto_pick < 0.78) {
+      spec.ip_proto = 6;  // TCP
+      spec.ports = {direct_rng.bernoulli(0.7)
+                        ? std::uint16_t{80}
+                        : static_cast<std::uint16_t>(
+                              direct_rng.uniform_int(1, 65535))};
+      if (direct_rng.bernoulli(0.2))
+        spec.ports.push_back(static_cast<std::uint16_t>(
+            direct_rng.uniform_int(1, 65535)));
+    } else if (proto_pick < 0.92) {
+      spec.ip_proto = 17;  // UDP
+      spec.ports = {static_cast<std::uint16_t>(
+          direct_rng.uniform_int(1, 65535))};
+    } else {
+      spec.ip_proto = 1;  // ICMP
+      spec.ports.clear();
+    }
+    direct.push_back(std::move(spec));
+  }
+
+  std::vector<amppot::ReflectionAttackSpec> reflection;
+  reflection.reserve(
+      static_cast<std::size_t>(std::max(config.reflection_attacks, 0)));
+  const auto protocols = amppot::all_protocols();
+  for (int i = 0; i < config.reflection_attacks; ++i) {
+    amppot::ReflectionAttackSpec spec;
+    spec.victim = net::Ipv4Addr(
+        static_cast<std::uint32_t>(reflection_rng.next_u64()));
+    spec.protocol =
+        protocols[reflection_rng.next_below(protocols.size())].protocol;
+    spec.start = reflection_rng.uniform(0.0, config.window_s);
+    spec.duration_s = std::min(reflection_rng.lognormal(5.5, 1.0),
+                               config.window_s - spec.start);
+    // Median 77 rps per reflector (Figure 4); sessions straddle the
+    // 100-request consolidation threshold via the short-duration tail.
+    spec.per_reflector_rps = reflection_rng.lognormal(4.344, 1.0);
+    spec.honeypots_hit =
+        static_cast<int>(reflection_rng.uniform_int(1, 24));
+    reflection.push_back(spec);
+  }
+
+  DetectWorkload workload;
+  telescope::TelescopeSynthesizer synthesizer(rng.fork("telescope").next_u64());
+  telescope::NoiseConfig noise;
+  noise.scan_pps = 20.0;
+  noise.misconfig_pps = 10.0;
+  noise.benign_icmp_pps = 5.0;
+  workload.packets =
+      synthesizer.synthesize(direct, 0.0, config.window_s, noise);
+
+  workload.fleet = std::make_unique<amppot::HoneypotFleet>(
+      rng.fork("fleet").next_u64());
+  amppot::ScannerNoiseConfig scanner_noise;
+  scanner_noise.scans_per_hour_per_honeypot = 6.0;
+  workload.fleet->run(reflection, 0.0, config.window_s, scanner_noise);
+  return workload;
+}
+
+}  // namespace dosm::parallel

@@ -1,0 +1,42 @@
+// Deterministic synthetic workload for the packet-level detection pipeline.
+//
+// `dosmeter detect`, bench_parallel, and the parallel tests all need the
+// same thing: a telescope capture plus loaded honeypot logs generated from a
+// seed, large enough to exercise flow expiry, session gaps, threshold
+// filtering, and the fleet merge. Centralizing the generator keeps the CLI
+// determinism check, the benchmark, and the byte-identity tests on one
+// workload definition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amppot/fleet.h"
+#include "net/headers.h"
+#include "telescope/synthesizer.h"
+
+namespace dosm::parallel {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  /// Ground-truth attack counts. Intensities straddle the detector
+  /// thresholds so the filter path is exercised, not just the accept path.
+  int direct_attacks = 400;
+  int reflection_attacks = 120;
+  /// Capture window [0, window_s) in simulated seconds.
+  double window_s = 4.0 * 3600.0;
+};
+
+/// One materialized workload: a time-ordered telescope capture and a fleet
+/// whose honeypot logs are loaded (run() already called) but not harvested.
+struct DetectWorkload {
+  std::vector<net::PacketRecord> packets;
+  std::unique_ptr<amppot::HoneypotFleet> fleet;
+};
+
+/// Generates the workload for `config`. Identical configs yield identical
+/// packets and logs (all randomness flows through the seeded Rng).
+DetectWorkload make_workload(const WorkloadConfig& config);
+
+}  // namespace dosm::parallel

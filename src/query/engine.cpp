@@ -50,8 +50,8 @@ void SnapshotPublisher::finish() {
 }
 
 void SnapshotPublisher::publish_now() {
-  engine_->publish(
-      std::make_shared<const Snapshot>(builder_.build(), next_version_));
+  engine_->publish(std::make_shared<const Snapshot>(
+      builder_.build(build_threads_), next_version_));
   ++next_version_;
   ++snapshots_published_;
 }

@@ -64,6 +64,11 @@ class SnapshotPublisher {
   /// Publishes the final (possibly partial) day.
   void finish();
 
+  /// Worker threads used for each snapshot rebuild (default 1). Any value
+  /// yields byte-identical snapshots; see FrameBuilder::build(int).
+  void set_build_threads(int threads) { build_threads_ = threads; }
+  int build_threads() const { return build_threads_; }
+
   std::uint64_t events_ingested() const { return events_ingested_; }
   std::uint64_t snapshots_published() const { return snapshots_published_; }
 
@@ -73,6 +78,7 @@ class SnapshotPublisher {
   QueryEngine* engine_;
   StudyWindow window_;
   FrameBuilder builder_;
+  int build_threads_ = 1;
   int current_day_ = -1;
   double last_start_ = -1.0e300;
   std::uint64_t events_ingested_ = 0;

@@ -26,16 +26,16 @@ Snapshot::Snapshot(EventFrame frame, std::uint64_t version)
 std::shared_ptr<const Snapshot> Snapshot::build(
     StudyWindow window, std::span<const core::AttackEvent> events,
     const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
-    std::uint64_t version) {
+    std::uint64_t version, int threads) {
   FrameBuilder builder(window, pfx2as, geo);
   builder.add(events);
-  return std::make_shared<const Snapshot>(builder.build(), version);
+  return std::make_shared<const Snapshot>(builder.build(threads), version);
 }
 
 std::shared_ptr<const Snapshot> Snapshot::from_store(
     const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
-    const meta::GeoDatabase& geo, std::uint64_t version) {
-  return build(store.window(), store.events(), pfx2as, geo, version);
+    const meta::GeoDatabase& geo, std::uint64_t version, int threads) {
+  return build(store.window(), store.events(), pfx2as, geo, version, threads);
 }
 
 QueryPlan Snapshot::plan(const Query& query) const {

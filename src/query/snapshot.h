@@ -35,16 +35,19 @@ class Snapshot {
   Snapshot& operator=(const Snapshot&) = delete;
 
   /// Builds a snapshot over a raw event span, resolving ASN/country through
-  /// the given metadata (borrowed only during the build).
+  /// the given metadata (borrowed only during the build). `threads` workers
+  /// build the frame (byte-identical output for any count; see
+  /// FrameBuilder::build(int)).
   static std::shared_ptr<const Snapshot> build(
       StudyWindow window, std::span<const core::AttackEvent> events,
       const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
-      std::uint64_t version = 0);
+      std::uint64_t version = 0, int threads = 1);
 
   /// Builds a snapshot of a (finalized or not) batch EventStore.
   static std::shared_ptr<const Snapshot> from_store(
       const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
-      const meta::GeoDatabase& geo, std::uint64_t version = 0);
+      const meta::GeoDatabase& geo, std::uint64_t version = 0,
+      int threads = 1);
 
   const EventFrame& frame() const { return frame_; }
   const FrameIndex& index() const { return index_; }

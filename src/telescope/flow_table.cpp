@@ -31,8 +31,17 @@ void FlowTable::add(double ts, const BackscatterInfo& info, std::uint16_t ip_len
     flow.sources.insert(telescope_dst.value());
     if (flow.sources.size() >= kMaxTrackedSources) flow.sources_saturated = true;
   }
-  if (info.has_port && flow.ports.size() < kMaxTrackedPorts)
-    ++flow.ports[info.victim_port];
+  if (info.has_port) {
+    // The cap bounds how many *distinct* ports we track; counts for ports
+    // already tracked must keep incrementing past it or top_port skews
+    // toward whichever ports appeared before saturation.
+    const auto port_it = flow.ports.find(info.victim_port);
+    if (port_it != flow.ports.end()) {
+      ++port_it->second;
+    } else if (flow.ports.size() < kMaxTrackedPorts) {
+      flow.ports.emplace(info.victim_port, 1u);
+    }
+  }
   ++flow.proto_votes[info.attack_proto];
 
   const auto minute = static_cast<std::int64_t>(std::floor(ts / 60.0));

@@ -185,6 +185,53 @@ TEST(FleetMerge, OverlappingEventsCombine) {
   EXPECT_DOUBLE_EQ(merged[0].end, 500.0);
 }
 
+TEST(FleetMerge, SameHoneypotOverlapCountsOnce) {
+  // One honeypot whose log split into two overlapping sessions (e.g. a
+  // brief sub-gap lull) must not be double-counted as two reflectors.
+  std::vector<AmpPotEvent> events(2);
+  const Ipv4Addr victim(9, 9, 9, 9);
+  events[0] = {victim, ReflectionProtocol::kNtp, 0.0, 300.0, 500, 1, 7};
+  events[1] = {victim, ReflectionProtocol::kNtp, 100.0, 400.0, 450, 1, 7};
+  const auto merged = merge_fleet_events(events);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].requests, 950u);
+  EXPECT_EQ(merged[0].honeypots, 1u);
+  EXPECT_EQ(merged[0].honeypot_id, 7);
+}
+
+TEST(FleetMerge, DistinctHoneypotsEachCount) {
+  std::vector<AmpPotEvent> events(3);
+  const Ipv4Addr victim(9, 9, 9, 9);
+  events[0] = {victim, ReflectionProtocol::kNtp, 0.0, 300.0, 500, 1, 3};
+  events[1] = {victim, ReflectionProtocol::kNtp, 100.0, 400.0, 450, 1, 5};
+  events[2] = {victim, ReflectionProtocol::kNtp, 250.0, 500.0, 480, 1, 3};
+  const auto merged = merge_fleet_events(events);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].honeypots, 2u);  // ids {3, 5}; 3 contributes twice
+  EXPECT_EQ(merged[0].honeypot_id, -1);  // mixed contributors
+}
+
+TEST(Consolidator, TagsEventsWithHoneypotId) {
+  const Ipv4Addr victim(9, 9, 9, 9);
+  const auto log = flood(victim, ReflectionProtocol::kNtp, 0.0, 200.0, 1.0);
+  const auto events = consolidate_log(log, {}, /*honeypot_id=*/11);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].honeypot_id, 11);
+  EXPECT_EQ(events[0].honeypots, 1u);
+}
+
+TEST(Consolidator, MinRequestsBoundaryIsStrictForAnyConfig) {
+  // The "exceeding min_requests" rule is strict for custom configs too.
+  const Ipv4Addr victim(9, 9, 9, 9);
+  ConsolidatorConfig config;
+  config.min_requests = 5;
+  auto log = flood(victim, ReflectionProtocol::kSsdp, 0.0, 5.0, 1.0);
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_TRUE(consolidate_log(log, config).empty());
+  log.push_back({5.0, victim, ReflectionProtocol::kSsdp, 8});
+  EXPECT_EQ(consolidate_log(log, config).size(), 1u);
+}
+
 TEST(FleetMerge, DistinctProtocolsStaySeparate) {
   std::vector<AmpPotEvent> events(2);
   const Ipv4Addr victim(9, 9, 9, 9);

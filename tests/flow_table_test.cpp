@@ -46,6 +46,18 @@ TEST(Thresholds, EachThresholdFiltersIndependently) {
   EXPECT_FALSE(passes_thresholds(weak, thresholds));
 }
 
+TEST(Thresholds, ExactBoundaryValuesPass) {
+  // The paper's cutoffs are inclusive: a flow with exactly 25 packets, a
+  // 60 s duration, and 0.5 pps peak is classified as an attack. Pins the
+  // strict-< rejections in passes_thresholds.
+  TelescopeEvent event;
+  event.packets = 25;
+  event.start = 0.0;
+  event.end = 60.0;
+  event.max_pps = 0.5;
+  EXPECT_TRUE(passes_thresholds(event, ClassifierThresholds{}));
+}
+
 TEST(FlowTable, AggregatesPerVictim) {
   std::vector<TelescopeEvent> flows;
   FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
@@ -106,6 +118,32 @@ TEST(FlowTable, TracksDistinctPortsAndTopPort) {
   EXPECT_EQ(flows[0].num_ports, 2);
   EXPECT_EQ(flows[0].top_port, 80);
   EXPECT_FALSE(flows[0].single_port());
+}
+
+TEST(FlowTable, PortCountsKeepIncrementingPastCap) {
+  // Once 64 distinct ports are tracked (FlowTable::kMaxTrackedPorts), new
+  // ports are dropped — but counts for already-tracked ports must keep
+  // incrementing, or top_port misattributes heavy single-port floods that
+  // ride alongside a port sweep.
+  std::vector<TelescopeEvent> flows;
+  FlowTable table([&](const TelescopeEvent& e) { flows.push_back(e); });
+  const Ipv4Addr victim(1, 1, 1, 1);
+  const Ipv4Addr src(44, 0, 0, 1);
+  // Port 80 twice, then 63 other ports once each: cap reached at 64.
+  table.add(100.0, tcp_info(victim, 80), 40, src);
+  table.add(100.1, tcp_info(victim, 80), 40, src);
+  for (std::uint16_t p = 1000; p < 1063; ++p)
+    table.add(100.2, tcp_info(victim, p), 40, src);
+  // New ports past the cap are not tracked...
+  for (int i = 0; i < 10; ++i)
+    table.add(100.3, tcp_info(victim, 9999), 40, src);
+  // ...but hits on an existing port still count.
+  for (int i = 0; i < 5; ++i)
+    table.add(100.4, tcp_info(victim, 1042), 40, src);
+  table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].num_ports, 64);
+  EXPECT_EQ(flows[0].top_port, 1042);  // 6 hits beats port 80's 2
 }
 
 TEST(FlowTable, MajorityProtocolAttribution) {

@@ -1,0 +1,306 @@
+// Parallel execution layer: shard/merge/work-queue unit tests, plus the
+// byte-identity property the whole subsystem is built around — the sharded
+// detectors' output equals the sequential detectors' output, field for
+// field, for every thread and shard count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/detect.h"
+#include "parallel/merge.h"
+#include "parallel/shard.h"
+#include "parallel/work_queue.h"
+#include "parallel/workload.h"
+#include "query/event_frame.h"
+
+namespace dosm::parallel {
+namespace {
+
+using net::Ipv4Addr;
+
+// --- shard.h ------------------------------------------------------------
+
+TEST(Shard, SingleShardTakesEverything) {
+  EXPECT_EQ(shard_of(Ipv4Addr(0, 0, 0, 0), 1), 0u);
+  EXPECT_EQ(shard_of(Ipv4Addr(255, 255, 255, 255), 1), 0u);
+}
+
+TEST(Shard, StableAndInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Addr victim(static_cast<std::uint32_t>(rng.next_u64()));
+    for (std::size_t n : {2u, 3u, 8u, 13u}) {
+      const std::size_t s = shard_of(victim, n);
+      EXPECT_LT(s, n);
+      EXPECT_EQ(s, shard_of(victim, n));  // pure function of (victim, n)
+    }
+  }
+}
+
+TEST(Shard, Mix32SpreadsSequentialAddresses) {
+  // Victims handed out sequentially (common in synthetic workloads) must
+  // not collapse onto a few shards; mix32 avalanches the low bits.
+  constexpr std::size_t kShards = 8;
+  std::vector<std::size_t> counts(kShards, 0);
+  for (std::uint32_t v = 0; v < 4096; ++v)
+    ++counts[shard_of(Ipv4Addr(0x0a000000u + v), kShards)];
+  for (const std::size_t count : counts) {
+    EXPECT_GT(count, 4096u / kShards / 2);  // no starved shard
+    EXPECT_LT(count, 4096u / kShards * 2);  // no hot shard
+  }
+}
+
+// --- merge.h ------------------------------------------------------------
+
+TEST(KwayMerge, EqualsSortedConcatenation) {
+  Rng rng(11);
+  std::vector<std::vector<int>> runs(5);
+  std::vector<int> expected;
+  for (auto& run : runs) {
+    const std::size_t len = rng.next_below(40);
+    for (std::size_t i = 0; i < len; ++i)
+      run.push_back(static_cast<int>(rng.next_below(100)));
+    std::sort(run.begin(), run.end());
+    expected.insert(expected.end(), run.begin(), run.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  const auto merged =
+      kway_merge(std::move(runs), [](int a, int b) { return a < b; });
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(KwayMerge, TiesGoToLowerRunIndex) {
+  // Strict-less comparison: on equal keys the element from the
+  // lower-indexed run is emitted first, making the merge deterministic.
+  using Tagged = std::pair<int, char>;
+  std::vector<std::vector<Tagged>> runs = {
+      {{1, 'a'}, {3, 'a'}},
+      {{1, 'b'}, {2, 'b'}, {3, 'b'}},
+  };
+  const auto merged = kway_merge(
+      std::move(runs),
+      [](const Tagged& a, const Tagged& b) { return a.first < b.first; });
+  const std::vector<Tagged> expected = {
+      {1, 'a'}, {1, 'b'}, {2, 'b'}, {3, 'a'}, {3, 'b'}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(KwayMerge, HandlesEmptyAndSingletonRuns) {
+  std::vector<std::vector<int>> runs = {{}, {5}, {}, {1, 9}, {}};
+  const auto merged =
+      kway_merge(std::move(runs), [](int a, int b) { return a < b; });
+  EXPECT_EQ(merged, (std::vector<int>{1, 5, 9}));
+  EXPECT_TRUE(kway_merge(std::vector<std::vector<int>>{},
+                         [](int a, int b) { return a < b; })
+                  .empty());
+}
+
+// --- work_queue.h -------------------------------------------------------
+
+TEST(WorkQueue, RunsEveryTaskExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    constexpr std::size_t kTasks = 100;
+    std::vector<std::atomic<int>> hits(kTasks);
+    run_tasks(kTasks, threads,
+              [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(WorkQueue, ZeroTasksIsANoOp) {
+  run_tasks(0, 4, [](std::size_t) { FAIL() << "task ran"; });
+}
+
+TEST(WorkQueue, PropagatesFirstException) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        run_tasks(10, threads,
+                  [](std::size_t i) {
+                    if (i == 3) throw std::runtime_error("boom");
+                  }),
+        std::runtime_error);
+  }
+}
+
+// --- detector byte-identity --------------------------------------------
+
+WorkloadConfig test_config() {
+  WorkloadConfig config;
+  config.seed = 1234;
+  config.direct_attacks = 40;
+  config.reflection_attacks = 8;
+  config.window_s = 1800.0;
+  return config;
+}
+
+/// Shared read-only workload (logs are consumed only by the harvest test,
+/// which makes its own copies).
+const DetectWorkload& shared_workload() {
+  static const DetectWorkload workload = make_workload(test_config());
+  return workload;
+}
+
+std::vector<HoneypotLog> logs_of(const DetectWorkload& workload) {
+  std::vector<HoneypotLog> logs;
+  for (const auto& honeypot : workload.fleet->honeypots())
+    logs.push_back({honeypot.id(), honeypot.log()});
+  return logs;
+}
+
+void expect_identical(const std::vector<telescope::TelescopeEvent>& actual,
+                      const std::vector<telescope::TelescopeEvent>& expected,
+                      const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const auto& a = actual[i];
+    const auto& e = expected[i];
+    EXPECT_EQ(a.victim, e.victim) << label << " row " << i;
+    EXPECT_EQ(a.start, e.start) << label << " row " << i;
+    EXPECT_EQ(a.end, e.end) << label << " row " << i;
+    EXPECT_EQ(a.packets, e.packets) << label << " row " << i;
+    EXPECT_EQ(a.bytes, e.bytes) << label << " row " << i;
+    EXPECT_EQ(a.unique_sources, e.unique_sources) << label << " row " << i;
+    EXPECT_EQ(a.num_ports, e.num_ports) << label << " row " << i;
+    EXPECT_EQ(a.top_port, e.top_port) << label << " row " << i;
+    EXPECT_EQ(a.attack_proto, e.attack_proto) << label << " row " << i;
+    EXPECT_EQ(a.max_pps, e.max_pps) << label << " row " << i;
+  }
+}
+
+void expect_identical(const std::vector<amppot::AmpPotEvent>& actual,
+                      const std::vector<amppot::AmpPotEvent>& expected,
+                      const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const auto& a = actual[i];
+    const auto& e = expected[i];
+    EXPECT_EQ(a.victim, e.victim) << label << " row " << i;
+    EXPECT_EQ(a.protocol, e.protocol) << label << " row " << i;
+    EXPECT_EQ(a.start, e.start) << label << " row " << i;
+    EXPECT_EQ(a.end, e.end) << label << " row " << i;
+    EXPECT_EQ(a.requests, e.requests) << label << " row " << i;
+    EXPECT_EQ(a.honeypots, e.honeypots) << label << " row " << i;
+    EXPECT_EQ(a.honeypot_id, e.honeypot_id) << label << " row " << i;
+  }
+}
+
+TEST(ParallelDetect, TelescopeMatchesSequentialForAnyThreadCount) {
+  const auto& workload = shared_workload();
+
+  std::vector<telescope::TelescopeEvent> expected;
+  telescope::BackscatterDetector sequential(
+      [&](const telescope::TelescopeEvent& e) { expected.push_back(e); });
+  for (const auto& rec : workload.packets) sequential.on_packet(rec);
+  sequential.finish();
+  canonical_sort(expected);
+  ASSERT_FALSE(expected.empty()) << "workload produced no telescope events";
+
+  const std::pair<int, int> configs[] = {{1, 0}, {2, 0}, {8, 0},
+                                         {3, 13}, {1, 5}};
+  for (const auto& [threads, shards] : configs) {
+    ParallelBackscatterDetector detector(ParallelConfig{threads, shards});
+    const auto events = detector.detect(workload.packets);
+    expect_identical(events, expected,
+                     "threads=" + std::to_string(threads) +
+                         " shards=" + std::to_string(shards));
+    EXPECT_EQ(detector.stats().packets_seen, sequential.packets_seen());
+    EXPECT_EQ(detector.stats().backscatter_packets,
+              sequential.backscatter_packets());
+    EXPECT_EQ(detector.stats().flows_filtered, sequential.flows_filtered());
+    EXPECT_EQ(detector.stats().events_emitted, sequential.events_emitted());
+  }
+}
+
+TEST(ParallelDetect, ConsolidateMatchesSequentialForAnyThreadCount) {
+  const auto& workload = shared_workload();
+  const auto logs = logs_of(workload);
+
+  std::vector<amppot::AmpPotEvent> stage1;
+  for (const auto& log : logs) {
+    const auto events =
+        amppot::consolidate_log(log.requests, {}, log.honeypot_id);
+    stage1.insert(stage1.end(), events.begin(), events.end());
+  }
+  auto expected = amppot::merge_fleet_events(std::move(stage1));
+  canonical_sort(expected);
+  ASSERT_FALSE(expected.empty()) << "workload produced no honeypot events";
+
+  const std::pair<int, int> configs[] = {{1, 0}, {2, 0}, {8, 0}, {3, 13}};
+  for (const auto& [threads, shards] : configs) {
+    const auto events =
+        parallel_consolidate(logs, {}, ParallelConfig{threads, shards});
+    expect_identical(events, expected,
+                     "threads=" + std::to_string(threads) +
+                         " shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ParallelDetect, HarvestMatchesFleetHarvest) {
+  // harvest() consumes the logs, so each side gets its own identically
+  // seeded workload.
+  auto sequential_side = make_workload(test_config());
+  auto parallel_side = make_workload(test_config());
+
+  auto expected = sequential_side.fleet->harvest();
+  canonical_sort(expected);
+
+  const auto events =
+      parallel_harvest(*parallel_side.fleet, {}, ParallelConfig{4, 0});
+  expect_identical(events, expected, "parallel_harvest threads=4");
+  // Logs are cleared afterwards, like HoneypotFleet::harvest.
+  for (const auto& honeypot : parallel_side.fleet->honeypots())
+    EXPECT_TRUE(honeypot.log().empty());
+}
+
+// --- FrameBuilder parallel build ---------------------------------------
+
+TEST(ParallelFrameBuild, MatchesSequentialBuild) {
+  StudyWindow window;
+  window.end = civil_from_days(days_from_civil(window.start) + 7);
+  const meta::PrefixToAsMap pfx2as;
+  const meta::GeoDatabase geo;
+  query::FrameBuilder builder(window, pfx2as, geo);
+
+  Rng rng(99);
+  const double t0 = static_cast<double>(window.start_time());
+  for (int i = 0; i < 500; ++i) {
+    core::AttackEvent event;
+    // Small key space on purpose: duplicate (start, target, source) keys
+    // exercise the insertion-index tie-break.
+    event.target = Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(rng.next_below(16)));
+    event.start = t0 + static_cast<double>(rng.next_below(32)) * 3600.0;
+    event.end = event.start + 60.0;
+    event.source = rng.bernoulli(0.5) ? core::EventSource::kTelescope
+                                      : core::EventSource::kHoneypot;
+    event.intensity = static_cast<double>(i);
+    builder.add(event);
+  }
+
+  const query::EventFrame expected = builder.build();
+  for (const int threads : {1, 2, 4, 8}) {
+    const query::EventFrame frame = builder.build(threads);
+    ASSERT_EQ(frame.size(), expected.size()) << threads << " threads";
+    for (std::size_t row = 0; row < frame.size(); ++row) {
+      EXPECT_EQ(frame.start()[row], expected.start()[row]);
+      EXPECT_EQ(frame.end()[row], expected.end()[row]);
+      EXPECT_EQ(frame.intensity()[row], expected.intensity()[row]);
+      EXPECT_EQ(frame.target()[row], expected.target()[row]);
+      EXPECT_EQ(frame.source()[row], expected.source()[row]);
+      EXPECT_EQ(frame.ip_proto()[row], expected.ip_proto()[row]);
+      EXPECT_EQ(frame.top_port()[row], expected.top_port()[row]);
+      EXPECT_EQ(frame.asn()[row], expected.asn()[row]);
+      EXPECT_EQ(frame.country()[row], expected.country()[row]);
+      EXPECT_EQ(frame.day()[row], expected.day()[row]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dosm::parallel

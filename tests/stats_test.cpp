@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -70,6 +71,35 @@ TEST(EmpiricalDistribution, CdfAtEvaluatesCurve) {
   EXPECT_DOUBLE_EQ(curve[0].fraction, 0.2);
   EXPECT_DOUBLE_EQ(curve[1].fraction, 0.5);
   EXPECT_DOUBLE_EQ(curve[2].fraction, 1.0);
+}
+
+TEST(EmpiricalDistribution, CopySemanticsWithSortGuard) {
+  // The lazy-sort guard (atomic + mutex) makes the class non-trivially
+  // copyable; copies must be independent and preserve the sample.
+  EmpiricalDistribution dist({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dist.median(), 2.0);  // forces the sort
+  EmpiricalDistribution copy(dist);
+  EXPECT_DOUBLE_EQ(copy.median(), 2.0);
+  copy.add(10.0);
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_EQ(dist.size(), 3u);
+  EXPECT_DOUBLE_EQ(copy.max(), 10.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 3.0);
+  dist = copy;
+  EXPECT_EQ(dist.size(), 4u);
+  EXPECT_DOUBLE_EQ(dist.max(), 10.0);
+}
+
+TEST(EmpiricalDistribution, MoveSemanticsWithSortGuard) {
+  EmpiricalDistribution dist({5.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(dist.median(), 5.0);
+  EmpiricalDistribution moved(std::move(dist));
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_DOUBLE_EQ(moved.median(), 5.0);
+  EmpiricalDistribution assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 3u);
+  EXPECT_DOUBLE_EQ(assigned.percentile(100.0), 6.0);
 }
 
 TEST(LogBinHistogram, BinsMatchFigure6Shape) {

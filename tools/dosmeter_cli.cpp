@@ -17,6 +17,12 @@
 //   dosmeter query [world options] [--load-events F] [filters] [aggregations]
 //     runs ad-hoc queries against the indexed event store (src/query);
 //     see query_usage() below for the filter/aggregation flags.
+//
+//   dosmeter detect [--seed N] [--threads N] [--shards N] [--save-events F]
+//     runs the packet-level detection pipeline (telescope backscatter +
+//     honeypot consolidation) over a synthetic capture through the sharded
+//     parallel execution layer; output is byte-identical for any --threads.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,6 +39,8 @@
 #include "core/serialize.h"
 #include "core/taxonomy.h"
 #include "dps/classifier.h"
+#include "parallel/detect.h"
+#include "parallel/workload.h"
 #include "query/snapshot.h"
 #include "sim/scenario.h"
 
@@ -57,7 +65,10 @@ struct Options {
       "  --reflection N  ground-truth reflection attacks/day (default 75)\n"
       "  --out DIR       write CSV reports into DIR\n"
       "  --save-events F write the detected events as a binary dump\n"
-      "  --quiet         suppress the text report\n";
+      "  --quiet         suppress the text report\n"
+      "subcommands:\n"
+      "  dosmeter query --help    ad-hoc queries over the event store\n"
+      "  dosmeter detect --help   packet-level parallel detection\n";
   std::exit(code);
 }
 
@@ -109,6 +120,116 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
 }
 
 // ---------------------------------------------------------------------------
+// `dosmeter detect` — packet-level detection via the parallel pipeline.
+// ---------------------------------------------------------------------------
+
+struct DetectOptions {
+  parallel::WorkloadConfig workload;
+  parallel::ParallelConfig parallel;
+  std::string save_events;
+  bool quiet = false;
+};
+
+[[noreturn]] void detect_usage(int code) {
+  std::cout <<
+      "dosmeter detect — packet-level detection (sharded parallel pipeline)\n"
+      "  --seed N        workload seed (default 42)\n"
+      "  --direct N      ground-truth spoofed attacks (default 400)\n"
+      "  --reflection N  ground-truth reflection attacks (default 120)\n"
+      "  --hours H       capture window length in hours (default 4)\n"
+      "  --threads N     worker threads (default 1)\n"
+      "  --shards N      victim-hash shards (default: one per thread)\n"
+      "  --save-events F write the fused events as a binary dump\n"
+      "  --quiet         suppress the text summary\n"
+      "Output is byte-identical for every --threads/--shards setting.\n";
+  std::exit(code);
+}
+
+DetectOptions parse_detect_options(int argc, char** argv) {
+  DetectOptions options;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      detect_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") detect_usage(0);
+    else if (arg == "--seed") options.workload.seed = std::stoull(need_value(i));
+    else if (arg == "--direct") {
+      options.workload.direct_attacks = std::stoi(need_value(i));
+    } else if (arg == "--reflection") {
+      options.workload.reflection_attacks = std::stoi(need_value(i));
+    } else if (arg == "--hours") {
+      options.workload.window_s = std::stod(need_value(i)) * 3600.0;
+    } else if (arg == "--threads") {
+      options.parallel.threads = std::stoi(need_value(i));
+    } else if (arg == "--shards") {
+      options.parallel.shards = std::stoi(need_value(i));
+    } else if (arg == "--save-events") {
+      options.save_events = need_value(i);
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      std::cerr << "unknown detect option: " << arg << "\n";
+      detect_usage(2);
+    }
+  }
+  if (options.parallel.threads < 1 || options.parallel.shards < 0) {
+    std::cerr << "--threads must be >= 1 and --shards >= 0\n";
+    detect_usage(2);
+  }
+  return options;
+}
+
+int detect_main(int argc, char** argv) {
+  const DetectOptions options = parse_detect_options(argc, argv);
+
+  auto workload = parallel::make_workload(options.workload);
+  std::cerr << "[dosmeter] capture: " << workload.packets.size()
+            << " telescope packets, "
+            << workload.fleet->total_requests() << " honeypot requests ("
+            << options.parallel.threads << " threads, "
+            << options.parallel.effective_shards() << " shards)\n";
+
+  parallel::ParallelBackscatterDetector detector(options.parallel);
+  const auto telescope_events = detector.detect(workload.packets);
+  const auto honeypot_events =
+      parallel::parallel_harvest(*workload.fleet, {}, options.parallel);
+
+  std::vector<core::AttackEvent> events;
+  events.reserve(telescope_events.size() + honeypot_events.size());
+  for (const auto& event : telescope_events)
+    events.push_back(core::from_telescope(event));
+  for (const auto& event : honeypot_events)
+    events.push_back(core::from_amppot(event));
+  std::sort(events.begin(), events.end(), core::canonical_less);
+
+  if (!options.quiet) {
+    const auto& stats = detector.stats();
+    print_section(std::cout, "Packet-level detection");
+    TextTable table({"stage", "count"});
+    table.add_row({"telescope packets", std::to_string(stats.packets_seen)});
+    table.add_row({"backscatter packets",
+                   std::to_string(stats.backscatter_packets)});
+    table.add_row({"flows under thresholds",
+                   std::to_string(stats.flows_filtered)});
+    table.add_row({"telescope events", std::to_string(telescope_events.size())});
+    table.add_row({"honeypot events", std::to_string(honeypot_events.size())});
+    std::cout << table;
+  }
+
+  if (!options.save_events.empty()) {
+    core::save_events(options.save_events, events);
+    std::cerr << "[dosmeter] wrote " << events.size() << " events to "
+              << options.save_events << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // `dosmeter query` — ad-hoc queries against the indexed event store.
 // ---------------------------------------------------------------------------
 
@@ -120,6 +241,7 @@ struct QueryOptions {
   std::optional<CivilDate> to;
   std::string agg = "summary";
   std::size_t k = 10;
+  int threads = 1;
   bool explain = false;
 };
 
@@ -144,6 +266,8 @@ struct QueryOptions {
       "  --agg A    summary | daily | top-targets | top-asns | top-countries\n"
       "             | events   (default: summary)\n"
       "  --k N      rows for top-k / events listings (default 10)\n"
+      "  --threads N  worker threads for the snapshot build (default 1;\n"
+      "               identical output for any value)\n"
       "  --explain  print the planner's chosen access path\n";
   std::exit(code);
 }
@@ -207,6 +331,12 @@ QueryOptions parse_query_options(int argc, char** argv) {
       options.agg = need_value(i);
     } else if (arg == "--k") {
       options.k = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--threads") {
+      options.threads = std::stoi(need_value(i));
+      if (options.threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        query_usage(2);
+      }
     } else if (arg == "--explain") {
       options.explain = true;
     } else {
@@ -231,13 +361,15 @@ int query_main(int argc, char** argv) {
     const auto events = core::load_events(options.load_events);
     std::cerr << "[dosmeter] loaded " << events.size() << " events from "
               << options.load_events << "\n";
-    snapshot = query::Snapshot::build(window, events, empty_pfx2as, empty_geo);
+    snapshot = query::Snapshot::build(window, events, empty_pfx2as, empty_geo,
+                                      0, options.threads);
   } else {
     std::cerr << "[dosmeter] building " << window.num_days()
               << "-day world (seed " << options.scenario.seed << ")...\n";
     world = sim::build_world(options.scenario);
     snapshot = query::Snapshot::from_store(
-        world->store, world->population.pfx2as(), world->population.geo());
+        world->store, world->population.pfx2as(), world->population.geo(), 0,
+        options.threads);
   }
   std::cerr << "[dosmeter] snapshot ready: " << snapshot->size()
             << " events indexed\n";
@@ -315,6 +447,8 @@ int query_main(int argc, char** argv) {
 
 int main(int argc, char** argv) try {
   if (argc > 1 && std::string(argv[1]) == "query") return query_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "detect")
+    return detect_main(argc, argv);
   const Options options = parse_options(argc, argv);
   const auto& config = options.scenario;
 
