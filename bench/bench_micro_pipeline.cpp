@@ -1,13 +1,27 @@
 // Microbenchmarks of the hot pipeline kernels (google-benchmark), plus the
 // two-tier ablation: packet-level detection vs analytic observation on the
 // same ground truth.
+//
+// With --smoke the binary instead runs the instrumentation-overhead gate:
+// the full Moore pipeline is timed over the same synthetic capture with the
+// obs layer enabled and disabled in alternating runs, and the min-of-N ratio
+// must stay within the <= 3% overhead budget (exit 1 otherwise). The result
+// is written as BENCH_micro_pipeline.json for CI to archive.
+//
+//   $ ./bench_micro_pipeline                 # google-benchmark suite
+//   $ ./bench_micro_pipeline --smoke [--out F]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
 #include <sstream>
+#include <string>
 
+#include "bench_common.h"
 #include "dns/snapshot.h"
 #include "meta/prefix_map.h"
 #include "net/pcap.h"
+#include "obs/metrics.h"
 #include "sim/observe.h"
 #include "telescope/pipeline.h"
 #include "telescope/synthesizer.h"
@@ -153,6 +167,115 @@ void BM_AblationPacketTier(benchmark::State& state) {
 }
 BENCHMARK(BM_AblationPacketTier);
 
+// ---------------------------------------------------------------------------
+// --smoke: instrumentation-overhead gate.
+//
+// The no-perturbation invariant (byte-identical dumps with metrics on/off) is
+// enforced elsewhere; this gate bounds the *cost* side of the contract. The
+// full Moore pipeline is the most counter-dense code path (per-packet
+// telescope counters plus per-flow threshold accounting), so it is the
+// workload most sensitive to a regression in the striped-counter fast path.
+// Enabled and disabled runs alternate so slow drift (thermal, cache state)
+// hits both sides equally, and min-of-N is compared because the minimum is
+// the least noisy location statistic on a shared machine.
+// ---------------------------------------------------------------------------
+
+/// One full pipeline pass over the capture; returns the event count so the
+/// optimizer cannot elide the work.
+std::size_t pipeline_pass(const std::vector<net::PacketRecord>& packets) {
+  telescope::Pipeline pipeline;
+  auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
+  pipeline.replay(packets);
+  pipeline.finish();
+  return rsdos.events().size();
+}
+
+double time_pass(const std::vector<net::PacketRecord>& packets) {
+  static volatile std::size_t sink = 0;
+  using clock = std::chrono::steady_clock;
+  const auto begin = clock::now();
+  sink = sink + pipeline_pass(packets);
+  return std::chrono::duration<double>(clock::now() - begin).count();
+}
+
+int run_smoke(const std::string& out_path) {
+  constexpr std::size_t kPackets = 50000;
+  constexpr int kRounds = 9;  // alternating pairs; min-of-9 per side
+  constexpr double kMaxRatio = 1.03;
+
+  bench::print_header(
+      "Micro pipeline: instrumentation overhead gate",
+      "obs-layer addition; no paper table — counters must cost <= 3% on the "
+      "packet-dense Moore pipeline");
+  const auto packets = synth_capture(kPackets);
+  std::cerr << "[bench] " << packets.size() << " packets per pass, "
+            << kRounds << " alternating rounds per side\n";
+
+  // Warm-up pass on each side so first-touch page faults and lazy metric
+  // registration do not land inside a measured run.
+  obs::set_enabled(true);
+  pipeline_pass(packets);
+  obs::set_enabled(false);
+  pipeline_pass(packets);
+
+  double min_enabled = 0.0;
+  double min_disabled = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    obs::set_enabled(true);
+    const double enabled_s = time_pass(packets);
+    obs::set_enabled(false);
+    const double disabled_s = time_pass(packets);
+    if (round == 0 || enabled_s < min_enabled) min_enabled = enabled_s;
+    if (round == 0 || disabled_s < min_disabled) min_disabled = disabled_s;
+  }
+  obs::set_enabled(true);
+
+  const double ratio = min_disabled > 0.0 ? min_enabled / min_disabled : 0.0;
+  const bool passed = ratio <= kMaxRatio;
+  TextTable table({"side", "min_ms"});
+  table.add_row({"metrics enabled", fixed(min_enabled * 1e3, 3)});
+  table.add_row({"metrics disabled", fixed(min_disabled * 1e3, 3)});
+  std::cout << table;
+  std::cout << "overhead ratio: " << fixed(ratio, 4) << " (budget "
+            << fixed(kMaxRatio, 2) << ")\n";
+
+  bench::JsonValue root;
+  root.set("bench", "micro_pipeline")
+      .set("mode", "smoke")
+      .set("packets_per_pass", static_cast<std::uint64_t>(packets.size()))
+      .set("rounds", static_cast<std::uint64_t>(kRounds))
+      .set("min_enabled_ms", min_enabled * 1e3)
+      .set("min_disabled_ms", min_disabled * 1e3)
+      .set("overhead_ratio", ratio)
+      .set("overhead_budget", kMaxRatio)
+      .set("overhead_gate", passed ? "passed" : "failed");
+  bench::write_json(out_path, root);
+
+  if (!passed) {
+    std::cerr << "bench_micro_pipeline: instrumentation overhead "
+              << fixed((ratio - 1.0) * 100.0, 2) << "% exceeds the 3% budget\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  std::string out_path = "BENCH_micro_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+  if (smoke) return run_smoke(out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_micro_pipeline: " << e.what() << "\n";
+  return 1;
+}

@@ -5,6 +5,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dosm::amppot {
 
 namespace {
@@ -13,6 +15,36 @@ struct Session {
   double start = 0.0;
   double end = 0.0;
   std::uint64_t requests = 0;
+};
+
+struct ConsolidatorMetrics {
+  obs::Counter& sessions_opened;
+  obs::Counter& sessions_split_gap;
+  obs::Counter& sessions_split_cap;
+  obs::Counter& sessions_below_threshold;
+  obs::Counter& events_emitted;
+  obs::Counter& merge_folds;
+
+  static ConsolidatorMetrics& get() {
+    static ConsolidatorMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return ConsolidatorMetrics{
+          reg.counter("amppot.sessions_opened",
+                      "Attack sessions opened during log consolidation"),
+          reg.counter("amppot.sessions_split_gap",
+                      "Sessions closed by the inactivity gap timeout"),
+          reg.counter("amppot.sessions_split_cap",
+                      "Sessions closed by the maximum-duration cap"),
+          reg.counter("amppot.sessions_below_threshold",
+                      "Sessions dropped for too few requests"),
+          reg.counter("amppot.events_emitted",
+                      "Per-honeypot attack events emitted"),
+          reg.counter("amppot.merge_folds",
+                      "Overlapping events folded during fleet-wide merge"),
+      };
+    }();
+    return metrics;
+  }
 };
 
 }  // namespace
@@ -25,9 +57,14 @@ std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
   // open sessions suffices.
   std::map<std::pair<std::uint32_t, std::uint8_t>, Session> open;
 
+  ConsolidatorMetrics& metrics = ConsolidatorMetrics::get();
   auto close = [&](net::Ipv4Addr victim, ReflectionProtocol protocol,
                    const Session& s) {
-    if (s.requests <= config.min_requests) return;  // "exceeding 100 requests"
+    if (s.requests <= config.min_requests) {  // "exceeding 100 requests"
+      metrics.sessions_below_threshold.inc();
+      return;
+    }
+    metrics.events_emitted.inc();
     AmpPotEvent event;
     event.victim = victim;
     event.protocol = protocol;
@@ -48,14 +85,20 @@ std::vector<AmpPotEvent> consolidate_log(std::span<const RequestRecord> log,
       const bool gap = req.ts - s.end > config.gap_timeout_s;
       const bool capped = req.ts - s.start > config.max_duration_s;
       if (gap || capped) {
+        if (gap)
+          metrics.sessions_split_gap.inc();
+        else
+          metrics.sessions_split_cap.inc();
         close(req.source, req.protocol, s);
         s = Session{req.ts, req.ts, 1};
+        metrics.sessions_opened.inc();
         continue;
       }
       s.end = req.ts;
       ++s.requests;
     } else {
       open.emplace(key, Session{req.ts, req.ts, 1});
+      metrics.sessions_opened.inc();
     }
   }
   for (const auto& [key, s] : open) {
@@ -93,6 +136,7 @@ std::vector<AmpPotEvent> merge_fleet_events(std::vector<AmpPotEvent> events) {
       AmpPotEvent& last = merged.back();
       if (last.victim == event.victim && last.protocol == event.protocol &&
           event.start <= last.end) {
+        ConsolidatorMetrics::get().merge_folds.inc();
         last.end = std::max(last.end, event.end);
         last.requests += event.requests;
         if (event.honeypot_id >= 0) {

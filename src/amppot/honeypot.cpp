@@ -1,6 +1,32 @@
 #include "amppot/honeypot.h"
 
+#include "obs/metrics.h"
+
 namespace dosm::amppot {
+namespace {
+
+struct FleetMetrics {
+  obs::Counter& requests;
+  obs::Counter& replies;
+  obs::Counter& rate_limited;
+
+  static FleetMetrics& get() {
+    static FleetMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return FleetMetrics{
+          reg.counter("amppot.requests",
+                      "Amplification requests received across the fleet"),
+          reg.counter("amppot.replies",
+                      "Requests the rate limiter allowed a reply for"),
+          reg.counter("amppot.rate_limited",
+                      "Requests suppressed by the per-source reply limiter"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 bool ReplyRateLimiter::on_packet(double ts, net::Ipv4Addr source) {
   Window& w = windows_[source];
@@ -28,8 +54,15 @@ Honeypot::Honeypot(int id, net::Ipv4Addr address, meta::CountryCode location)
 bool Honeypot::receive(const RequestRecord& request) {
   log_.push_back(request);
   ++requests_received_;
+  FleetMetrics& metrics = FleetMetrics::get();
+  metrics.requests.inc();
   const bool reply = limiter_.on_packet(request.ts, request.source);
-  if (reply) ++replies_sent_;
+  if (reply) {
+    ++replies_sent_;
+    metrics.replies.inc();
+  } else {
+    metrics.rate_limited.inc();
+  }
   return reply;
 }
 

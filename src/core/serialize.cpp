@@ -1,7 +1,10 @@
 #include "core/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+
+#include "obs/metrics.h"
 
 namespace dosm::core {
 
@@ -11,6 +14,34 @@ namespace {
 // sequence below); byte-by-byte encoding keeps the format portable across
 // hosts regardless of struct padding or endianness.
 inline constexpr std::size_t kWireEventBytes = 56;
+
+// Upper bound on the up-front vector reserve in read_events. The header's
+// count field is attacker-controlled until the records actually parse, so a
+// corrupt dump must not get to pre-allocate count * sizeof(AttackEvent)
+// bytes (count=0xFFFFFFFF would be a ~240 GB allocation). Past this bound
+// the vector grows geometrically as records prove themselves real.
+inline constexpr std::size_t kMaxUpfrontReserve = 65536;
+
+struct SerializeMetrics {
+  obs::Counter& events_written;
+  obs::Counter& events_read;
+  obs::Counter& read_failures;
+
+  static SerializeMetrics& get() {
+    static SerializeMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return SerializeMetrics{
+          reg.counter("serialize.events_written",
+                      "Events written to binary dumps"),
+          reg.counter("serialize.events_read",
+                      "Events parsed from binary dumps"),
+          reg.counter("serialize.read_failures",
+                      "Dump reads rejected as truncated or corrupt"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 template <typename T>
 void put_le(std::ostream& out, T value) {
@@ -47,6 +78,9 @@ T get_le(std::istream& in) {
 }  // namespace
 
 void write_events(std::ostream& out, std::span<const AttackEvent> events) {
+  if (events.size() > std::size_t{0xffffffff})
+    throw std::runtime_error(
+        "event dump: too many events for the 32-bit count field");
   out.write(kEventFileMagic, sizeof(kEventFileMagic));
   put_le<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
   for (const auto& event : events) {
@@ -66,9 +100,10 @@ void write_events(std::ostream& out, std::span<const AttackEvent> events) {
     put_le<std::uint32_t>(out, 0);
   }
   if (!out) throw std::runtime_error("event dump write failed");
+  SerializeMetrics::get().events_written.add(events.size());
 }
 
-std::vector<AttackEvent> read_events(std::istream& in) {
+std::vector<AttackEvent> read_events(std::istream& in) try {
   char magic[sizeof(kEventFileMagic)];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
@@ -76,7 +111,7 @@ std::vector<AttackEvent> read_events(std::istream& in) {
     throw std::runtime_error("not a dosmeter event dump (bad magic)");
   const auto count = get_le<std::uint32_t>(in);
   std::vector<AttackEvent> events;
-  events.reserve(count);
+  events.reserve(std::min<std::size_t>(count, kMaxUpfrontReserve));
   for (std::uint32_t i = 0; i < count; ++i) {
     AttackEvent event;
     const auto source = get_le<std::uint8_t>(in);
@@ -84,8 +119,10 @@ std::vector<AttackEvent> read_events(std::istream& in) {
       throw std::runtime_error("event dump corrupt: bad source tag");
     event.source = static_cast<EventSource>(source);
     event.ip_proto = get_le<std::uint8_t>(in);
-    event.reflection =
-        static_cast<amppot::ReflectionProtocol>(get_le<std::uint8_t>(in));
+    const auto reflection = get_le<std::uint8_t>(in);
+    if (reflection > static_cast<std::uint8_t>(amppot::ReflectionProtocol::kOther))
+      throw std::runtime_error("event dump corrupt: bad reflection tag");
+    event.reflection = static_cast<amppot::ReflectionProtocol>(reflection);
     get_le<std::uint8_t>(in);  // pad
     event.target = net::Ipv4Addr(get_le<std::uint32_t>(in));
     event.start = get_le<double>(in);
@@ -99,7 +136,11 @@ std::vector<AttackEvent> read_events(std::istream& in) {
     get_le<std::uint32_t>(in);  // pad
     events.push_back(event);
   }
+  SerializeMetrics::get().events_read.add(events.size());
   return events;
+} catch (...) {
+  SerializeMetrics::get().read_failures.inc();
+  throw;
 }
 
 void save_events(const std::string& path, std::span<const AttackEvent> events) {
@@ -111,7 +152,15 @@ void save_events(const std::string& path, std::span<const AttackEvent> events) {
 std::vector<AttackEvent> load_events(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_events(in);
+  auto events = read_events(in);
+  // A concatenated or garbage-suffixed dump must fail loudly rather than
+  // silently parse its first section.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    SerializeMetrics::get().read_failures.inc();
+    throw std::runtime_error("event dump corrupt: trailing bytes after last "
+                             "record in " + path);
+  }
+  return events;
 }
 
 }  // namespace dosm::core

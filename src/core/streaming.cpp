@@ -3,7 +3,41 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace dosm::core {
+namespace {
+
+struct FusionMetrics {
+  obs::Counter& events_ingested;
+  obs::Counter& out_of_window;
+  obs::Counter& days_emitted;
+  obs::Counter& gap_days;
+  obs::Counter& alerts_attack_spike;
+  obs::Counter& alerts_target_spike;
+
+  static FusionMetrics& get() {
+    static FusionMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return FusionMetrics{
+          reg.counter("fusion.events_ingested",
+                      "Events accepted by the streaming fusion layer"),
+          reg.counter("fusion.out_of_window",
+                      "Events dropped for falling outside the study window"),
+          reg.counter("fusion.days_emitted", "Day summaries emitted"),
+          reg.counter("fusion.gap_days",
+                      "Idle catch-up days excluded from the alert baseline"),
+          reg.counter("fusion.alerts.attack_spike",
+                      "Attack-count spike alerts fired"),
+          reg.counter("fusion.alerts.target_spike",
+                      "Unique-target spike alerts fired"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string to_string(AlertKind kind) {
   switch (kind) {
@@ -35,7 +69,10 @@ void StreamingFusion::ingest(const AttackEvent& event) {
   last_start_ = event.start;
 
   const auto t = static_cast<UnixSeconds>(event.start);
-  if (!window_.contains(t)) return;
+  if (!window_.contains(t)) {
+    FusionMetrics::get().out_of_window.inc();
+    return;
+  }
   const int day = window_.day_of(t);
   if (current_day_ >= 0 && day < current_day_)
     throw std::invalid_argument("StreamingFusion::ingest: day went backwards");
@@ -52,6 +89,7 @@ void StreamingFusion::ingest(const AttackEvent& event) {
   }
 
   ++events_ingested_;
+  FusionMetrics::get().events_ingested.inc();
   ++pending_.attacks;
   if (event.is_telescope())
     ++pending_.telescope_attacks;
@@ -70,14 +108,24 @@ void StreamingFusion::close_day() {
   day_targets_.clear();
 
   // Spike detection against the trailing baseline (before appending the
-  // new value, so a spike does not mask itself).
-  check_spike(AlertKind::kAttackSpike, static_cast<double>(pending_.attacks),
-              attack_history_);
-  check_spike(AlertKind::kTargetSpike,
-              static_cast<double>(pending_.unique_targets), target_history_);
+  // new value, so a spike does not mask itself). Days with zero attacks can
+  // only be idle catch-up days synthesized by the ingest loop (a day with a
+  // real event always counts it before closing); folding their zeros into
+  // the baseline would drag the trailing mean toward zero during a lull and
+  // make the first ordinary day afterwards fire a spurious spike alert, so
+  // they are emitted as summaries but kept out of the histories entirely.
+  if (pending_.attacks == 0) {
+    FusionMetrics::get().gap_days.inc();
+  } else {
+    check_spike(AlertKind::kAttackSpike, static_cast<double>(pending_.attacks),
+                attack_history_);
+    check_spike(AlertKind::kTargetSpike,
+                static_cast<double>(pending_.unique_targets), target_history_);
+  }
 
   on_summary_(pending_);
   ++days_emitted_;
+  FusionMetrics::get().days_emitted.inc();
 }
 
 void StreamingFusion::check_spike(AlertKind kind, double value,
@@ -90,6 +138,10 @@ void StreamingFusion::check_spike(AlertKind kind, double value,
     if (mean > 0.0 && value > config_.spike_factor * mean) {
       on_alert_({pending_.day, kind, value, mean});
       ++alerts_fired_;
+      if (kind == AlertKind::kAttackSpike)
+        FusionMetrics::get().alerts_attack_spike.inc();
+      else
+        FusionMetrics::get().alerts_target_spike.inc();
     }
   }
   history.push_back(value);

@@ -1,0 +1,15 @@
+// The one translation unit in src/ allowed to touch a clock; see
+// tools/lint_allowlist.txt (wall-clock src/obs/clock.cpp).
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace dosm::obs {
+
+std::uint64_t monotonic_now_ns() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace dosm::obs

@@ -1,0 +1,17 @@
+// Monotonic clock for stage timers. This is the ONLY sanctioned time source
+// in the analysis tree: the determinism linter bans wall/steady clock use
+// everywhere under src/, and the single implementation file behind this
+// declaration (src/obs/clock.cpp) carries the one allowlist entry. Readings
+// flow exclusively into obs metrics (histograms of stage latency) and never
+// into analysis decisions, preserving bit-identical pipeline output.
+#pragma once
+
+#include <cstdint>
+
+namespace dosm::obs {
+
+/// Nanoseconds on a monotonic clock with an arbitrary epoch. Only
+/// differences are meaningful.
+std::uint64_t monotonic_now_ns() noexcept;
+
+}  // namespace dosm::obs

@@ -1,0 +1,29 @@
+// Exporters rendering a MetricsSnapshot for humans and scrapers:
+//
+//  * to_json        — stable machine-readable dump ({"counters": {...}, ...})
+//  * to_prometheus  — Prometheus text exposition format v0.0.4: metric names
+//                     prefixed dosm_ with '.' mapped to '_', HELP/TYPE lines,
+//                     cumulative le-labelled histogram buckets
+//  * write_metrics_file — dispatches on extension (.prom → Prometheus text,
+//                     anything else → JSON)
+//
+// Both renderings iterate the snapshot's name-sorted samples, so identical
+// registry state always serializes to identical bytes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dosm::obs {
+
+std::string to_json(const MetricsSnapshot& snapshot);
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Writes the registry's current snapshot to `path`. Format follows the
+/// extension: ".prom" selects Prometheus text, everything else JSON.
+/// Throws std::runtime_error if the file cannot be written.
+void write_metrics_file(const std::string& path,
+                        const MetricsRegistry& registry);
+
+}  // namespace dosm::obs

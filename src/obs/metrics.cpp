@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dosm::obs {
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(name.front() >= 'a' && name.front() <= 'z')) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  });
+}
+
+void require_valid_name(std::string_view name) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("obs: invalid metric name: " +
+                                std::string(name));
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::span<const double> upper_bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("obs: histogram needs at least one bucket: " +
+                                name_);
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument(
+        "obs: histogram bounds must be strictly ascending: " + name_);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& bucket : buckets_)
+    out.push_back(bucket.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  require_valid_name(name);
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = counters_by_name_.find(name);
+      it != counters_by_name_.end())
+    return *it->second;
+  if (gauges_by_name_.count(std::string(name)) ||
+      histograms_by_name_.count(std::string(name)))
+    throw std::logic_error("obs: metric name already used by another kind: " +
+                           std::string(name));
+  Counter& made = counters_.emplace_back(std::string(name), std::string(help));
+  counters_by_name_.emplace(made.name(), &made);
+  return made;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  require_valid_name(name);
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = gauges_by_name_.find(name); it != gauges_by_name_.end())
+    return *it->second;
+  if (counters_by_name_.count(std::string(name)) ||
+      histograms_by_name_.count(std::string(name)))
+    throw std::logic_error("obs: metric name already used by another kind: " +
+                           std::string(name));
+  Gauge& made = gauges_.emplace_back(std::string(name), std::string(help));
+  gauges_by_name_.emplace(made.name(), &made);
+  return made;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::span<const double> upper_bounds) {
+  require_valid_name(name);
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = histograms_by_name_.find(name);
+      it != histograms_by_name_.end())
+    return *it->second;
+  if (counters_by_name_.count(std::string(name)) ||
+      gauges_by_name_.count(std::string(name)))
+    throw std::logic_error("obs: metric name already used by another kind: " +
+                           std::string(name));
+  Histogram& made = histograms_.emplace_back(std::string(name),
+                                             std::string(help), upper_bounds);
+  histograms_by_name_.emplace(made.name(), &made);
+  return made;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_by_name_.size());
+  for (const auto& [name, counter] : counters_by_name_)
+    snap.counters.push_back({name, counter->help(), counter->value()});
+  snap.gauges.reserve(gauges_by_name_.size());
+  for (const auto& [name, gauge] : gauges_by_name_)
+    snap.gauges.push_back({name, gauge->help(), gauge->value()});
+  snap.histograms.reserve(histograms_by_name_.size());
+  for (const auto& [name, hist] : histograms_by_name_) {
+    const auto bounds = hist->upper_bounds();
+    snap.histograms.push_back({name,
+                               hist->help(),
+                               {bounds.begin(), bounds.end()},
+                               hist->bucket_counts(),
+                               hist->count(),
+                               hist->sum()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+  const std::scoped_lock lock(mutex_);
+  for (auto& counter : counters_) counter.reset();
+  for (auto& gauge : gauges_) gauge.reset();
+  for (auto& hist : histograms_) hist.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dosm::obs

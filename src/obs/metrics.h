@@ -1,0 +1,250 @@
+// Observability substrate: the metrics registry every pipeline layer
+// reports into.
+//
+// The paper closes (§9) on "near-realtime data fusion, extraction,
+// correlation and visualization" as the open operational challenge; a
+// production monitor is unrunnable without trustworthy self-reported
+// counters — cross-dataset comparisons live or die on knowing exactly what
+// each stage ingested, dropped, and emitted. This module provides the three
+// standard metric kinds (monotone counters, gauges, fixed-bucket
+// histograms) behind a named registry, with JSON and Prometheus-text
+// exporters (obs/export.h).
+//
+// Two invariants shape the design:
+//
+//  * No perturbation. Instrumentation must never change analysis output:
+//    metrics are write-only from the pipeline's point of view (nothing ever
+//    reads a counter to make a decision), and the event dumps produced with
+//    metrics enabled vs disabled are byte-identical (enforced in CI).
+//
+//  * No contention. Hot loops (per-packet, per-request) increment counters
+//    through per-thread stripes — cache-line-padded atomic cells selected
+//    by a thread-local index — folded into one value only at report time,
+//    so instrumented workers never bounce a shared cache line.
+//
+// The monotonic clock feeding stage timers (obs/timer.h) is confined to
+// src/obs/clock.cpp behind an explicit dosmeter_lint allowlist entry; time
+// measurements flow only into metrics, never into analysis.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosm::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+inline std::atomic<std::size_t> g_stripe_seq{0};
+}  // namespace detail
+
+/// Process-wide instrumentation switch. Defaults to enabled; the only
+/// sanctioned use of disabling is measuring instrumentation overhead
+/// (bench_micro_pipeline --smoke) — analysis output is identical either way.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Stripes per counter. 16 × 64 B keeps a counter within 1 KiB while making
+/// same-line collisions between concurrently-pinned threads unlikely (the
+/// parallel layer runs ≤ hardware_concurrency workers).
+inline constexpr std::size_t kCounterStripes = 16;
+
+namespace detail {
+/// Stable per-thread stripe index, assigned round-robin on first use.
+inline std::size_t this_thread_stripe() noexcept {
+  thread_local const std::size_t stripe =
+      g_stripe_seq.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return stripe;
+}
+}  // namespace detail
+
+/// Monotone event counter. add() is wait-free and contention-free across
+/// threads (per-thread stripes); value() folds the stripes at report time.
+class Counter {
+ public:
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) noexcept {
+    if (!enabled()) return;
+    stripes_[detail::this_thread_stripe()].count.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& stripe : stripes_)
+      total += stripe.count.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+
+  void reset() noexcept {
+    for (auto& stripe : stripes_)
+      stripe.count.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::string name_;
+  std::string help_;
+  std::array<Stripe, kCounterStripes> stripes_{};
+};
+
+/// Last-written-value gauge (set) with optional delta updates (add).
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus `le` semantics: an observation lands
+/// in the first bucket whose upper bound is >= the value; one implicit
+/// +Inf overflow bucket). Bucket layout is fixed at registration so
+/// observe() is a binary search plus two relaxed atomic adds.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  Histogram(std::string name, std::string help,
+            std::span<const double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  std::span<const double> upper_bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts (not cumulative); size upper_bounds().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+
+  void reset() noexcept;
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Point-in-time samples, the exporters' input. snapshot() orders samples by
+// name so every rendering of the same registry state is deterministic.
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;  // non-cumulative; +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named registry of metrics. Registration (counter/gauge/histogram) takes a
+/// mutex and is meant to run once per site — instrumented code caches the
+/// returned reference, which stays valid for the registry's lifetime.
+/// Updates through the returned handles never lock.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// `help` is kept from the first registration. Throws std::logic_error if
+  /// the name is already registered as a different metric kind, and
+  /// std::invalid_argument for malformed names (allowed: [a-z0-9_.], must
+  /// start with a letter).
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::span<const double> upper_bounds);
+
+  /// Name-sorted point-in-time copy of every metric, for the exporters.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (registrations are kept). Test/tooling aid.
+  void reset() noexcept;
+
+  /// The process-wide registry every pipeline layer reports into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counters_by_name_;
+  std::map<std::string, Gauge*, std::less<>> gauges_by_name_;
+  std::map<std::string, Histogram*, std::less<>> histograms_by_name_;
+};
+
+}  // namespace dosm::obs

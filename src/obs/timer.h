@@ -1,0 +1,51 @@
+// Lightweight stage timers: a ScopedTimer observes the wall duration of a
+// scope into a latency histogram. Timing is measurement-only — readings are
+// never consulted by analysis code, so instrumented runs stay bit-identical
+// to uninstrumented ones.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace dosm::obs {
+
+/// Default latency bucket bounds in seconds: 10 µs .. 10 s, roughly
+/// half-decade steps. Suits both per-task worker timings and whole-stage
+/// build times.
+inline constexpr std::array<double, 12> kLatencyBucketsSeconds = {
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 10.0};
+
+inline std::span<const double> latency_buckets() noexcept {
+  return kLatencyBucketsSeconds;
+}
+
+/// Observes the lifetime of the scope into `hist`, in seconds. When
+/// instrumentation is disabled the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(&hist), start_ns_(enabled() ? monotonic_now_ns() : 0),
+        armed_(enabled()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records now instead of at scope exit; subsequent stops are no-ops.
+  void stop() noexcept {
+    if (!armed_) return;
+    armed_ = false;
+    const std::uint64_t elapsed_ns = monotonic_now_ns() - start_ns_;
+    hist_->observe(static_cast<double>(elapsed_ns) * 1e-9);
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+  bool armed_;
+};
+
+}  // namespace dosm::obs

@@ -4,12 +4,39 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "parallel/merge.h"
 #include "parallel/shard.h"
 #include "parallel/work_queue.h"
 #include "telescope/backscatter.h"
 
 namespace dosm::parallel {
+namespace {
+
+struct ShardMetrics {
+  obs::Counter& shard_packets;
+  obs::Counter& shard_events;
+  obs::Histogram& merge_seconds;
+
+  static ShardMetrics& get() {
+    static ShardMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return ShardMetrics{
+          reg.counter("parallel.shard_backscatter_packets",
+                      "Backscatter packets processed across shards"),
+          reg.counter("parallel.shard_events",
+                      "Events emitted across shards before the k-way merge"),
+          reg.histogram("parallel.merge_seconds",
+                        "Deterministic k-way merge time",
+                        obs::latency_buckets()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 bool telescope_event_less(const telescope::TelescopeEvent& a,
                           const telescope::TelescopeEvent& b) {
@@ -48,7 +75,7 @@ std::vector<telescope::TelescopeEvent> ParallelBackscatterDetector::detect(
     TelescopeDetectStats& stats = shard_stats[shard];
     telescope::FlowTable table(
         [&](const telescope::TelescopeEvent& event) {
-          if (telescope::passes_thresholds(event, thresholds_)) {
+          if (telescope::passes_thresholds_recorded(event, thresholds_)) {
             ++stats.events_emitted;
             events.push_back(event);
           } else {
@@ -83,6 +110,10 @@ std::vector<telescope::TelescopeEvent> ParallelBackscatterDetector::detect(
     stats_.flows_filtered += s.flows_filtered;
     stats_.events_emitted += s.events_emitted;
   }
+  ShardMetrics& metrics = ShardMetrics::get();
+  metrics.shard_packets.add(stats_.backscatter_packets);
+  metrics.shard_events.add(stats_.events_emitted);
+  const obs::ScopedTimer merge_timer(metrics.merge_seconds);
   return kway_merge(std::move(per_shard), telescope_event_less);
 }
 
@@ -109,6 +140,9 @@ std::vector<amppot::AmpPotEvent> parallel_consolidate(
     per_shard[shard] = amppot::merge_fleet_events(std::move(stage1));
   });
 
+  ShardMetrics& metrics = ShardMetrics::get();
+  for (const auto& events : per_shard) metrics.shard_events.add(events.size());
+  const obs::ScopedTimer merge_timer(metrics.merge_seconds);
   return kway_merge(std::move(per_shard), amppot_event_less);
 }
 

@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace dosm::query {
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& snapshot_swaps;
+  obs::Gauge& snapshot_events;
+  obs::Histogram& publish_seconds;
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return EngineMetrics{
+          reg.counter("query.snapshot_swaps",
+                      "Snapshots atomically published to the query engine"),
+          reg.gauge("query.snapshot_events",
+                    "Events in the most recently published snapshot"),
+          reg.histogram("query.publish_seconds",
+                        "Incremental rebuild-and-publish time",
+                        obs::latency_buckets()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> initial)
     : current_(std::move(initial)) {
@@ -19,6 +47,9 @@ void QueryEngine::publish(std::shared_ptr<const Snapshot> next) {
   if (current && next->version() <= current->version())
     throw std::invalid_argument(
         "QueryEngine::publish: snapshot version must increase");
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.snapshot_events.set(static_cast<std::int64_t>(next->size()));
+  metrics.snapshot_swaps.inc();
   current_.store(std::move(next), std::memory_order_release);
   publishes_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -50,6 +81,7 @@ void SnapshotPublisher::finish() {
 }
 
 void SnapshotPublisher::publish_now() {
+  const obs::ScopedTimer timer(EngineMetrics::get().publish_seconds);
   engine_->publish(std::make_shared<const Snapshot>(
       builder_.build(build_threads_), next_version_));
   ++next_version_;

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace dosm::query {
 namespace {
 
@@ -18,6 +21,58 @@ std::span<const std::uint32_t> clip(std::span<const std::uint32_t> postings,
                           static_cast<std::size_t>(hi - lo));
 }
 
+struct QueryMetrics {
+  // One execution counter per access path, indexed by IndexChoice.
+  obs::Counter& exec_full_scan;
+  obs::Counter& exec_time_range;
+  obs::Counter& exec_target32;
+  obs::Counter& exec_slash24;
+  obs::Counter& exec_asn;
+  obs::Counter& exec_country;
+  obs::Counter& exec_port;
+  obs::Counter& postings_clipped;
+  obs::Histogram& build_seconds;
+
+  static QueryMetrics& get() {
+    static QueryMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return QueryMetrics{
+          reg.counter("query.exec.full_scan",
+                      "Queries executed by full frame scan"),
+          reg.counter("query.exec.time_range",
+                      "Queries executed over the start-sorted time range"),
+          reg.counter("query.exec.target32",
+                      "Queries executed via the /32 target index"),
+          reg.counter("query.exec.slash24",
+                      "Queries executed via the /24 prefix index"),
+          reg.counter("query.exec.asn", "Queries executed via the ASN index"),
+          reg.counter("query.exec.country",
+                      "Queries executed via the country index"),
+          reg.counter("query.exec.port",
+                      "Queries executed via the port index"),
+          reg.counter("query.postings_clipped",
+                      "Postings entries discarded by time-range clipping"),
+          reg.histogram("query.snapshot_build_seconds",
+                        "Column-frame snapshot build time",
+                        obs::latency_buckets()),
+      };
+    }();
+    return metrics;
+  }
+
+  void record_exec(IndexChoice choice) {
+    switch (choice) {
+      case IndexChoice::kFullScan: exec_full_scan.inc(); return;
+      case IndexChoice::kTimeRange: exec_time_range.inc(); return;
+      case IndexChoice::kTarget32: exec_target32.inc(); return;
+      case IndexChoice::kSlash24: exec_slash24.inc(); return;
+      case IndexChoice::kAsn: exec_asn.inc(); return;
+      case IndexChoice::kCountry: exec_country.inc(); return;
+      case IndexChoice::kPort: exec_port.inc(); return;
+    }
+  }
+};
+
 }  // namespace
 
 Snapshot::Snapshot(EventFrame frame, std::uint64_t version)
@@ -29,6 +84,7 @@ std::shared_ptr<const Snapshot> Snapshot::build(
     std::uint64_t version, int threads) {
   FrameBuilder builder(window, pfx2as, geo);
   builder.add(events);
+  const obs::ScopedTimer timer(QueryMetrics::get().build_seconds);
   return std::make_shared<const Snapshot>(builder.build(threads), version);
 }
 
@@ -86,12 +142,15 @@ bool Snapshot::row_matches(const Query& query, std::uint32_t row) const {
 template <typename Fn>
 void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
   const QueryPlan chosen = plan(query);
+  QueryMetrics::get().record_exec(chosen.choice);
   RowRange time_rows{0, static_cast<std::uint32_t>(frame_.size())};
   if (query.time)
     time_rows = index_.time_range(query.time->begin, query.time->end);
 
   const auto verify_postings = [&](std::span<const std::uint32_t> postings) {
-    for (const std::uint32_t row : clip(postings, time_rows))
+    const auto clipped = clip(postings, time_rows);
+    QueryMetrics::get().postings_clipped.add(postings.size() - clipped.size());
+    for (const std::uint32_t row : clipped)
       if (row_matches(query, row)) fn(row);
   };
   switch (chosen.choice) {

@@ -3,7 +3,53 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace dosm::telescope {
+namespace {
+
+/// Telescope-layer metrics, registered once and cached for the hot path.
+/// Counters are write-only observers: no detection decision ever reads them.
+struct Metrics {
+  obs::Counter& packets_seen;
+  obs::Counter& backscatter_packets;
+  obs::Counter& flows_opened;
+  obs::Counter& flows_swept;
+  obs::Counter& flows_flushed;
+  obs::Counter& events_emitted;
+  obs::Counter& reject_min_packets;
+  obs::Counter& reject_min_duration;
+  obs::Counter& reject_min_pps;
+
+  static Metrics& get() {
+    static Metrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return Metrics{
+          reg.counter("telescope.packets_seen",
+                      "Packets fed to the backscatter detector"),
+          reg.counter("telescope.backscatter_packets",
+                      "Packets classified as backscatter"),
+          reg.counter("telescope.flows_opened",
+                      "Per-victim flows opened in the flow table"),
+          reg.counter("telescope.flows_swept",
+                      "Flows closed by inactivity-timeout sweep"),
+          reg.counter("telescope.flows_flushed",
+                      "Flows closed at end of trace"),
+          reg.counter("telescope.events_emitted",
+                      "Flows that passed all classification thresholds"),
+          reg.counter("telescope.reject.min_packets",
+                      "Flows rejected for too few backscatter packets"),
+          reg.counter("telescope.reject.min_duration",
+                      "Flows rejected for too short a duration"),
+          reg.counter("telescope.reject.min_pps",
+                      "Flows rejected for too low a peak packet rate"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 bool passes_thresholds(const TelescopeEvent& event,
                        const ClassifierThresholds& thresholds) {
@@ -16,6 +62,25 @@ bool passes_thresholds(const TelescopeEvent& event,
   return true;
 }
 
+bool passes_thresholds_recorded(const TelescopeEvent& event,
+                                const ClassifierThresholds& thresholds) {
+  Metrics& metrics = Metrics::get();
+  if (event.packets < thresholds.min_packets) {
+    metrics.reject_min_packets.inc();
+    return false;
+  }
+  if (event.duration() < thresholds.min_duration_s) {
+    metrics.reject_min_duration.inc();
+    return false;
+  }
+  if (event.max_pps < thresholds.min_max_pps) {
+    metrics.reject_min_pps.inc();
+    return false;
+  }
+  metrics.events_emitted.inc();
+  return true;
+}
+
 FlowTable::FlowTable(FlowCallback on_flow, double flow_timeout_s)
     : on_flow_(std::move(on_flow)), flow_timeout_s_(flow_timeout_s) {}
 
@@ -23,7 +88,10 @@ void FlowTable::add(double ts, const BackscatterInfo& info, std::uint16_t ip_len
                     net::Ipv4Addr telescope_dst) {
   sweep(ts);
   Flow& flow = flows_[info.victim];
-  if (flow.packets == 0) flow.first_ts = ts;
+  if (flow.packets == 0) {
+    flow.first_ts = ts;
+    Metrics::get().flows_opened.inc();
+  }
   flow.last_ts = std::max(flow.last_ts, ts);
   ++flow.packets;
   flow.bytes += ip_len;
@@ -63,6 +131,7 @@ void FlowTable::sweep(double now) {
   last_sweep_ = now;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (now - it->second.last_ts > flow_timeout_s_) {
+      Metrics::get().flows_swept.inc();
       on_flow_(finalize(it->first, it->second));
       it = flows_.erase(it);
     } else {
@@ -72,6 +141,7 @@ void FlowTable::sweep(double now) {
 }
 
 void FlowTable::flush() {
+  Metrics::get().flows_flushed.add(flows_.size());
   for (const auto& [victim, flow] : flows_) on_flow_(finalize(victim, flow));
   flows_.clear();
 }
@@ -112,7 +182,7 @@ BackscatterDetector::BackscatterDetector(EventCallback on_event,
       thresholds_(thresholds),
       flows_(
           [this](const TelescopeEvent& event) {
-            if (passes_thresholds(event, thresholds_)) {
+            if (passes_thresholds_recorded(event, thresholds_)) {
               ++events_emitted_;
               on_event_(event);
             } else {
@@ -122,6 +192,10 @@ BackscatterDetector::BackscatterDetector(EventCallback on_event,
           flow_timeout_s) {}
 
 void BackscatterDetector::on_packet(const net::PacketRecord& rec) {
+  // Per-packet tallies stay in plain members; the obs counters are folded
+  // once at finish() so the hottest loop in the codebase never touches an
+  // atomic (the striped-counter fast path still costs a TLS load + fetch_add,
+  // which is real money at packet granularity).
   ++packets_seen_;
   if (!is_backscatter(rec)) {
     flows_.advance(rec.timestamp());
@@ -131,6 +205,11 @@ void BackscatterDetector::on_packet(const net::PacketRecord& rec) {
   flows_.add(rec.timestamp(), classify_backscatter(rec), rec.ip_len, rec.dst);
 }
 
-void BackscatterDetector::finish() { flows_.flush(); }
+void BackscatterDetector::finish() {
+  flows_.flush();
+  Metrics& metrics = Metrics::get();
+  metrics.packets_seen.add(packets_seen_);
+  metrics.backscatter_packets.add(backscatter_packets_);
+}
 
 }  // namespace dosm::telescope

@@ -1,0 +1,105 @@
+// Seeded corruption property test for the event-dump wire format.
+//
+// The property: for ANY single-byte flip or truncation of a valid dump, a
+// read either yields a well-formed event vector (every enum tag in range) or
+// throws std::runtime_error — it never crashes, never throws anything else,
+// and never over-allocates off a hostile header. Runs under ASan in CI, so
+// an out-of-bounds read or a giant reserve fails the job outright.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/serialize.h"
+
+namespace dosm::core {
+namespace {
+
+std::string valid_dump(int num_events) {
+  std::vector<AttackEvent> events;
+  events.reserve(static_cast<std::size_t>(num_events));
+  for (int i = 0; i < num_events; ++i) {
+    AttackEvent event;
+    event.source = i % 2 ? EventSource::kHoneypot : EventSource::kTelescope;
+    event.target = net::Ipv4Addr(static_cast<std::uint32_t>(0xc0a80000 + i));
+    event.start = 1.45e9 + i * 600.0;
+    event.end = event.start + 120.0 + i;
+    event.intensity = 0.5 * i;
+    event.packets = 500u + static_cast<std::uint64_t>(i);
+    event.ip_proto = i % 3 ? 6 : 17;
+    event.num_ports = static_cast<std::uint16_t>(1 + i % 4);
+    event.top_port = static_cast<std::uint16_t>(1024 + i);
+    event.unique_sources = static_cast<std::uint32_t>(3 * i + 1);
+    event.reflection = static_cast<amppot::ReflectionProtocol>(i % 9);
+    event.honeypots = static_cast<std::uint32_t>(1 + i % 8);
+    events.push_back(event);
+  }
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, events);
+  return stream.str();
+}
+
+/// The property under test: parse must return cleanly or throw
+/// std::runtime_error; anything else (other exception types, crashes,
+/// sanitizer reports) fails.
+void expect_parses_or_rejects(const std::string& data) {
+  std::istringstream in(data, std::ios::binary);
+  try {
+    const auto events = read_events(in);
+    for (const auto& event : events) {
+      ASSERT_LE(static_cast<int>(event.source), 1);
+      ASSERT_LE(static_cast<int>(event.reflection),
+                static_cast<int>(amppot::ReflectionProtocol::kOther));
+    }
+  } catch (const std::runtime_error&) {
+    // Rejection is the other acceptable outcome.
+  }
+}
+
+TEST(SerializeFuzz, SingleByteFlipsNeverCrashOrOverAllocate) {
+  const std::string dump = valid_dump(40);
+  Rng rng(20260806);
+  for (int iter = 0; iter < 1500; ++iter) {
+    std::string corrupt = dump;
+    const auto pos = static_cast<std::size_t>(rng.next_below(corrupt.size()));
+    const auto flip = static_cast<char>(rng.next_below(256));
+    corrupt[pos] = flip;
+    expect_parses_or_rejects(corrupt);
+  }
+}
+
+TEST(SerializeFuzz, TruncationsNeverCrash) {
+  const std::string dump = valid_dump(40);
+  Rng rng(987654321);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto cut = static_cast<std::size_t>(rng.next_below(dump.size()));
+    expect_parses_or_rejects(dump.substr(0, cut));
+  }
+  // Every boundary-adjacent length around the header and first record.
+  for (std::size_t cut = 0; cut < 70 && cut < dump.size(); ++cut)
+    expect_parses_or_rejects(dump.substr(0, cut));
+}
+
+TEST(SerializeFuzz, FlipPlusTruncationCombined) {
+  const std::string dump = valid_dump(25);
+  Rng rng(0xfeedbeef);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string corrupt =
+        dump.substr(0, 1 + rng.next_below(dump.size() - 1));
+    const auto pos = static_cast<std::size_t>(rng.next_below(corrupt.size()));
+    corrupt[pos] = static_cast<char>(rng.next_below(256));
+    expect_parses_or_rejects(corrupt);
+  }
+}
+
+TEST(SerializeFuzz, UncorruptedDumpStillRoundTrips) {
+  // Sanity anchor for the property: the pristine dump parses fully.
+  const std::string dump = valid_dump(40);
+  std::istringstream in(dump, std::ios::binary);
+  EXPECT_EQ(read_events(in).size(), 40u);
+}
+
+}  // namespace
+}  // namespace dosm::core

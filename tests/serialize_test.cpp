@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <span>
 #include <sstream>
 
 #include "core/serialize.h"
@@ -81,6 +83,71 @@ TEST(Serialize, RejectsBadSourceTag) {
   data[12] = '\x7f';  // the first record's source byte
   std::istringstream bad(data, std::ios::binary);
   EXPECT_THROW(read_events(bad), std::runtime_error);
+}
+
+TEST(Serialize, RejectsBadReflectionTag) {
+  std::vector<AttackEvent> events{sample_event(0)};
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, events);
+  std::string data = stream.str();
+  // Byte 14 is the first record's reflection tag (8 magic + 4 count +
+  // source + ip_proto). kOther (8) is the largest valid value.
+  data[14] = '\x09';
+  std::istringstream bad(data, std::ios::binary);
+  EXPECT_THROW(read_events(bad), std::runtime_error);
+  data[14] = '\xff';
+  std::istringstream worse(data, std::ios::binary);
+  EXPECT_THROW(read_events(worse), std::runtime_error);
+}
+
+TEST(Serialize, HostileHeaderCountDoesNotOverAllocate) {
+  // A corrupt dump claiming 0xFFFFFFFF records used to reserve ~240 GB
+  // before the first truncated read could throw. The reserve is now bounded,
+  // so the hostile header must fail as plain truncation (std::runtime_error,
+  // never std::bad_alloc / OOM).
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_events(stream, {});
+  std::string data = stream.str();
+  for (int i = 0; i < 4; ++i) data[8 + i] = '\xff';  // count = 0xFFFFFFFF
+  std::istringstream hostile(data, std::ios::binary);
+  EXPECT_THROW(read_events(hostile), std::runtime_error);
+}
+
+TEST(Serialize, WriteThrowsWhenCountOverflowsWireField) {
+  // A span can claim more events than the 32-bit count field can hold; the
+  // old static_cast silently truncated the header and produced a dump whose
+  // tail would be rejected as garbage on load. The fabricated span below is
+  // never dereferenced because the size check throws first.
+  const AttackEvent one;
+  const std::span<const AttackEvent> huge(&one, std::size_t{0x100000000ull});
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(write_events(stream, huge), std::runtime_error);
+  EXPECT_TRUE(stream.str().empty());  // nothing written before the throw
+}
+
+TEST(Serialize, LoadRejectsTrailingBytes) {
+  const std::string path = "/tmp/dosm_serialize_trailing_test.bin";
+  std::vector<AttackEvent> events{sample_event(0), sample_event(1)};
+  {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    write_events(stream, events);
+    std::string data = stream.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // A concatenated second dump and a single garbage byte must both fail.
+    out << data << data;
+  }
+  EXPECT_THROW(load_events(path), std::runtime_error);
+  {
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    write_events(stream, events);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << stream.str() << '\0';
+  }
+  EXPECT_THROW(load_events(path), std::runtime_error);
+  // The pristine dump still loads.
+  save_events(path, events);
+  EXPECT_EQ(load_events(path).size(), events.size());
+  std::remove(path.c_str());
 }
 
 TEST(Serialize, FileRoundTripAndStagedReanalysis) {

@@ -118,6 +118,54 @@ TEST_F(StreamingTest, AlertsOnAttackSpike) {
   EXPECT_DOUBLE_EQ(alerts_[0].baseline, 2.0);
 }
 
+TEST_F(StreamingTest, GapDaysDoNotPolluteSpikeBaseline) {
+  // Regression: the catch-up loop used to close idle gap days with zero
+  // counts into the trailing histories, dragging the mean toward zero; the
+  // first ordinary day after a lull then read as a multiple of the baseline
+  // and fired a spurious spike alert.
+  StreamingFusion::Config config;
+  config.min_baseline_days = 3;
+  config.spike_factor = 2.0;
+  auto fusion = make(config);
+  // An ordinary steady level: 4 attacks/day for days 0..4.
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 4; ++i) {
+      fusion.ingest(event_at(window_, day, 100 + i, EventSource::kTelescope,
+                             Ipv4Addr(1, 1, static_cast<std::uint8_t>(day),
+                                      static_cast<std::uint8_t>(i))));
+    }
+  }
+  // A three-week lull, then the same ordinary 4-attack day. With gap days
+  // folded into the baseline the mean would be ~0.7 and day 26 would
+  // spuriously alert; excluded, the baseline stays 4.0 and stays quiet.
+  for (int i = 0; i < 4; ++i) {
+    fusion.ingest(event_at(window_, 26, 100 + i, EventSource::kTelescope,
+                           Ipv4Addr(2, 2, 2, static_cast<std::uint8_t>(i))));
+  }
+  fusion.finish();
+  EXPECT_EQ(alerts_.size(), 0u);
+  // Gap days are still emitted as (empty) summaries: days 0..26.
+  EXPECT_EQ(summaries_.size(), 27u);
+  // A genuine spike after the lull must still fire against the real level.
+  summaries_.clear();
+  auto fusion2 = make(config);
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 4; ++i) {
+      fusion2.ingest(event_at(window_, day, 100 + i, EventSource::kTelescope,
+                              Ipv4Addr(1, 1, static_cast<std::uint8_t>(day),
+                                       static_cast<std::uint8_t>(i))));
+    }
+  }
+  for (int i = 0; i < 20; ++i) {
+    fusion2.ingest(event_at(window_, 26, 100 + i, EventSource::kTelescope,
+                            Ipv4Addr(3, 3, 3, static_cast<std::uint8_t>(i))));
+  }
+  fusion2.finish();
+  ASSERT_GE(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].day, 26);
+  EXPECT_DOUBLE_EQ(alerts_[0].baseline, 4.0);
+}
+
 TEST_F(StreamingTest, NoAlertBeforeBaselineEstablished) {
   StreamingFusion::Config config;
   config.min_baseline_days = 7;

@@ -8,9 +8,11 @@
 #   tsan       ThreadSanitizer, full test suite
 #   lint       dosmeter_lint (repo-invariant linter) over src/
 #   tidy       clang-tidy over src/ and tools/ (skipped if not installed)
+#   metrics    observability invariants: detect dumps byte-identical with and
+#              without --metrics-out, and instrumentation overhead <= 3%
 #
 # Usage:
-#   tools/check.sh            # hardened + asan + tsan + lint (+ tidy if available)
+#   tools/check.sh            # hardened + asan + tsan + lint + metrics (+ tidy)
 #   tools/check.sh asan lint  # just the named modes
 #
 # Build trees land in build-check-<mode>/ so they never disturb ./build.
@@ -21,7 +23,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 MODES=("$@")
 if [ ${#MODES[@]} -eq 0 ]; then
-  MODES=(hardened asan tsan lint)
+  MODES=(hardened asan tsan lint metrics)
   if command -v clang-tidy >/dev/null 2>&1; then
     MODES+=(tidy)
   fi
@@ -68,6 +70,26 @@ for mode in "${MODES[@]}"; do
       configure_and_build "$ROOT/build-check-lint" --target dosmeter_lint
       "$ROOT/build-check-lint/tools/dosmeter_lint" --root "$ROOT" src tools
       ;;
+    metrics)
+      configure_and_build "$ROOT/build-check-metrics" \
+        --target dosmeter --target bench_micro_pipeline
+      workdir="$ROOT/build-check-metrics/metrics-determinism"
+      mkdir -p "$workdir"
+      # The no-perturbation invariant: the analysis output must be
+      # byte-identical whether or not metrics are exported.
+      "$ROOT/build-check-metrics/tools/dosmeter" detect --quiet \
+        --save-events "$workdir/plain.bin"
+      "$ROOT/build-check-metrics/tools/dosmeter" detect --quiet \
+        --save-events "$workdir/instrumented.bin" \
+        --metrics-out "$workdir/metrics.json"
+      cmp "$workdir/plain.bin" "$workdir/instrumented.bin"
+      test -s "$workdir/metrics.json"
+      echo "metrics determinism: event dumps byte-identical with/without --metrics-out"
+      # The cost side of the contract: instrumentation overhead <= 3% on the
+      # packet-dense Moore pipeline (the gate exits non-zero on breach).
+      "$ROOT/build-check-metrics/bench/bench_micro_pipeline" --smoke \
+        --out "$workdir/BENCH_micro_pipeline.json"
+      ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "clang-tidy not installed; cannot run tidy mode" >&2
@@ -76,7 +98,7 @@ for mode in "${MODES[@]}"; do
       configure_and_build "$ROOT/build-check-lint" --target tidy
       ;;
     *)
-      echo "unknown mode: $mode (expected hardened|asan|tsan|lint|tidy)" >&2
+      echo "unknown mode: $mode (expected hardened|asan|tsan|lint|tidy|metrics)" >&2
       exit 2
       ;;
   esac

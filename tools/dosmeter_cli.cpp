@@ -22,6 +22,13 @@
 //     runs the packet-level detection pipeline (telescope backscatter +
 //     honeypot consolidation) over a synthetic capture through the sharded
 //     parallel execution layer; output is byte-identical for any --threads.
+//
+//   dosmeter metrics [--seed N] [--format table|json|prom] [--out F]
+//     exercises every instrumented pipeline layer over a small workload and
+//     renders the observability registry (src/obs). `detect` and `query`
+//     also accept --metrics-out F to dump their metrics after the run;
+//     instrumentation never perturbs analysis output (event dumps are
+//     byte-identical with metrics on or off).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -37,10 +44,14 @@
 #include "core/migration_analysis.h"
 #include "core/ports.h"
 #include "core/serialize.h"
+#include "core/streaming.h"
 #include "core/taxonomy.h"
 #include "dps/classifier.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "parallel/detect.h"
 #include "parallel/workload.h"
+#include "query/engine.h"
 #include "query/snapshot.h"
 #include "sim/scenario.h"
 
@@ -68,7 +79,8 @@ struct Options {
       "  --quiet         suppress the text report\n"
       "subcommands:\n"
       "  dosmeter query --help    ad-hoc queries over the event store\n"
-      "  dosmeter detect --help   packet-level parallel detection\n";
+      "  dosmeter detect --help   packet-level parallel detection\n"
+      "  dosmeter metrics --help  pipeline observability view\n";
   std::exit(code);
 }
 
@@ -127,6 +139,7 @@ struct DetectOptions {
   parallel::WorkloadConfig workload;
   parallel::ParallelConfig parallel;
   std::string save_events;
+  std::string metrics_out;
   bool quiet = false;
 };
 
@@ -140,8 +153,11 @@ struct DetectOptions {
       "  --threads N     worker threads (default 1)\n"
       "  --shards N      victim-hash shards (default: one per thread)\n"
       "  --save-events F write the fused events as a binary dump\n"
+      "  --metrics-out F write pipeline metrics after the run\n"
+      "                  (.prom -> Prometheus text, else JSON)\n"
       "  --quiet         suppress the text summary\n"
-      "Output is byte-identical for every --threads/--shards setting.\n";
+      "Output is byte-identical for every --threads/--shards setting and\n"
+      "with or without --metrics-out.\n";
   std::exit(code);
 }
 
@@ -170,6 +186,8 @@ DetectOptions parse_detect_options(int argc, char** argv) {
       options.parallel.shards = std::stoi(need_value(i));
     } else if (arg == "--save-events") {
       options.save_events = need_value(i);
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = need_value(i);
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -226,6 +244,10 @@ int detect_main(int argc, char** argv) {
     std::cerr << "[dosmeter] wrote " << events.size() << " events to "
               << options.save_events << "\n";
   }
+  if (!options.metrics_out.empty()) {
+    obs::write_metrics_file(options.metrics_out, obs::MetricsRegistry::global());
+    std::cerr << "[dosmeter] wrote metrics to " << options.metrics_out << "\n";
+  }
   return 0;
 }
 
@@ -243,6 +265,7 @@ struct QueryOptions {
   std::size_t k = 10;
   int threads = 1;
   bool explain = false;
+  std::string metrics_out;
 };
 
 [[noreturn]] void query_usage(int code) {
@@ -268,7 +291,9 @@ struct QueryOptions {
       "  --k N      rows for top-k / events listings (default 10)\n"
       "  --threads N  worker threads for the snapshot build (default 1;\n"
       "               identical output for any value)\n"
-      "  --explain  print the planner's chosen access path\n";
+      "  --explain  print the planner's chosen access path\n"
+      "  --metrics-out F  write pipeline metrics after the run\n"
+      "                   (.prom -> Prometheus text, else JSON)\n";
   std::exit(code);
 }
 
@@ -339,6 +364,8 @@ QueryOptions parse_query_options(int argc, char** argv) {
       }
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = need_value(i);
     } else {
       std::cerr << "unknown query option: " << arg << "\n";
       query_usage(2);
@@ -440,6 +467,153 @@ int query_main(int argc, char** argv) {
     std::cerr << "unknown aggregation: " << options.agg << "\n";
     query_usage(2);
   }
+  if (!options.metrics_out.empty()) {
+    obs::write_metrics_file(options.metrics_out, obs::MetricsRegistry::global());
+    std::cerr << "[dosmeter] wrote metrics to " << options.metrics_out << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `dosmeter metrics` — exercise every instrumented layer, show the registry.
+// ---------------------------------------------------------------------------
+
+struct MetricsOptions {
+  std::uint64_t seed = 42;
+  std::string format = "table";  // table | json | prom
+  std::string out;
+};
+
+[[noreturn]] void metrics_usage(int code) {
+  std::cout <<
+      "dosmeter metrics — pipeline observability view\n"
+      "Runs a small end-to-end workload through every instrumented layer\n"
+      "(telescope flow table, honeypot fleet, parallel workers, streaming\n"
+      "fusion, query engine) and renders the metrics registry.\n"
+      "  --seed N    workload seed (default 42)\n"
+      "  --format F  table | json | prom (default table)\n"
+      "  --out F     also write the registry to F (.prom -> Prometheus)\n";
+  std::exit(code);
+}
+
+MetricsOptions parse_metrics_options(int argc, char** argv) {
+  MetricsOptions options;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      metrics_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") metrics_usage(0);
+    else if (arg == "--seed") options.seed = std::stoull(need_value(i));
+    else if (arg == "--format") options.format = need_value(i);
+    else if (arg == "--out") options.out = need_value(i);
+    else {
+      std::cerr << "unknown metrics option: " << arg << "\n";
+      metrics_usage(2);
+    }
+  }
+  if (options.format != "table" && options.format != "json" &&
+      options.format != "prom") {
+    std::cerr << "--format must be table|json|prom\n";
+    metrics_usage(2);
+  }
+  return options;
+}
+
+int metrics_main(int argc, char** argv) {
+  const MetricsOptions options = parse_metrics_options(argc, argv);
+
+  // 1. Packet-level detection (telescope + amppot + parallel metrics).
+  parallel::WorkloadConfig workload_config;
+  workload_config.seed = options.seed;
+  workload_config.direct_attacks = 40;
+  workload_config.reflection_attacks = 12;
+  workload_config.window_s = 3600.0;
+  auto workload = parallel::make_workload(workload_config);
+  const parallel::ParallelConfig pc{2, 0};
+  parallel::ParallelBackscatterDetector detector(pc);
+  const auto telescope_events = detector.detect(workload.packets);
+  const auto honeypot_events = parallel::parallel_harvest(*workload.fleet, {}, pc);
+
+  std::vector<core::AttackEvent> events;
+  events.reserve(telescope_events.size() + honeypot_events.size());
+  for (const auto& event : telescope_events)
+    events.push_back(core::from_telescope(event));
+  for (const auto& event : honeypot_events)
+    events.push_back(core::from_amppot(event));
+  std::sort(events.begin(), events.end(), core::canonical_less);
+
+  // 2. Streaming fusion + serving layer (fusion, serialize, query metrics).
+  // Workload timestamps are capture-relative seconds; shift them into the
+  // study window so both fusion and the snapshot accept them.
+  const StudyWindow window = sim::ScenarioConfig{}.window;
+  const auto base = static_cast<double>(window.start_time());
+  for (auto& event : events) {
+    event.start += base;
+    event.end += base;
+  }
+  core::StreamingFusion fusion(window, {}, [](const core::DaySummary&) {});
+  for (const auto& event : events) fusion.ingest(event);
+  fusion.finish();
+
+  const meta::PrefixToAsMap empty_pfx2as;
+  const meta::GeoDatabase empty_geo;
+  query::QueryEngine engine;
+  engine.publish(
+      query::Snapshot::build(window, events, empty_pfx2as, empty_geo, 1, 1));
+  const auto snapshot = engine.snapshot();
+  snapshot->count(query::Query());  // full scan
+  query::Query by_time;
+  by_time.between(base, base + 1800.0);
+  snapshot->count(by_time);  // time-range plan
+  if (!events.empty()) {
+    query::Query by_target;
+    by_target.in_prefix(net::Prefix(events.front().target, 32));
+    snapshot->count(by_target);  // postings plan + clipping
+  }
+
+  std::cerr << "[dosmeter] exercised " << events.size()
+            << " events through detection, fusion, and serving layers\n";
+
+  // 3. Render the registry.
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  if (options.format == "json") {
+    std::cout << obs::to_json(snap);
+  } else if (options.format == "prom") {
+    std::cout << obs::to_prometheus(snap);
+  } else {
+    print_section(std::cout, "Counters");
+    TextTable counters({"metric", "value", "help"});
+    for (const auto& c : snap.counters)
+      counters.add_row({c.name, std::to_string(c.value), c.help});
+    std::cout << counters;
+    if (!snap.gauges.empty()) {
+      print_section(std::cout, "Gauges");
+      TextTable gauges({"metric", "value", "help"});
+      for (const auto& g : snap.gauges)
+        gauges.add_row({g.name, std::to_string(g.value), g.help});
+      std::cout << gauges;
+    }
+    if (!snap.histograms.empty()) {
+      print_section(std::cout, "Histograms");
+      TextTable hists({"metric", "count", "mean_ms", "help"});
+      for (const auto& h : snap.histograms) {
+        const double mean_ms =
+            h.count ? h.sum / static_cast<double>(h.count) * 1e3 : 0.0;
+        hists.add_row({h.name, std::to_string(h.count), fixed(mean_ms, 3),
+                       h.help});
+      }
+      std::cout << hists;
+    }
+  }
+  if (!options.out.empty()) {
+    obs::write_metrics_file(options.out, obs::MetricsRegistry::global());
+    std::cerr << "[dosmeter] wrote metrics to " << options.out << "\n";
+  }
   return 0;
 }
 
@@ -449,6 +623,8 @@ int main(int argc, char** argv) try {
   if (argc > 1 && std::string(argv[1]) == "query") return query_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "detect")
     return detect_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "metrics")
+    return metrics_main(argc, argv);
   const Options options = parse_options(argc, argv);
   const auto& config = options.scenario;
 
