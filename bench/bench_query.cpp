@@ -82,14 +82,16 @@ int run(int argc, char** argv) {
   std::cerr << "[bench] " << events.size() << " events\n";
 
   // --- Index build rate -----------------------------------------------
+  // Default single-segment context: this baseline (and its >=10x gate)
+  // measures the monolithic layout; bench_incremental covers segmentation.
+  const query::BuildContext ctx{pfx2as, geo};
   const auto build_timing = measure(min_measure_s, [&] {
-    return query::Snapshot::build(world->window, events, pfx2as, geo)->size();
+    return query::Snapshot::build(world->window, events, ctx)->size();
   });
   const double build_rate =
       static_cast<double>(events.size()) / build_timing.seconds_per_iter;
 
-  const auto snapshot =
-      query::Snapshot::build(world->window, events, pfx2as, geo);
+  const auto snapshot = query::Snapshot::build(world->window, events, ctx);
   const query::ScanOracle oracle(events, world->window, pfx2as, geo);
 
   // --- Representative filtered queries --------------------------------

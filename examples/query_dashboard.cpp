@@ -28,9 +28,10 @@ int main(int argc, char** argv) {
             << " fused events through the snapshot publisher...\n";
 
   query::QueryEngine engine;
-  query::SnapshotPublisher publisher(engine, world->window,
-                                     world->population.pfx2as(),
-                                     world->population.geo());
+  query::SnapshotPublisher publisher(
+      engine, world->window,
+      query::BuildContext{world->population.pfx2as(),
+                          world->population.geo()});
 
   const int report_every = 30;  // days
   int next_report = report_every;

@@ -62,7 +62,7 @@ T get_le(std::istream& in) {
   std::uint8_t bytes[sizeof(T)];
   in.read(reinterpret_cast<char*>(bytes), sizeof(T));
   if (in.gcount() != static_cast<std::streamsize>(sizeof(T)))
-    throw std::runtime_error("event dump truncated");
+    throw SerializeError("event dump truncated");
   std::uint64_t raw = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i)
     raw |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
@@ -79,7 +79,7 @@ T get_le(std::istream& in) {
 
 void write_events(std::ostream& out, std::span<const AttackEvent> events) {
   if (events.size() > std::size_t{0xffffffff})
-    throw std::runtime_error(
+    throw SerializeError(
         "event dump: too many events for the 32-bit count field");
   out.write(kEventFileMagic, sizeof(kEventFileMagic));
   put_le<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
@@ -99,7 +99,7 @@ void write_events(std::ostream& out, std::span<const AttackEvent> events) {
     put_le<std::uint32_t>(out, event.honeypots);
     put_le<std::uint32_t>(out, 0);
   }
-  if (!out) throw std::runtime_error("event dump write failed");
+  if (!out) throw SerializeError("event dump write failed");
   SerializeMetrics::get().events_written.add(events.size());
 }
 
@@ -108,7 +108,7 @@ std::vector<AttackEvent> read_events(std::istream& in) try {
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
       std::memcmp(magic, kEventFileMagic, sizeof(magic)) != 0)
-    throw std::runtime_error("not a dosmeter event dump (bad magic)");
+    throw SerializeError("not a dosmeter event dump (bad magic)");
   const auto count = get_le<std::uint32_t>(in);
   std::vector<AttackEvent> events;
   events.reserve(std::min<std::size_t>(count, kMaxUpfrontReserve));
@@ -116,12 +116,12 @@ std::vector<AttackEvent> read_events(std::istream& in) try {
     AttackEvent event;
     const auto source = get_le<std::uint8_t>(in);
     if (source > 1)
-      throw std::runtime_error("event dump corrupt: bad source tag");
+      throw SerializeError("event dump corrupt: bad source tag");
     event.source = static_cast<EventSource>(source);
     event.ip_proto = get_le<std::uint8_t>(in);
     const auto reflection = get_le<std::uint8_t>(in);
     if (reflection > static_cast<std::uint8_t>(amppot::ReflectionProtocol::kOther))
-      throw std::runtime_error("event dump corrupt: bad reflection tag");
+      throw SerializeError("event dump corrupt: bad reflection tag");
     event.reflection = static_cast<amppot::ReflectionProtocol>(reflection);
     get_le<std::uint8_t>(in);  // pad
     event.target = net::Ipv4Addr(get_le<std::uint32_t>(in));
@@ -145,19 +145,19 @@ std::vector<AttackEvent> read_events(std::istream& in) try {
 
 void save_events(const std::string& path, std::span<const AttackEvent> events) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) throw SerializeError("cannot open " + path + " for writing");
   write_events(out, events);
 }
 
 std::vector<AttackEvent> load_events(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw SerializeError("cannot open " + path);
   auto events = read_events(in);
   // A concatenated or garbage-suffixed dump must fail loudly rather than
   // silently parse its first section.
   if (in.peek() != std::ifstream::traits_type::eof()) {
     SerializeMetrics::get().read_failures.inc();
-    throw std::runtime_error("event dump corrupt: trailing bytes after last "
+    throw SerializeError("event dump corrupt: trailing bytes after last "
                              "record in " + path);
   }
   return events;

@@ -14,6 +14,7 @@
 #include <istream>
 #include <ostream>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,11 +25,20 @@ namespace dosm::core {
 inline constexpr char kEventFileMagic[8] = {'D', 'O', 'S', 'M',
                                             'E', 'V', 'T', '1'};
 
-/// Writes the events to a binary stream. Throws std::runtime_error on I/O
+/// Every failure in this module — I/O errors, bad magic, truncation,
+/// corrupt tags, trailing bytes — throws exactly this type, so callers can
+/// distinguish "bad dump" from unrelated runtime errors. Derives from
+/// std::runtime_error, so pre-existing catch sites keep working.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes the events to a binary stream. Throws SerializeError on I/O
 /// failure.
 void write_events(std::ostream& out, std::span<const AttackEvent> events);
 
-/// Reads an event dump. Throws std::runtime_error on bad magic, truncation,
+/// Reads an event dump. Throws SerializeError on bad magic, truncation,
 /// or I/O failure.
 std::vector<AttackEvent> read_events(std::istream& in);
 

@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -58,8 +59,20 @@ StreamingFusion::StreamingFusion(StudyWindow window, Config config,
       on_alert_(std::move(on_alert)) {
   if (!on_summary_)
     throw std::invalid_argument("StreamingFusion: summary callback required");
-  if (config_.baseline_days < 1 || config_.min_baseline_days < 1)
-    throw std::invalid_argument("StreamingFusion: invalid baseline config");
+  if (config_.baseline_days < 1)
+    throw std::invalid_argument(
+        "StreamingFusion: baseline_days must be > 0, got " +
+        std::to_string(config_.baseline_days));
+  if (!(config_.spike_factor > 1.0))
+    throw std::invalid_argument(
+        "StreamingFusion: spike_factor must be > 1.0 (a spike must exceed "
+        "its own baseline), got " + std::to_string(config_.spike_factor));
+  if (config_.min_baseline_days < 1 ||
+      config_.min_baseline_days > config_.baseline_days)
+    throw std::invalid_argument(
+        "StreamingFusion: min_baseline_days must be in [1, baseline_days=" +
+        std::to_string(config_.baseline_days) + "], got " +
+        std::to_string(config_.min_baseline_days));
 }
 
 void StreamingFusion::ingest(const AttackEvent& event) {

@@ -52,17 +52,22 @@ struct StreamAlert {
 class StreamingFusion {
  public:
   struct Config {
-    /// Days in the trailing baseline window.
+    /// Days in the trailing baseline window. Must be > 0.
     int baseline_days = 28;
-    /// A day alerts when its value exceeds factor x trailing mean.
+    /// A day alerts when its value exceeds factor x trailing mean. Must be
+    /// > 1.0 — at 1.0 or below every non-quiet day would "spike".
     double spike_factor = 2.5;
-    /// Baseline must cover at least this many days before alerting.
+    /// Baseline must cover at least this many days before alerting. Must be
+    /// in [1, baseline_days].
     int min_baseline_days = 7;
   };
 
   using SummaryCallback = std::function<void(const DaySummary&)>;
   using AlertCallback = std::function<void(const StreamAlert&)>;
 
+  /// Validates config at construction: each field constraint above is
+  /// enforced with a descriptive std::invalid_argument naming the field
+  /// and the offending value.
   StreamingFusion(StudyWindow window, Config config,
                   SummaryCallback on_summary, AlertCallback on_alert = {});
 

@@ -1,0 +1,38 @@
+// The consolidated snapshot-construction surface.
+//
+// Every path that materializes columnar segments — the batch named
+// constructors on Snapshot and the streaming SnapshotPublisher — needs the
+// same three ingredients: the metadata joins resolved at build time
+// (pfx2as, geo) and the worker count for the deterministic parallel frame
+// build. BuildContext is that one bag of arguments, replacing the six
+// positional parameters the old Snapshot::build / from_store /
+// SnapshotPublisher signatures spread across call sites.
+//
+// Lifetimes: the metadata maps are BORROWED. For the batch builders they
+// must stay alive for the duration of the build call; a SnapshotPublisher
+// keeps a copy of the context, so there they must outlive the publisher
+// itself. The finished Snapshot never touches them again (ASN and country
+// are resolved into columns during the build).
+#pragma once
+
+#include "meta/geo.h"
+#include "meta/pfx2as.h"
+
+namespace dosm::query {
+
+struct BuildContext {
+  /// Routeviews-style prefix-to-AS map; resolved per event at build time.
+  const meta::PrefixToAsMap& pfx2as;
+  /// Geolocation database; resolved per event at build time.
+  const meta::GeoDatabase& geo;
+  /// Worker threads per segment build. Any value yields byte-identical
+  /// frames (see FrameBuilder::build(int)).
+  int threads = 1;
+  /// Batch-build segmentation: days per sealed FrameSegment. 0 keeps the
+  /// whole dataset in a single segment (the full-rebuild layout). The
+  /// streaming SnapshotPublisher always seals one segment per completed
+  /// day regardless of this knob — that is its publish contract.
+  int segment_days = 0;
+};
+
+}  // namespace dosm::query

@@ -1,6 +1,7 @@
 #include "query/engine.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -12,6 +13,7 @@ struct EngineMetrics {
   obs::Counter& snapshot_swaps;
   obs::Gauge& snapshot_events;
   obs::Histogram& publish_seconds;
+  obs::Counter& segments_reused;
 
   static EngineMetrics& get() {
     static EngineMetrics metrics = [] {
@@ -22,8 +24,11 @@ struct EngineMetrics {
           reg.gauge("query.snapshot_events",
                     "Events in the most recently published snapshot"),
           reg.histogram("query.publish_seconds",
-                        "Incremental rebuild-and-publish time",
+                        "Seal-new-day-and-publish time (incremental)",
                         obs::latency_buckets()),
+          reg.counter("query.segment.reused",
+                      "Previously sealed segments shared by pointer into a "
+                      "newly published snapshot"),
       };
     }();
     return metrics;
@@ -55,9 +60,11 @@ void QueryEngine::publish(std::shared_ptr<const Snapshot> next) {
 }
 
 SnapshotPublisher::SnapshotPublisher(QueryEngine& engine, StudyWindow window,
-                                     const meta::PrefixToAsMap& pfx2as,
-                                     const meta::GeoDatabase& geo)
-    : engine_(&engine), window_(window), builder_(window, pfx2as, geo) {}
+                                     const BuildContext& ctx)
+    : engine_(&engine),
+      window_(window),
+      ctx_(ctx),
+      day_builder_(window, ctx.pfx2as, ctx.geo) {}
 
 void SnapshotPublisher::ingest(const core::AttackEvent& event) {
   if (event.start < last_start_)
@@ -68,22 +75,26 @@ void SnapshotPublisher::ingest(const core::AttackEvent& event) {
   const auto t = static_cast<UnixSeconds>(event.start);
   if (!window_.contains(t)) return;
   const int day = window_.day_of(t);
-  if (current_day_ >= 0 && day > current_day_) publish_now();
+  if (current_day_ >= 0 && day > current_day_) seal_and_publish();
   current_day_ = day;
 
-  builder_.add(event);
+  day_builder_.add(event);
   ++events_ingested_;
 }
 
 void SnapshotPublisher::finish() {
-  if (current_day_ >= 0) publish_now();
+  if (current_day_ >= 0) seal_and_publish();
   current_day_ = -1;
 }
 
-void SnapshotPublisher::publish_now() {
-  const obs::ScopedTimer timer(EngineMetrics::get().publish_seconds);
-  engine_->publish(std::make_shared<const Snapshot>(
-      builder_.build(build_threads_), next_version_));
+void SnapshotPublisher::seal_and_publish() {
+  EngineMetrics& metrics = EngineMetrics::get();
+  const obs::ScopedTimer timer(metrics.publish_seconds);
+  metrics.segments_reused.add(sealed_.size());
+  sealed_.push_back(seal_segment(day_builder_, ctx_));
+  day_builder_ = FrameBuilder(window_, ctx_.pfx2as, ctx_.geo);
+  engine_->publish(
+      std::make_shared<const Snapshot>(window_, sealed_, next_version_));
   ++next_version_;
   ++snapshots_published_;
 }

@@ -4,9 +4,10 @@
 // shared_ptr<const Snapshot> — and run any number of queries against the
 // immutable snapshot they obtained; they never block and can never observe
 // torn state, because published snapshots are never mutated. The streaming
-// path (SnapshotPublisher) rebuilds the frame + indexes off to the side at
-// every day boundary and publishes the result with a single pointer swap.
-// Readers holding an old snapshot keep it alive until they drop it.
+// path (SnapshotPublisher) seals only the just-completed day into a new
+// FrameSegment at every day boundary and publishes a snapshot whose segment
+// list reuses every previously sealed segment by pointer — an O(new-day)
+// publish. Readers holding an old snapshot keep it alive until they drop it.
 //
 // This is the §9 "near-realtime fusion, extraction, correlation" serving
 // model: one writer, many ad-hoc query clients.
@@ -15,9 +16,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/streaming.h"
+#include "query/build_context.h"
 #include "query/event_frame.h"
+#include "query/segment.h"
 #include "query/snapshot.h"
 
 namespace dosm::query {
@@ -48,37 +52,40 @@ class QueryEngine {
 
 /// Bridges time-ordered streaming ingest to snapshot publication. Mirrors
 /// StreamingFusion's contract (non-decreasing start order, out-of-window
-/// events ignored); each completed day triggers a rebuild of the full frame
-/// and a publish, so a reader always sees a whole-day-consistent dataset.
+/// events ignored). Each completed day is sealed ONCE into an immutable
+/// FrameSegment; the publish assembles a new segment list sharing all prior
+/// segments by pointer, so publish cost is O(rows in the sealed day), not
+/// O(all history) — while a reader still always sees a whole-day-consistent
+/// dataset. The publisher always seals per completed day; ctx.segment_days
+/// does not apply to the streaming path.
 class SnapshotPublisher {
  public:
-  /// The engine and metadata are borrowed and must outlive the publisher.
+  /// The engine is borrowed and must outlive the publisher. The publisher
+  /// keeps a copy of ctx, so the metadata ctx borrows must outlive the
+  /// publisher too (see BuildContext).
   SnapshotPublisher(QueryEngine& engine, StudyWindow window,
-                    const meta::PrefixToAsMap& pfx2as,
-                    const meta::GeoDatabase& geo);
+                    const BuildContext& ctx);
 
   /// Ingests one event; throws std::invalid_argument when start order
-  /// decreases. Publishes a snapshot whenever a day boundary is crossed.
+  /// decreases. Seals + publishes whenever a day boundary is crossed.
   void ingest(const core::AttackEvent& event);
 
-  /// Publishes the final (possibly partial) day.
+  /// Seals and publishes the final (possibly partial) day.
   void finish();
-
-  /// Worker threads used for each snapshot rebuild (default 1). Any value
-  /// yields byte-identical snapshots; see FrameBuilder::build(int).
-  void set_build_threads(int threads) { build_threads_ = threads; }
-  int build_threads() const { return build_threads_; }
 
   std::uint64_t events_ingested() const { return events_ingested_; }
   std::uint64_t snapshots_published() const { return snapshots_published_; }
+  /// Segments sealed so far == days completed (each sealed exactly once).
+  std::size_t segments_sealed() const { return sealed_.size(); }
 
  private:
-  void publish_now();
+  void seal_and_publish();
 
   QueryEngine* engine_;
   StudyWindow window_;
-  FrameBuilder builder_;
-  int build_threads_ = 1;
+  BuildContext ctx_;
+  std::vector<std::shared_ptr<const FrameSegment>> sealed_;
+  FrameBuilder day_builder_;
   int current_day_ = -1;
   double last_start_ = -1.0e300;
   std::uint64_t events_ingested_ = 0;

@@ -1,6 +1,7 @@
 #include "query/snapshot.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,7 +23,9 @@ std::span<const std::uint32_t> clip(std::span<const std::uint32_t> postings,
 }
 
 struct QueryMetrics {
-  // One execution counter per access path, indexed by IndexChoice.
+  // One execution counter per access path, indexed by IndexChoice. With
+  // segmented snapshots these count per-SEGMENT executions: one query may
+  // scan several segments, each through its own cheapest index.
   obs::Counter& exec_full_scan;
   obs::Counter& exec_time_range;
   obs::Counter& exec_target32;
@@ -31,6 +34,8 @@ struct QueryMetrics {
   obs::Counter& exec_country;
   obs::Counter& exec_port;
   obs::Counter& postings_clipped;
+  obs::Counter& segments_scanned;
+  obs::Counter& segments_skipped;
   obs::Histogram& build_seconds;
 
   static QueryMetrics& get() {
@@ -38,22 +43,27 @@ struct QueryMetrics {
       auto& reg = obs::MetricsRegistry::global();
       return QueryMetrics{
           reg.counter("query.exec.full_scan",
-                      "Queries executed by full frame scan"),
+                      "Segment executions by full frame scan"),
           reg.counter("query.exec.time_range",
-                      "Queries executed over the start-sorted time range"),
+                      "Segment executions over the start-sorted time range"),
           reg.counter("query.exec.target32",
-                      "Queries executed via the /32 target index"),
+                      "Segment executions via the /32 target index"),
           reg.counter("query.exec.slash24",
-                      "Queries executed via the /24 prefix index"),
-          reg.counter("query.exec.asn", "Queries executed via the ASN index"),
+                      "Segment executions via the /24 prefix index"),
+          reg.counter("query.exec.asn",
+                      "Segment executions via the ASN index"),
           reg.counter("query.exec.country",
-                      "Queries executed via the country index"),
+                      "Segment executions via the country index"),
           reg.counter("query.exec.port",
-                      "Queries executed via the port index"),
+                      "Segment executions via the port index"),
           reg.counter("query.postings_clipped",
                       "Postings entries discarded by time-range clipping"),
+          reg.counter("query.segment.scanned",
+                      "Segments executed on behalf of queries"),
+          reg.counter("query.segment.skipped",
+                      "Segments skipped by time-range segment clipping"),
           reg.histogram("query.snapshot_build_seconds",
-                        "Column-frame snapshot build time",
+                        "Batch snapshot build time (all segments)",
                         obs::latency_buckets()),
       };
     }();
@@ -75,32 +85,80 @@ struct QueryMetrics {
 
 }  // namespace
 
-Snapshot::Snapshot(EventFrame frame, std::uint64_t version)
-    : frame_(std::move(frame)), index_(frame_), version_(version) {}
+Snapshot::Snapshot(StudyWindow window,
+                   std::vector<std::shared_ptr<const FrameSegment>> segments,
+                   std::uint64_t version)
+    : window_(window), segments_(std::move(segments)), version_(version) {
+  bases_.reserve(segments_.size());
+  double prev_max = -1.0e300;
+  bool first = true;
+  for (const auto& segment : segments_) {
+    if (!segment || segment->size() == 0)
+      throw std::invalid_argument("Snapshot: null or empty segment");
+    if (!first && segment->start_min() <= prev_max)
+      throw std::invalid_argument(
+          "Snapshot: segments must cover strictly increasing start ranges");
+    first = false;
+    prev_max = segment->start_max();
+    bases_.push_back(static_cast<std::uint32_t>(total_rows_));
+    total_rows_ += segment->size();
+  }
+}
 
 std::shared_ptr<const Snapshot> Snapshot::build(
     StudyWindow window, std::span<const core::AttackEvent> events,
-    const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
-    std::uint64_t version, int threads) {
-  FrameBuilder builder(window, pfx2as, geo);
-  builder.add(events);
+    const BuildContext& ctx, std::uint64_t version) {
   const obs::ScopedTimer timer(QueryMetrics::get().build_seconds);
-  return std::make_shared<const Snapshot>(builder.build(threads), version);
+  return std::make_shared<const Snapshot>(
+      window, build_segments(window, events, ctx), version);
 }
 
 std::shared_ptr<const Snapshot> Snapshot::from_store(
-    const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
-    const meta::GeoDatabase& geo, std::uint64_t version, int threads) {
-  return build(store.window(), store.events(), pfx2as, geo, version, threads);
+    const core::EventStore& store, const BuildContext& ctx,
+    std::uint64_t version) {
+  return build(store.window(), store.events(), ctx, version);
 }
 
-QueryPlan Snapshot::plan(const Query& query) const {
-  QueryPlan best{IndexChoice::kFullScan, frame_.size()};
+Snapshot::Located Snapshot::locate(std::uint32_t row) const {
+  const auto it = std::upper_bound(bases_.begin(), bases_.end(), row);
+  const auto index = static_cast<std::size_t>(it - bases_.begin()) - 1;
+  return {segments_[index].get(), row - bases_[index]};
+}
+
+double Snapshot::start_at(std::uint32_t row) const {
+  const Located at = locate(row);
+  return at.segment->frame().start()[at.row];
+}
+
+double Snapshot::intensity_at(std::uint32_t row) const {
+  const Located at = locate(row);
+  return at.segment->frame().intensity()[at.row];
+}
+
+net::Ipv4Addr Snapshot::target_at(std::uint32_t row) const {
+  const Located at = locate(row);
+  return at.segment->frame().target_at(at.row);
+}
+
+core::EventSource Snapshot::source_at(std::uint32_t row) const {
+  const Located at = locate(row);
+  return at.segment->frame().source_at(at.row);
+}
+
+std::uint16_t Snapshot::top_port_at(std::uint32_t row) const {
+  const Located at = locate(row);
+  return at.segment->frame().top_port()[at.row];
+}
+
+QueryPlan Snapshot::plan_segment(const Query& query, const FrameSegment& seg) {
+  const EventFrame& frame = seg.frame();
+  const FrameIndex& index = seg.index();
+  QueryPlan best{IndexChoice::kFullScan, frame.size()};
   // With a time filter, every postings candidate is clipped to the
   // start-sorted row range first, so its cost is the clipped length.
-  RowRange time_rows{0, static_cast<std::uint32_t>(frame_.size())};
+  RowRange time_rows{0, static_cast<std::uint32_t>(frame.size())};
   if (query.time) {
-    time_rows = index_.time_range(query.time->begin, query.time->end);
+    time_rows = index.time_range(query.time->begin, query.time->end);
     best = {IndexChoice::kTimeRange, time_rows.size()};
   }
   const auto consider = [&](IndexChoice choice,
@@ -110,93 +168,133 @@ QueryPlan Snapshot::plan(const Query& query) const {
     if (cost < best.candidates) best = {choice, cost};
   };
   if (query.prefix && query.prefix->length() == 32)
-    consider(IndexChoice::kTarget32, index_.by_target(query.prefix->network().value()));
+    consider(IndexChoice::kTarget32,
+             index.by_target(query.prefix->network().value()));
   if (query.prefix && query.prefix->length() == 24)
-    consider(IndexChoice::kSlash24, index_.by_slash24(query.prefix->network().value()));
-  if (query.asn) consider(IndexChoice::kAsn, index_.by_asn(*query.asn));
+    consider(IndexChoice::kSlash24,
+             index.by_slash24(query.prefix->network().value()));
+  if (query.asn) consider(IndexChoice::kAsn, index.by_asn(*query.asn));
   if (query.country)
-    consider(IndexChoice::kCountry, index_.by_country(pack_country(*query.country)));
-  if (query.port) consider(IndexChoice::kPort, index_.by_port(*query.port));
+    consider(IndexChoice::kCountry,
+             index.by_country(pack_country(*query.country)));
+  if (query.port) consider(IndexChoice::kPort, index.by_port(*query.port));
   return best;
 }
 
-bool Snapshot::row_matches(const Query& query, std::uint32_t row) const {
-  if (query.time && !(frame_.start()[row] >= query.time->begin &&
-                      frame_.start()[row] < query.time->end))
+QueryPlan Snapshot::plan(const Query& query) const {
+  // Aggregate of the per-segment plans over the time-clipped segment
+  // subset: candidates sum; the reported choice is the dominant segment's
+  // (most candidates, earliest segment on ties).
+  QueryPlan total{IndexChoice::kFullScan, 0};
+  std::uint64_t dominant = 0;
+  bool any = false;
+  for (const auto& segment : segments_) {
+    if (query.time && !segment->overlaps(query.time->begin, query.time->end))
+      continue;
+    const QueryPlan part = plan_segment(query, *segment);
+    total.candidates += part.candidates;
+    if (!any || part.candidates > dominant) {
+      total.choice = part.choice;
+      dominant = part.candidates;
+      any = true;
+    }
+  }
+  return total;
+}
+
+bool Snapshot::row_matches(const Query& query, const EventFrame& frame,
+                           std::uint32_t row) {
+  if (query.time && !(frame.start()[row] >= query.time->begin &&
+                      frame.start()[row] < query.time->end))
     return false;
-  if (!core::matches(query.source, frame_.source_at(row))) return false;
+  if (!core::matches(query.source, frame.source_at(row))) return false;
   if (query.prefix &&
-      (frame_.target()[row] & query.prefix->mask()) !=
+      (frame.target()[row] & query.prefix->mask()) !=
           query.prefix->network().value())
     return false;
-  if (query.asn && frame_.asn()[row] != *query.asn) return false;
+  if (query.asn && frame.asn()[row] != *query.asn) return false;
   if (query.country &&
-      frame_.country()[row] != pack_country(*query.country))
+      frame.country()[row] != pack_country(*query.country))
     return false;
-  if (query.port && frame_.top_port()[row] != *query.port) return false;
-  if (query.min_intensity && frame_.intensity()[row] < *query.min_intensity)
+  if (query.port && frame.top_port()[row] != *query.port) return false;
+  if (query.min_intensity && frame.intensity()[row] < *query.min_intensity)
     return false;
   return true;
 }
 
 template <typename Fn>
 void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
-  const QueryPlan chosen = plan(query);
-  QueryMetrics::get().record_exec(chosen.choice);
-  RowRange time_rows{0, static_cast<std::uint32_t>(frame_.size())};
-  if (query.time)
-    time_rows = index_.time_range(query.time->begin, query.time->end);
+  QueryMetrics& metrics = QueryMetrics::get();
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const FrameSegment& seg = *segments_[s];
+    if (query.time && !seg.overlaps(query.time->begin, query.time->end)) {
+      metrics.segments_skipped.inc();
+      continue;
+    }
+    metrics.segments_scanned.inc();
+    const EventFrame& frame = seg.frame();
+    const std::uint32_t base = bases_[s];
+    const QueryPlan chosen = plan_segment(query, seg);
+    metrics.record_exec(chosen.choice);
+    RowRange time_rows{0, static_cast<std::uint32_t>(frame.size())};
+    if (query.time)
+      time_rows = seg.index().time_range(query.time->begin, query.time->end);
 
-  const auto verify_postings = [&](std::span<const std::uint32_t> postings) {
-    const auto clipped = clip(postings, time_rows);
-    QueryMetrics::get().postings_clipped.add(postings.size() - clipped.size());
-    for (const std::uint32_t row : clipped)
-      if (row_matches(query, row)) fn(row);
-  };
-  switch (chosen.choice) {
-    case IndexChoice::kFullScan:
-      for (std::uint32_t row = 0; row < frame_.size(); ++row)
-        if (row_matches(query, row)) fn(row);
-      return;
-    case IndexChoice::kTimeRange:
-      for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row)
-        if (row_matches(query, row)) fn(row);
-      return;
-    case IndexChoice::kTarget32:
-      verify_postings(index_.by_target(query.prefix->network().value()));
-      return;
-    case IndexChoice::kSlash24:
-      verify_postings(index_.by_slash24(query.prefix->network().value()));
-      return;
-    case IndexChoice::kAsn:
-      verify_postings(index_.by_asn(*query.asn));
-      return;
-    case IndexChoice::kCountry:
-      verify_postings(index_.by_country(pack_country(*query.country)));
-      return;
-    case IndexChoice::kPort:
-      verify_postings(index_.by_port(*query.port));
-      return;
+    const auto verify_postings = [&](std::span<const std::uint32_t> postings) {
+      const auto clipped = clip(postings, time_rows);
+      metrics.postings_clipped.add(postings.size() - clipped.size());
+      for (const std::uint32_t row : clipped)
+        if (row_matches(query, frame, row)) fn(frame, row, base + row);
+    };
+    switch (chosen.choice) {
+      case IndexChoice::kFullScan:
+        for (std::uint32_t row = 0; row < frame.size(); ++row)
+          if (row_matches(query, frame, row)) fn(frame, row, base + row);
+        break;
+      case IndexChoice::kTimeRange:
+        for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row)
+          if (row_matches(query, frame, row)) fn(frame, row, base + row);
+        break;
+      case IndexChoice::kTarget32:
+        verify_postings(seg.index().by_target(query.prefix->network().value()));
+        break;
+      case IndexChoice::kSlash24:
+        verify_postings(
+            seg.index().by_slash24(query.prefix->network().value()));
+        break;
+      case IndexChoice::kAsn:
+        verify_postings(seg.index().by_asn(*query.asn));
+        break;
+      case IndexChoice::kCountry:
+        verify_postings(seg.index().by_country(pack_country(*query.country)));
+        break;
+      case IndexChoice::kPort:
+        verify_postings(seg.index().by_port(*query.port));
+        break;
+    }
   }
 }
 
 std::uint64_t Snapshot::count(const Query& query) const {
   std::uint64_t n = 0;
-  for_each_match(query, [&](std::uint32_t) { ++n; });
+  for_each_match(query,
+                 [&](const EventFrame&, std::uint32_t, std::uint32_t) { ++n; });
   return n;
 }
 
 std::uint64_t Snapshot::unique_targets(const Query& query) const {
   std::unordered_set<std::uint32_t> targets;
   for_each_match(query,
-                 [&](std::uint32_t row) { targets.insert(frame_.target()[row]); });
+                 [&](const EventFrame& frame, std::uint32_t row,
+                     std::uint32_t) { targets.insert(frame.target()[row]); });
   return targets.size();
 }
 
 DailySeries Snapshot::daily_attacks(const Query& query) const {
-  DailySeries series(window().num_days());
-  for_each_match(query, [&](std::uint32_t row) {
-    const std::int32_t day = frame_.day()[row];
+  DailySeries series(window_.num_days());
+  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
+                            std::uint32_t) {
+    const std::int32_t day = frame.day()[row];
     if (day >= 0) series.add(day, 1.0);
   });
   return series;
@@ -205,7 +303,9 @@ DailySeries Snapshot::daily_attacks(const Query& query) const {
 std::vector<TargetCount> Snapshot::top_targets(const Query& query,
                                                std::size_t k) const {
   std::unordered_map<std::uint32_t, std::uint64_t> counts;
-  for_each_match(query, [&](std::uint32_t row) { ++counts[frame_.target()[row]]; });
+  for_each_match(query,
+                 [&](const EventFrame& frame, std::uint32_t row,
+                     std::uint32_t) { ++counts[frame.target()[row]]; });
   std::vector<TargetCount> out;
   out.reserve(counts.size());
   for (const auto& [addr, events] : counts)
@@ -223,10 +323,11 @@ std::vector<AsnCount> Snapshot::top_asns(const Query& query,
                                          std::size_t k) const {
   std::unordered_map<meta::Asn, std::unordered_set<std::uint32_t>> targets;
   std::unordered_map<meta::Asn, std::uint64_t> events;
-  for_each_match(query, [&](std::uint32_t row) {
-    const meta::Asn asn = frame_.asn()[row];
+  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
+                            std::uint32_t) {
+    const meta::Asn asn = frame.asn()[row];
     if (asn == meta::kUnknownAsn) return;
-    targets[asn].insert(frame_.target()[row]);
+    targets[asn].insert(frame.target()[row]);
     ++events[asn];
   });
   std::vector<AsnCount> out;
@@ -245,13 +346,15 @@ std::vector<core::CountryCount> Snapshot::country_ranking(
     const Query& query) const {
   // Packed codes order exactly like CountryCode (both compare the two ASCII
   // letters lexicographically), so sorting on the packed key reproduces the
-  // EventStore tie-break.
+  // EventStore tie-break. The first-seen dedup walks global row order, so
+  // it is granularity-independent.
   std::unordered_set<std::uint32_t> seen;
   std::unordered_map<PackedCountry, std::uint64_t> counts;
   std::uint64_t total = 0;
-  for_each_match(query, [&](std::uint32_t row) {
-    if (!seen.insert(frame_.target()[row]).second) return;
-    ++counts[frame_.country()[row]];
+  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
+                            std::uint32_t) {
+    if (!seen.insert(frame.target()[row]).second) return;
+    ++counts[frame.country()[row]];
     ++total;
   });
   std::vector<std::pair<PackedCountry, std::uint64_t>> entries(counts.begin(),
@@ -280,7 +383,10 @@ std::vector<core::CountryCount> Snapshot::top_countries(const Query& query,
 
 std::vector<std::uint32_t> Snapshot::match_rows(const Query& query) const {
   std::vector<std::uint32_t> rows;
-  for_each_match(query, [&](std::uint32_t row) { rows.push_back(row); });
+  for_each_match(query,
+                 [&](const EventFrame&, std::uint32_t, std::uint32_t global) {
+                   rows.push_back(global);
+                 });
   std::sort(rows.begin(), rows.end());
   return rows;
 }

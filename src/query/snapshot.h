@@ -1,16 +1,23 @@
 // An immutable, indexed, servable view of the fused event dataset.
 //
-// A Snapshot owns a columnar EventFrame plus its FrameIndex and answers
-// Query aggregations through a tiny cost-based planner: every equality
-// filter with a hash index (target /32, /24, ASN, country, port) and the
-// time-range index nominate a candidate row set; the planner picks the
-// smallest and the executor verifies the remaining predicates column-wise.
-// Postings are ascending row ids and rows are start-sorted, so a time
-// filter clips a postings list with two binary searches.
+// A Snapshot is an ordered list of sealed FrameSegments (per-day or
+// per-day-range columnar frames, each with its own postings/index — see
+// query/segment.h). Queries run segment-at-a-time: a time filter first
+// clips the segment list itself (segments are start-time buckets), then
+// inside each surviving segment the tiny cost-based planner picks between
+// the contiguous start-sorted row range and the equality postings (target
+// /32, /24, ASN, country, port), and the executor verifies the remaining
+// predicates column-wise.
+//
+// Row ids are GLOBAL: segment concatenation order, which by the bucket
+// invariant equals the (start, target, source, insertion)-sorted order of
+// a monolithic build — so results, row ids included, are identical at any
+// segment granularity.
 //
 // Snapshots are immutable after construction and published by shared_ptr
 // (see query/engine.h), so any number of reader threads may query one
-// concurrently with no synchronization.
+// concurrently with no synchronization. Consecutive snapshots from the
+// streaming publisher share sealed segments by pointer.
 #pragma once
 
 #include <cstdint>
@@ -20,43 +27,61 @@
 
 #include "common/stats.h"
 #include "core/event_store.h"
+#include "query/build_context.h"
 #include "query/event_frame.h"
 #include "query/index.h"
 #include "query/query.h"
+#include "query/segment.h"
 
 namespace dosm::query {
 
 class Snapshot {
  public:
-  /// Builds the index over the given frame. Prefer the named constructors.
-  Snapshot(EventFrame frame, std::uint64_t version);
+  /// Assembles a snapshot over already-sealed segments (must be in bucket
+  /// order; see segment.h). Prefer the named constructors for batch data —
+  /// this is the streaming publisher's structural-sharing path.
+  Snapshot(StudyWindow window,
+           std::vector<std::shared_ptr<const FrameSegment>> segments,
+           std::uint64_t version);
 
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
-  /// Builds a snapshot over a raw event span, resolving ASN/country through
-  /// the given metadata (borrowed only during the build). `threads` workers
-  /// build the frame (byte-identical output for any count; see
-  /// FrameBuilder::build(int)).
+  /// Builds a snapshot over a raw event span. Metadata and build knobs come
+  /// from the context (metadata borrowed only during the build);
+  /// ctx.segment_days picks the segment granularity — every granularity
+  /// and thread count yields identical query results.
   static std::shared_ptr<const Snapshot> build(
       StudyWindow window, std::span<const core::AttackEvent> events,
-      const meta::PrefixToAsMap& pfx2as, const meta::GeoDatabase& geo,
-      std::uint64_t version = 0, int threads = 1);
+      const BuildContext& ctx, std::uint64_t version = 0);
 
   /// Builds a snapshot of a (finalized or not) batch EventStore.
   static std::shared_ptr<const Snapshot> from_store(
-      const core::EventStore& store, const meta::PrefixToAsMap& pfx2as,
-      const meta::GeoDatabase& geo, std::uint64_t version = 0,
-      int threads = 1);
+      const core::EventStore& store, const BuildContext& ctx,
+      std::uint64_t version = 0);
 
-  const EventFrame& frame() const { return frame_; }
-  const FrameIndex& index() const { return index_; }
-  const StudyWindow& window() const { return frame_.window(); }
-  std::size_t size() const { return frame_.size(); }
+  /// Sealed segments in time order.
+  std::span<const std::shared_ptr<const FrameSegment>> segments() const {
+    return segments_;
+  }
+  std::size_t num_segments() const { return segments_.size(); }
+  const StudyWindow& window() const { return window_; }
+  /// Total rows across all segments.
+  std::size_t size() const { return total_rows_; }
   /// Publication sequence number (monotone per QueryEngine).
   std::uint64_t version() const { return version_; }
 
-  /// The access path the executor would take, without running the query.
+  // Field access by global row id (for event listings over match_rows()).
+  double start_at(std::uint32_t row) const;
+  double intensity_at(std::uint32_t row) const;
+  net::Ipv4Addr target_at(std::uint32_t row) const;
+  core::EventSource source_at(std::uint32_t row) const;
+  std::uint16_t top_port_at(std::uint32_t row) const;
+
+  /// The aggregate access path the executor would take, without running the
+  /// query: per-segment candidate counts summed, the choice taken from the
+  /// segment contributing the most candidates (the one that dominates
+  /// execution cost). Empty snapshots report a zero-candidate full scan.
   QueryPlan plan(const Query& query) const;
 
   std::uint64_t count(const Query& query) const;
@@ -72,17 +97,29 @@ class Snapshot {
   std::vector<core::CountryCount> country_ranking(const Query& query) const;
   std::vector<core::CountryCount> top_countries(const Query& query,
                                                 std::size_t k) const;
-  /// Matching row ids in frame order (ascending start), for event listings.
+  /// Matching global row ids in frame order (ascending start).
   std::vector<std::uint32_t> match_rows(const Query& query) const;
 
  private:
-  bool row_matches(const Query& query, std::uint32_t row) const;
+  struct Located {
+    const FrameSegment* segment;
+    std::uint32_t row;  // local to the segment
+  };
+  Located locate(std::uint32_t row) const;
 
+  static bool row_matches(const Query& query, const EventFrame& frame,
+                          std::uint32_t row);
+  static QueryPlan plan_segment(const Query& query, const FrameSegment& seg);
+
+  /// Calls fn(frame, local_row, global_row) for every matching row, in
+  /// global row order.
   template <typename Fn>
   void for_each_match(const Query& query, Fn&& fn) const;
 
-  EventFrame frame_;
-  FrameIndex index_;
+  StudyWindow window_;
+  std::vector<std::shared_ptr<const FrameSegment>> segments_;
+  std::vector<std::uint32_t> bases_;  // global row id of each segment's row 0
+  std::size_t total_rows_ = 0;
   std::uint64_t version_ = 0;
 };
 

@@ -27,12 +27,13 @@ TEST(QueryEngineTest, PublishRequiresIncreasingVersions) {
   EXPECT_EQ(engine.snapshot(), nullptr);
   EXPECT_THROW(engine.publish(nullptr), std::invalid_argument);
 
-  engine.publish(Snapshot::build(window, {}, pfx2as, geo, 1));
+  const BuildContext ctx{pfx2as, geo};
+  engine.publish(Snapshot::build(window, {}, ctx, 1));
   ASSERT_NE(engine.snapshot(), nullptr);
   EXPECT_EQ(engine.snapshot()->version(), 1u);
-  EXPECT_THROW(engine.publish(Snapshot::build(window, {}, pfx2as, geo, 1)),
+  EXPECT_THROW(engine.publish(Snapshot::build(window, {}, ctx, 1)),
                std::invalid_argument);
-  engine.publish(Snapshot::build(window, {}, pfx2as, geo, 2));
+  engine.publish(Snapshot::build(window, {}, ctx, 2));
   EXPECT_EQ(engine.snapshot()->version(), 2u);
   EXPECT_EQ(engine.publishes(), 2u);
 }
@@ -40,9 +41,9 @@ TEST(QueryEngineTest, PublishRequiresIncreasingVersions) {
 TEST(QueryEngineTest, PublisherEmitsOneSnapshotPerCompletedDay) {
   const auto world = sim::build_world(sim::ScenarioConfig::small());
   QueryEngine engine;
-  SnapshotPublisher publisher(engine, world->window,
-                              world->population.pfx2as(),
-                              world->population.geo());
+  SnapshotPublisher publisher(
+      engine, world->window,
+      BuildContext{world->population.pfx2as(), world->population.geo()});
   for (const auto& event : world->store.events()) publisher.ingest(event);
   publisher.finish();
 
@@ -61,7 +62,7 @@ TEST(QueryConcurrencyTest, ReadersNeverBlockOrSeeTornState) {
 
   QueryEngine engine;
   // Seed with an empty snapshot so readers always have something to query.
-  engine.publish(Snapshot::build(world->window, {}, pfx2as, geo, 0));
+  engine.publish(Snapshot::build(world->window, {}, BuildContext{pfx2as, geo}, 0));
 
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> reads{0};
@@ -107,7 +108,7 @@ TEST(QueryConcurrencyTest, ReadersNeverBlockOrSeeTornState) {
     readers.emplace_back(reader, 0xabc0 + t);
 
   // Publisher: replay the fused event stream, publishing at day boundaries.
-  SnapshotPublisher publisher(engine, world->window, pfx2as, geo);
+  SnapshotPublisher publisher(engine, world->window, BuildContext{pfx2as, geo});
   std::thread writer([&] {
     for (const auto& event : world->store.events()) publisher.ingest(event);
     publisher.finish();

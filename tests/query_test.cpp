@@ -149,8 +149,9 @@ class QueryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(QueryPropertyTest, SnapshotMatchesOracleOnRandomQueries) {
   const auto scenario = make_scenario(GetParam(), 2000);
-  const auto snap = Snapshot::build(scenario.window, scenario.events,
-                                    scenario.pfx2as, scenario.geo);
+  const auto snap =
+      Snapshot::build(scenario.window, scenario.events,
+                      BuildContext{scenario.pfx2as, scenario.geo});
   const ScanOracle oracle(scenario.events, scenario.window, scenario.pfx2as,
                           scenario.geo);
   // The unfiltered query plus a battery of random filter combinations.
@@ -163,10 +164,58 @@ TEST_P(QueryPropertyTest, SnapshotMatchesOracleOnRandomQueries) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
                          ::testing::Values(1u, 7u, 42u, 20170301u));
 
+// ---------------------------------------------------------------------------
+// Segmented snapshots: any (segment_days, threads) combination must produce
+// results — global row ids included — identical to a single-segment full
+// rebuild and to the oracle. This pins the ordering invariant in segment.h.
+// ---------------------------------------------------------------------------
+
+using SegmentedParam = std::tuple<std::uint64_t, int, int>;
+
+class SegmentedSnapshotPropertyTest
+    : public ::testing::TestWithParam<SegmentedParam> {};
+
+TEST_P(SegmentedSnapshotPropertyTest, AnyGranularityMatchesFullRebuild) {
+  const auto [seed, segment_days, threads] = GetParam();
+  const auto scenario = make_scenario(seed, 2000);
+  const auto full =
+      Snapshot::build(scenario.window, scenario.events,
+                      BuildContext{scenario.pfx2as, scenario.geo});
+  const auto segmented = Snapshot::build(
+      scenario.window, scenario.events,
+      BuildContext{scenario.pfx2as, scenario.geo, threads, segment_days});
+  const ScanOracle oracle(scenario.events, scenario.window, scenario.pfx2as,
+                          scenario.geo);
+
+  ASSERT_EQ(full->num_segments(), 1u);
+  EXPECT_GT(segmented->num_segments(), 1u);
+  ASSERT_EQ(segmented->size(), full->size());
+  EXPECT_EQ(segmented->match_rows(Query{}), full->match_rows(Query{}));
+
+  expect_equal_results(*segmented, oracle, Query{});
+  Rng rng(seed ^ 0xa5a5a5a5u);
+  for (int i = 0; i < 40; ++i) {
+    const Query q = random_query(rng, scenario);
+    expect_equal_results(*segmented, oracle, q);
+    EXPECT_EQ(segmented->match_rows(q), full->match_rows(q)) << to_string(q);
+    // Per-segment index selection can only improve on the monolithic plan:
+    // candidate totals never exceed the single-segment estimate.
+    EXPECT_LE(segmented->plan(q).candidates, full->plan(q).candidates)
+        << to_string(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GranularityAndThreads, SegmentedSnapshotPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1u, 20170301u),
+                       ::testing::Values(1, 3, 7),
+                       ::testing::Values(1, 4, 8)));
+
 TEST(QueryPlannerTest, PicksTheCheapestIndex) {
   const auto scenario = make_scenario(11, 3000);
-  const auto snap = Snapshot::build(scenario.window, scenario.events,
-                                    scenario.pfx2as, scenario.geo);
+  const auto snap =
+      Snapshot::build(scenario.window, scenario.events,
+                      BuildContext{scenario.pfx2as, scenario.geo});
 
   EXPECT_EQ(snap->plan(Query{}).choice, IndexChoice::kFullScan);
   EXPECT_EQ(snap->plan(Query{}).candidates, snap->size());
@@ -233,20 +282,21 @@ TEST(QuerySnapshotTest, TimeRangeBoundariesAreHalfOpen) {
     event.target = Ipv4Addr(10, 0, 0, 1);
     event.end = event.start + 60.0;
   }
-  const auto snap = Snapshot::build(window, events, pfx2as, geo);
+  const auto snap = Snapshot::build(window, events, BuildContext{pfx2as, geo});
   Query q;
   q.between(day1, day1 + static_cast<double>(kSecondsPerDay));
   EXPECT_EQ(snap->count(q), 1u);
   const auto rows = snap->match_rows(q);
   ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(snap->frame().start()[rows[0]], day1);
+  EXPECT_EQ(snap->start_at(rows[0]), day1);
 }
 
 TEST(QuerySnapshotTest, FromStoreMatchesEventStoreSummaries) {
   const auto world = sim::build_world(sim::ScenarioConfig::small());
   const auto& pfx2as = world->population.pfx2as();
   const auto& geo = world->population.geo();
-  const auto snap = Snapshot::from_store(world->store, pfx2as, geo);
+  const auto snap =
+      Snapshot::from_store(world->store, BuildContext{pfx2as, geo});
   ASSERT_EQ(snap->size(), world->store.size());
 
   for (const auto filter : {SourceFilter::kTelescope, SourceFilter::kHoneypot,
@@ -284,8 +334,8 @@ std::string render_ranking(const std::vector<core::CountryCount>& ranking) {
 TEST(QueryTable4RegressionTest, CountryRankingIsByteIdenticalToLegacyScan) {
   const auto world = sim::build_world(sim::ScenarioConfig::small());
   const auto& geo = world->population.geo();
-  const auto snap =
-      Snapshot::from_store(world->store, world->population.pfx2as(), geo);
+  const auto snap = Snapshot::from_store(
+      world->store, BuildContext{world->population.pfx2as(), geo});
 
   for (const auto filter : {SourceFilter::kTelescope, SourceFilter::kHoneypot,
                             SourceFilter::kCombined}) {

@@ -2,9 +2,9 @@
 //
 // The property: for ANY single-byte flip or truncation of a valid dump, a
 // read either yields a well-formed event vector (every enum tag in range) or
-// throws std::runtime_error — it never crashes, never throws anything else,
-// and never over-allocates off a hostile header. Runs under ASan in CI, so
-// an out-of-bounds read or a giant reserve fails the job outright.
+// throws exactly core::SerializeError — it never crashes, never throws
+// anything else, and never over-allocates off a hostile header. Runs under
+// ASan in CI, so an out-of-bounds read or a giant reserve fails the job.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -23,7 +23,7 @@ std::string valid_dump(int num_events) {
   for (int i = 0; i < num_events; ++i) {
     AttackEvent event;
     event.source = i % 2 ? EventSource::kHoneypot : EventSource::kTelescope;
-    event.target = net::Ipv4Addr(static_cast<std::uint32_t>(0xc0a80000 + i));
+    event.target = net::Ipv4Addr(0xc0a80000u + static_cast<std::uint32_t>(i));
     event.start = 1.45e9 + i * 600.0;
     event.end = event.start + 120.0 + i;
     event.intensity = 0.5 * i;
@@ -41,9 +41,9 @@ std::string valid_dump(int num_events) {
   return stream.str();
 }
 
-/// The property under test: parse must return cleanly or throw
-/// std::runtime_error; anything else (other exception types, crashes,
-/// sanitizer reports) fails.
+/// The property under test: parse must return cleanly or throw exactly
+/// SerializeError; anything else (other exception types — a plain
+/// std::runtime_error included — crashes, sanitizer reports) fails.
 void expect_parses_or_rejects(const std::string& data) {
   std::istringstream in(data, std::ios::binary);
   try {
@@ -53,7 +53,7 @@ void expect_parses_or_rejects(const std::string& data) {
       ASSERT_LE(static_cast<int>(event.reflection),
                 static_cast<int>(amppot::ReflectionProtocol::kOther));
     }
-  } catch (const std::runtime_error&) {
+  } catch (const SerializeError&) {
     // Rejection is the other acceptable outcome.
   }
 }

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <span>
 #include <sstream>
+#include <type_traits>
 
 #include "core/serialize.h"
 #include "sim/scenario.h"
@@ -60,9 +61,9 @@ TEST(Serialize, EmptyDumpRoundTrips) {
 
 TEST(Serialize, RejectsBadMagic) {
   std::istringstream in("NOTANEVENTDUMP", std::ios::binary);
-  EXPECT_THROW(read_events(in), std::runtime_error);
+  EXPECT_THROW(read_events(in), SerializeError);
   std::istringstream empty("", std::ios::binary);
-  EXPECT_THROW(read_events(empty), std::runtime_error);
+  EXPECT_THROW(read_events(empty), SerializeError);
 }
 
 TEST(Serialize, RejectsTruncation) {
@@ -72,7 +73,7 @@ TEST(Serialize, RejectsTruncation) {
   std::string data = stream.str();
   data.resize(data.size() - 10);
   std::istringstream cut(data, std::ios::binary);
-  EXPECT_THROW(read_events(cut), std::runtime_error);
+  EXPECT_THROW(read_events(cut), SerializeError);
 }
 
 TEST(Serialize, RejectsBadSourceTag) {
@@ -82,7 +83,7 @@ TEST(Serialize, RejectsBadSourceTag) {
   std::string data = stream.str();
   data[12] = '\x7f';  // the first record's source byte
   std::istringstream bad(data, std::ios::binary);
-  EXPECT_THROW(read_events(bad), std::runtime_error);
+  EXPECT_THROW(read_events(bad), SerializeError);
 }
 
 TEST(Serialize, RejectsBadReflectionTag) {
@@ -94,23 +95,23 @@ TEST(Serialize, RejectsBadReflectionTag) {
   // source + ip_proto). kOther (8) is the largest valid value.
   data[14] = '\x09';
   std::istringstream bad(data, std::ios::binary);
-  EXPECT_THROW(read_events(bad), std::runtime_error);
+  EXPECT_THROW(read_events(bad), SerializeError);
   data[14] = '\xff';
   std::istringstream worse(data, std::ios::binary);
-  EXPECT_THROW(read_events(worse), std::runtime_error);
+  EXPECT_THROW(read_events(worse), SerializeError);
 }
 
 TEST(Serialize, HostileHeaderCountDoesNotOverAllocate) {
   // A corrupt dump claiming 0xFFFFFFFF records used to reserve ~240 GB
   // before the first truncated read could throw. The reserve is now bounded,
-  // so the hostile header must fail as plain truncation (std::runtime_error,
+  // so the hostile header must fail as plain truncation (SerializeError,
   // never std::bad_alloc / OOM).
   std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
   write_events(stream, {});
   std::string data = stream.str();
-  for (int i = 0; i < 4; ++i) data[8 + i] = '\xff';  // count = 0xFFFFFFFF
+  for (std::size_t i = 0; i < 4; ++i) data[8 + i] = '\xff';  // count = 0xFFFFFFFF
   std::istringstream hostile(data, std::ios::binary);
-  EXPECT_THROW(read_events(hostile), std::runtime_error);
+  EXPECT_THROW(read_events(hostile), SerializeError);
 }
 
 TEST(Serialize, WriteThrowsWhenCountOverflowsWireField) {
@@ -121,7 +122,7 @@ TEST(Serialize, WriteThrowsWhenCountOverflowsWireField) {
   const AttackEvent one;
   const std::span<const AttackEvent> huge(&one, std::size_t{0x100000000ull});
   std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
-  EXPECT_THROW(write_events(stream, huge), std::runtime_error);
+  EXPECT_THROW(write_events(stream, huge), SerializeError);
   EXPECT_TRUE(stream.str().empty());  // nothing written before the throw
 }
 
@@ -136,14 +137,14 @@ TEST(Serialize, LoadRejectsTrailingBytes) {
     // A concatenated second dump and a single garbage byte must both fail.
     out << data << data;
   }
-  EXPECT_THROW(load_events(path), std::runtime_error);
+  EXPECT_THROW(load_events(path), SerializeError);
   {
     std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
     write_events(stream, events);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << stream.str() << '\0';
   }
-  EXPECT_THROW(load_events(path), std::runtime_error);
+  EXPECT_THROW(load_events(path), SerializeError);
   // The pristine dump still loads.
   save_events(path, events);
   EXPECT_EQ(load_events(path).size(), events.size());
@@ -176,7 +177,20 @@ TEST(Serialize, FileRoundTripAndStagedReanalysis) {
 }
 
 TEST(Serialize, LoadRejectsMissingFile) {
-  EXPECT_THROW(load_events("/nonexistent/path/events.bin"), std::runtime_error);
+  EXPECT_THROW(load_events("/nonexistent/path/events.bin"), SerializeError);
+}
+
+TEST(Serialize, FailuresThrowTheDedicatedErrorType) {
+  // Legacy catch sites keep working (SerializeError IS-A runtime_error)...
+  static_assert(std::is_base_of_v<std::runtime_error, SerializeError>);
+  // ...but the thrown object is the dedicated type, with a useful message.
+  std::istringstream empty(std::string(), std::ios::binary);
+  try {
+    read_events(empty);
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -183,6 +183,53 @@ TEST_F(StreamingTest, RequiresSummaryCallback) {
   EXPECT_THROW(StreamingFusion(window_, {}, nullptr), std::invalid_argument);
 }
 
+// Every Config field constraint is enforced at construction, one rejection
+// per field, with the field named in the message.
+TEST_F(StreamingTest, RejectsNonPositiveBaselineDays) {
+  StreamingFusion::Config config;
+  config.baseline_days = 0;
+  try {
+    make(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("baseline_days"), std::string::npos);
+  }
+  config.baseline_days = -3;
+  EXPECT_THROW(make(config), std::invalid_argument);
+}
+
+TEST_F(StreamingTest, RejectsSpikeFactorAtOrBelowOne) {
+  StreamingFusion::Config config;
+  config.spike_factor = 1.0;  // boundary: a spike must EXCEED its baseline
+  try {
+    make(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spike_factor"), std::string::npos);
+  }
+  config.spike_factor = 0.5;
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config.spike_factor = 1.0 + 1e-9;  // any factor strictly above 1 is legal
+  EXPECT_NO_THROW(make(config));
+}
+
+TEST_F(StreamingTest, RejectsMinBaselineDaysOutsideRange) {
+  StreamingFusion::Config config;
+  config.min_baseline_days = 0;
+  try {
+    make(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("min_baseline_days"),
+              std::string::npos);
+  }
+  config.baseline_days = 7;
+  config.min_baseline_days = 8;  // cannot require more days than the window
+  EXPECT_THROW(make(config), std::invalid_argument);
+  config.min_baseline_days = 7;  // boundary: equal is allowed
+  EXPECT_NO_THROW(make(config));
+}
+
 TEST_F(StreamingTest, MatchesBatchAggregationOnSimulatedWorld) {
   // The streaming path must agree with the batch daily_breakdown on a
   // real simulated event stream.

@@ -264,6 +264,7 @@ struct QueryOptions {
   std::string agg = "summary";
   std::size_t k = 10;
   int threads = 1;
+  int segment_days = 0;
   bool explain = false;
   std::string metrics_out;
 };
@@ -291,6 +292,8 @@ struct QueryOptions {
       "  --k N      rows for top-k / events listings (default 10)\n"
       "  --threads N  worker threads for the snapshot build (default 1;\n"
       "               identical output for any value)\n"
+      "  --segment-days N  days per sealed snapshot segment (default 0 =\n"
+      "               one segment; identical output for any value)\n"
       "  --explain  print the planner's chosen access path\n"
       "  --metrics-out F  write pipeline metrics after the run\n"
       "                   (.prom -> Prometheus text, else JSON)\n";
@@ -362,6 +365,12 @@ QueryOptions parse_query_options(int argc, char** argv) {
         std::cerr << "--threads must be >= 1\n";
         query_usage(2);
       }
+    } else if (arg == "--segment-days") {
+      options.segment_days = std::stoi(need_value(i));
+      if (options.segment_days < 0) {
+        std::cerr << "--segment-days must be >= 0\n";
+        query_usage(2);
+      }
     } else if (arg == "--explain") {
       options.explain = true;
     } else if (arg == "--metrics-out") {
@@ -388,18 +397,23 @@ int query_main(int argc, char** argv) {
     const auto events = core::load_events(options.load_events);
     std::cerr << "[dosmeter] loaded " << events.size() << " events from "
               << options.load_events << "\n";
-    snapshot = query::Snapshot::build(window, events, empty_pfx2as, empty_geo,
-                                      0, options.threads);
+    snapshot = query::Snapshot::build(
+        window, events,
+        query::BuildContext{empty_pfx2as, empty_geo, options.threads,
+                            options.segment_days});
   } else {
     std::cerr << "[dosmeter] building " << window.num_days()
               << "-day world (seed " << options.scenario.seed << ")...\n";
     world = sim::build_world(options.scenario);
     snapshot = query::Snapshot::from_store(
-        world->store, world->population.pfx2as(), world->population.geo(), 0,
-        options.threads);
+        world->store,
+        query::BuildContext{world->population.pfx2as(),
+                            world->population.geo(), options.threads,
+                            options.segment_days});
   }
   std::cerr << "[dosmeter] snapshot ready: " << snapshot->size()
-            << " events indexed\n";
+            << " events indexed in " << snapshot->num_segments()
+            << " segment(s)\n";
 
   // Day filters resolve against the snapshot's window.
   if (options.from || options.to) {
@@ -448,17 +462,16 @@ int query_main(int argc, char** argv) {
     std::cout << table;
   } else if (options.agg == "events") {
     const auto rows = snapshot->match_rows(q);
-    const auto& frame = snapshot->frame();
     TextTable table({"start", "target", "source", "intensity", "port"});
     for (std::size_t i = 0; i < rows.size() && i < options.k; ++i) {
       const auto row = rows[i];
-      table.add_row({fixed(frame.start()[row], 0),
-                     frame.target_at(row).to_string(),
-                     frame.source_at(row) == core::EventSource::kTelescope
+      table.add_row({fixed(snapshot->start_at(row), 0),
+                     snapshot->target_at(row).to_string(),
+                     snapshot->source_at(row) == core::EventSource::kTelescope
                          ? "telescope"
                          : "honeypot",
-                     fixed(frame.intensity()[row], 2),
-                     std::to_string(frame.top_port()[row])});
+                     fixed(snapshot->intensity_at(row), 2),
+                     std::to_string(snapshot->top_port_at(row))});
     }
     std::cout << table;
     if (rows.size() > options.k)
@@ -563,8 +576,8 @@ int metrics_main(int argc, char** argv) {
   const meta::PrefixToAsMap empty_pfx2as;
   const meta::GeoDatabase empty_geo;
   query::QueryEngine engine;
-  engine.publish(
-      query::Snapshot::build(window, events, empty_pfx2as, empty_geo, 1, 1));
+  engine.publish(query::Snapshot::build(
+      window, events, query::BuildContext{empty_pfx2as, empty_geo}, 1));
   const auto snapshot = engine.snapshot();
   snapshot->count(query::Query());  // full scan
   query::Query by_time;
