@@ -27,7 +27,7 @@
 namespace {
 
 using namespace dosm;
-using clock_type = std::chrono::steady_clock;
+using clock_type = std::chrono::steady_clock;  // lint:allow(wall-clock): benchmarks time real execution
 
 double seconds_since(clock_type::time_point t0) {
   return std::chrono::duration<double>(clock_type::now() - t0).count();

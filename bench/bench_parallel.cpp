@@ -43,7 +43,7 @@ struct Timing {
 /// optimizer honest.
 Timing measure(double min_seconds, const std::function<std::uint64_t()>& fn) {
   static volatile std::uint64_t sink = 0;
-  using clock = std::chrono::steady_clock;
+  using clock = std::chrono::steady_clock;  // lint:allow(wall-clock): benchmarks time real execution
   Timing timing;
   const auto begin = clock::now();
   double elapsed = 0.0;

@@ -12,7 +12,7 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& w : s_) w = sm.next();
 }
 
-std::uint64_t Rng::next_u64() {
+DOSM_ALLOW_UNSIGNED_WRAP std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -220,7 +220,7 @@ std::uint64_t ZipfSampler::sample(Rng& rng) const {
   }
 }
 
-std::uint64_t fnv1a64(std::string_view bytes) {
+DOSM_ALLOW_UNSIGNED_WRAP std::uint64_t fnv1a64(std::string_view bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : bytes) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));

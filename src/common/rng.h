@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/sanitize.h"
+
 namespace dosm {
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
@@ -21,7 +23,7 @@ class SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  std::uint64_t next() {
+  DOSM_ALLOW_UNSIGNED_WRAP std::uint64_t next() {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;

@@ -1,0 +1,16 @@
+// Sanitizer annotations for intentional arithmetic.
+//
+// DOSMETER_SANITIZE=integer builds with clang's -fsanitize=integer group,
+// which (unlike UBSan proper) also traps *unsigned* wraparound — defined
+// behaviour in C++, but usually a bug in counting code. Hash mixers and RNG
+// state transitions wrap on purpose; mark those functions with
+// DOSM_ALLOW_UNSIGNED_WRAP so the sanitizer skips them instead of the build
+// whitelisting whole files. GCC has no unsigned-wrap sanitizer, so the macro
+// expands to nothing there.
+#pragma once
+
+#if defined(__clang__)
+#define DOSM_ALLOW_UNSIGNED_WRAP __attribute__((no_sanitize("integer")))
+#else
+#define DOSM_ALLOW_UNSIGNED_WRAP
+#endif

@@ -54,8 +54,14 @@ MailImpactAnalysis::MailImpactAnalysis(const EventStore& store,
   });
 
   involvements_.assign(involvement_counts.begin(), involvement_counts.end());
+  // std::sort is not stable: count-only ordering scrambles tied addresses
+  // once introsort kicks in, so rankings differed run-to-run in the tie
+  // region. Tie-break by address for a total order.
   std::sort(involvements_.begin(), involvements_.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first.value() < b.first.value();
+            });
 }
 
 std::vector<std::pair<net::Ipv4Addr, std::uint64_t>>

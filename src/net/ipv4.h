@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/sanitize.h"
+
 namespace dosm::net {
 
 /// An IPv4 address (host byte order).
@@ -93,7 +95,8 @@ class Prefix {
 
 template <>
 struct std::hash<dosm::net::Ipv4Addr> {
-  std::size_t operator()(const dosm::net::Ipv4Addr& a) const noexcept {
+  DOSM_ALLOW_UNSIGNED_WRAP std::size_t operator()(
+      const dosm::net::Ipv4Addr& a) const noexcept {
     // Fibonacci scrambling; addresses are often sequential.
     return static_cast<std::size_t>(a.value() * 0x9e3779b97f4a7c15ULL);
   }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/sanitize.h"
 #include "net/ipv4.h"
 
 namespace dosm::parallel {
@@ -18,7 +19,7 @@ namespace dosm::parallel {
 /// 32-bit avalanche mix (the splitmix64 finalizer truncated to 32 bits).
 /// Consecutive victim addresses land in unrelated shards, so a /24 under
 /// attack does not serialize onto one worker.
-constexpr std::uint32_t mix32(std::uint32_t v) {
+DOSM_ALLOW_UNSIGNED_WRAP constexpr std::uint32_t mix32(std::uint32_t v) {
   v ^= v >> 16;
   v *= 0x7feb352dU;
   v ^= v >> 15;

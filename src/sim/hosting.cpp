@@ -88,24 +88,36 @@ HostingEcosystem::HostingEcosystem(Rng& rng, const Population& population,
   // GoDaddy/WordPress/Wix-scale shared IPs) are high-profile targets
   // absorbing attacks near-daily; their co-hosted sites are exactly the
   // multi-attacked tail of Fig 9.
-  std::vector<double> weights;
-  attackable_ips_.reserve(origin_index_.size());
-  weights.reserve(origin_index_.size());
+  // The indexes iterate in hash order, which is not stable across standard
+  // library implementations: collect (ip, weight) pairs and sort by address
+  // before freezing the sampler's index -> IP mapping, so attack-target
+  // sequences are reproducible everywhere.
+  std::vector<std::pair<net::Ipv4Addr, double>> entries;
+  entries.reserve(origin_index_.size() + mail_index_.size());
   for (const auto& [ip, domains] : origin_index_) {
-    attackable_ips_.push_back(ip);
     const auto sites = static_cast<double>(domains.size());
     double weight = std::pow(sites, 0.6);
     if (sites >= 200.0) weight += sites * 20.0;  // colossal regime
-    weights.push_back(weight);
+    entries.emplace_back(ip, weight);
   }
   // Shared mail exchangers are targets in their own right (§8): weighted by
   // served domains but below the Web-hosting weights.
   for (const auto& [ip, domains] : mail_index_) {
     if (origin_index_.contains(ip)) continue;  // self-hosted mail == web IP
-    attackable_ips_.push_back(ip);
     const auto served = static_cast<double>(domains.size());
     double weight = 0.5 * std::pow(served, 0.25);
     if (served >= 500.0) weight += served * 2.0;  // GoDaddy-mail regime
+    entries.emplace_back(ip, weight);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.value() < b.first.value();
+            });
+  std::vector<double> weights;
+  attackable_ips_.reserve(entries.size());
+  weights.reserve(entries.size());
+  for (const auto& [ip, weight] : entries) {
+    attackable_ips_.push_back(ip);
     weights.push_back(weight);
   }
   ip_attack_sampler_ = AliasTable(weights);

@@ -89,6 +89,12 @@ class HostingEcosystem {
   /// hoster IPs attract more attacks. May return a self-hosted site's IP.
   net::Ipv4Addr sample_hosting_ip(Rng& rng) const;
 
+  /// Attack-targetable hosting/mail IPs in the sampler's index order —
+  /// address-sorted so the mapping is independent of hash iteration order.
+  const std::vector<net::Ipv4Addr>& attackable_ips() const {
+    return attackable_ips_;
+  }
+
   /// Hoster index owning `ip`, or -1 (self-hosted / unknown).
   int hoster_of_ip(net::Ipv4Addr ip) const;
 

@@ -155,16 +155,20 @@ TelescopeEvent FlowTable::finalize(net::Ipv4Addr victim, const Flow& flow) const
   event.bytes = flow.bytes;
   event.unique_sources = static_cast<std::uint32_t>(flow.sources.size());
   event.num_ports = static_cast<std::uint16_t>(flow.ports.size());
+  // Hash-order iteration: break count ties toward the lowest port/proto so
+  // the argmax is a total order and the winner never depends on bucket
+  // layout.
   std::uint32_t best = 0;
   for (const auto& [port, count] : flow.ports) {
-    if (count > best) {
+    if (count > best || (count == best && best > 0 && port < event.top_port)) {
       best = count;
       event.top_port = port;
     }
   }
   std::uint64_t best_votes = 0;
   for (const auto& [proto, votes] : flow.proto_votes) {
-    if (votes > best_votes) {
+    if (votes > best_votes ||
+        (votes == best_votes && best_votes > 0 && proto < event.attack_proto)) {
       best_votes = votes;
       event.attack_proto = proto;
     }

@@ -1,6 +1,7 @@
 #include "telescope/flowtuple.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_set>
 
 namespace dosm::telescope {
@@ -49,9 +50,18 @@ void FlowTuplePlugin::close_interval() {
   }
   interval.unique_sources = sources.size();
   const std::size_t keep = std::min(top_n_, ranked.size());
+  // The comparator must be a total order: with count-only ranking, tuples
+  // tied at the keep-boundary survive or drop by hash order (ranked is
+  // filled from an unordered_map), and the kept prefix is nondeterministic.
   std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
                     ranked.end(), [](const auto& a, const auto& b) {
-                      return a.second > b.second;
+                      if (a.second != b.second) return a.second > b.second;
+                      const FlowTupleKey& x = a.first;
+                      const FlowTupleKey& y = b.first;
+                      return std::tie(x.src, x.dst, x.src_port, x.dst_port,
+                                      x.proto, x.ttl, x.tcp_flags, x.ip_len) <
+                             std::tie(y.src, y.dst, y.src_port, y.dst_port,
+                                      y.proto, y.ttl, y.tcp_flags, y.ip_len);
                     });
   ranked.resize(keep);
   interval.top_tuples = std::move(ranked);

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sanitize.h"
 #include "telescope/pipeline.h"
 
 namespace dosm::telescope {
@@ -31,7 +32,8 @@ struct FlowTupleKey {
 };
 
 struct FlowTupleKeyHash {
-  std::size_t operator()(const FlowTupleKey& k) const noexcept {
+  DOSM_ALLOW_UNSIGNED_WRAP std::size_t operator()(
+      const FlowTupleKey& k) const noexcept {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     const auto mix = [&h](std::uint64_t v) {
       h ^= v;

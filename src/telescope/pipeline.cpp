@@ -1,5 +1,8 @@
 #include "telescope/pipeline.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace dosm::telescope {
 
 void Pipeline::process(const net::PacketRecord& rec) {
@@ -31,7 +34,16 @@ void RsdosPlugin::on_packet(const net::PacketRecord& rec) {
   detector_.on_packet(rec);
 }
 
-void RsdosPlugin::on_end() { detector_.finish(); }
+void RsdosPlugin::on_end() {
+  detector_.finish();
+  // The detector flushes its flow table in hash order; the sharded detector
+  // (parallel/detect.cpp) canonically sorts after flushing, so the
+  // sequential plugin must present the same order.
+  std::sort(events_.begin(), events_.end(),
+            [](const TelescopeEvent& a, const TelescopeEvent& b) {
+              return std::tie(a.start, a.victim) < std::tie(b.start, b.victim);
+            });
+}
 
 void TrafficStatsPlugin::on_packet(const net::PacketRecord& rec) {
   ++total_;

@@ -1,0 +1,14 @@
+// Suppression fixture: fires ordered-emission when analyzed bare; the test
+// silences it with an allowlist entry naming this path.
+#include <ostream>
+#include <unordered_map>
+
+namespace fx {
+
+void dump(std::ostream& out, const std::unordered_map<int, int>& counts) {
+  for (const auto& [key, value] : counts) {
+    out << key << "\n";
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Positive fixture for bare-lock: manual .lock()/.unlock() instead of an
+// RAII guard. Lives outside the race roots so only bare-lock fires.
+#include <mutex>
+
+namespace fx {
+
+class ManualLocker {
+ public:
+  void update(int v) {
+    mu_.lock();
+    value_ = v;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fx

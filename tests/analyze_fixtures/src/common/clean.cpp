@@ -1,0 +1,34 @@
+// Negative fixture: ordered containers, guarded state, contract-conforming
+// throws. The analyzer must report nothing here.
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace fx {
+
+int max_key(const std::map<int, int>& ordered) {
+  int best = 0;
+  for (const auto& [key, value] : ordered) {
+    if (key > best) best = key;
+  }
+  return best;
+}
+
+class GuardedCounter {
+ public:
+  void add(int n) {
+    std::lock_guard<std::mutex> guard(mu_);
+    total_ += n;
+  }
+
+ private:
+  std::mutex mu_;
+  long total_ = 0;
+};
+
+void check_positive(int n) {
+  if (n < 0) throw std::invalid_argument("n must be non-negative");
+}
+
+}  // namespace fx

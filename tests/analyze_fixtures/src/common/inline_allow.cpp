@@ -1,0 +1,14 @@
+// Suppression fixture: the same ordered-emission shape as
+// src/telescope/ordered_emission.cpp, silenced by an inline marker.
+#include <iostream>
+#include <unordered_map>
+
+namespace fx {
+
+void debug_dump(const std::unordered_map<int, int>& counts) {
+  for (const auto& [key, value] : counts) {
+    std::cout << key << "=" << value << "\n";  // analyze:allow(ordered-emission): debug-only dump
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Positive fixture for lock-order: two paths acquire the same pair of
+// mutexes in opposite order, a cycle in the acquired-before graph.
+#include <mutex>
+
+namespace fx {
+
+class TwoLocks {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    value_ = 1;
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> b(mu_b_);
+    std::lock_guard<std::mutex> a(mu_a_);
+    value_ = 2;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int value_ = 0;
+};
+
+}  // namespace fx

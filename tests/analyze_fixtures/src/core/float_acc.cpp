@@ -1,0 +1,24 @@
+// Positive fixture for float-accumulation: floating-point sums whose result
+// bits depend on evaluation order — inside unordered iteration and at a
+// merge boundary.
+#include <unordered_map>
+
+namespace fx {
+
+double mean_weight(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [key, weight] : weights) {
+    sum += weight;
+  }
+  return sum / static_cast<double>(weights.size());
+}
+
+struct Shard {
+  double total = 0.0;
+};
+
+void merge_shards(Shard& into, const Shard& from) {
+  into.total += from.total;
+}
+
+}  // namespace fx

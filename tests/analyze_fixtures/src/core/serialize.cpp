@@ -1,0 +1,20 @@
+// Mixed fixture for throw-contract: this rel path carries the
+// "SerializeError only" contract, so the runtime_error throw fires and the
+// SerializeError throw stays quiet.
+#include <stdexcept>
+
+namespace fx {
+
+struct SerializeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void write_header(bool ok) {
+  if (!ok) throw SerializeError("bad header");
+}
+
+void write_body(bool ok) {
+  if (!ok) throw std::runtime_error("bad body");
+}
+
+}  // namespace fx

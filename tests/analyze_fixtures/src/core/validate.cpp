@@ -1,0 +1,16 @@
+// Mixed fixture for throw-contract in a config-validation context: the
+// validate_* function must throw std::invalid_argument only.
+#include <stdexcept>
+
+namespace fx {
+
+struct SamplerConfig {
+  int rate = 0;
+};
+
+void validate_config(const SamplerConfig& config) {
+  if (config.rate < 0) throw std::runtime_error("rate below zero");
+  if (config.rate > 100) throw std::invalid_argument("rate above 100");
+}
+
+}  // namespace fx

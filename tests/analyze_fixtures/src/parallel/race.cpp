@@ -1,0 +1,30 @@
+// Positive fixture for shared-state-race: mutable shared state written with
+// no guard held, inside the concurrent-subsystem scope (src/parallel/).
+#include <cstdint>
+#include <mutex>
+
+namespace fx {
+
+std::uint64_t g_unguarded_total = 0;
+
+void bump_global(std::uint64_t n) {
+  g_unguarded_total += n;
+}
+
+class Tally {
+ public:
+  void record_unlocked(std::uint64_t n) {
+    total_ += n;
+  }
+
+  void record_locked(std::uint64_t n) {
+    std::lock_guard<std::mutex> guard(mu_);
+    total_ += n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Positive fixture: streaming directly out of unordered_map iteration, and
+// appending to an outer ordered container without sorting afterwards.
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+void dump_counts(std::ostream& out,
+                 const std::unordered_map<int, long>& counts) {
+  for (const auto& [key, value] : counts) {
+    out << key << " " << value << "\n";
+  }
+}
+
+std::vector<int> collect_keys(const std::unordered_map<int, long>& counts) {
+  std::vector<int> keys;
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace fx

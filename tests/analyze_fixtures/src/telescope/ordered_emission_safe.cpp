@@ -1,0 +1,46 @@
+// Negative fixture: the same iteration shapes, each with an order-safety
+// proof the analyzer must recognize (sort-after, commutative integral
+// accumulation, keyed stores, tie-broken selection).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+std::vector<int> sorted_keys(const std::unordered_map<int, long>& counts) {
+  std::vector<int> keys;
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+long total(const std::unordered_map<int, long>& counts) {
+  long sum = 0;
+  for (const auto& [key, value] : counts) {
+    sum += value;
+  }
+  return sum;
+}
+
+void invert(const std::unordered_map<int, int>& in,
+            std::unordered_map<int, int>& out) {
+  for (const auto& [key, value] : in) {
+    out[value] = key;
+  }
+}
+
+int busiest(const std::unordered_map<int, long>& counts) {
+  long best = 0;
+  int best_key = 0;
+  for (const auto& [key, value] : counts) {
+    if (value > best || (value == best && best > 0 && key < best_key)) {
+      best = value;
+      best_key = key;
+    }
+  }
+  return best_key;
+}
+
+}  // namespace fx

@@ -1,0 +1,146 @@
+// Unit tests for dosmeter_analyze: each of the five semantic checks must
+// fire on its positive fixture, the order-safety proofs must keep the
+// negative fixtures quiet, and both suppression mechanisms (allowlist
+// entries, inline analyze:allow markers) must silence findings. Fixtures
+// live in tests/analyze_fixtures/.
+#include "analyze/analyze_core.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dosm::analyze {
+namespace {
+
+std::vector<Violation> analyze_fixtures(
+    const std::vector<AllowEntry>& allow = {}) {
+  return analyze_tree(DOSM_ANALYZE_FIXTURE_DIR, {"src"}, allow);
+}
+
+std::map<std::string, std::set<std::string>> rules_by_file(
+    const std::vector<Violation>& violations) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const auto& v : violations) out[v.file].insert(v.rule);
+  return out;
+}
+
+TEST(AnalyzeFixtures, EachCheckFiresOnItsPositiveFixture) {
+  const auto by_file = rules_by_file(analyze_fixtures());
+  EXPECT_EQ(by_file.at("src/telescope/ordered_emission.cpp"),
+            std::set<std::string>{"ordered-emission"});
+  EXPECT_EQ(by_file.at("src/parallel/race.cpp"),
+            std::set<std::string>{"shared-state-race"});
+  EXPECT_EQ(by_file.at("src/common/bare_lock.cpp"),
+            std::set<std::string>{"bare-lock"});
+  EXPECT_EQ(by_file.at("src/common/lock_order.cpp"),
+            std::set<std::string>{"lock-order"});
+  EXPECT_EQ(by_file.at("src/core/serialize.cpp"),
+            std::set<std::string>{"throw-contract"});
+  EXPECT_EQ(by_file.at("src/core/validate.cpp"),
+            std::set<std::string>{"throw-contract"});
+  EXPECT_EQ(by_file.at("src/core/float_acc.cpp"),
+            std::set<std::string>{"float-accumulation"});
+}
+
+TEST(AnalyzeFixtures, OrderedEmissionFlagsBothStreamingAndUnsortedAppend) {
+  int hits = 0;
+  for (const auto& v : analyze_fixtures()) {
+    if (v.file == "src/telescope/ordered_emission.cpp") ++hits;
+  }
+  EXPECT_EQ(hits, 2);  // the ostream<< loop and the unsorted push_back loop
+}
+
+TEST(AnalyzeFixtures, RaceCheckSeparatesGlobalAndMemberWrites) {
+  std::set<int> lines;
+  for (const auto& v : analyze_fixtures()) {
+    if (v.file == "src/parallel/race.cpp") lines.insert(v.line);
+  }
+  // The unguarded global += and the unguarded member += fire; the
+  // lock_guard-protected write in record_locked stays quiet.
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(AnalyzeFixtures, BareLockFlagsLockAndUnlock) {
+  int hits = 0;
+  for (const auto& v : analyze_fixtures()) {
+    if (v.file == "src/common/bare_lock.cpp") ++hits;
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(AnalyzeFixtures, ThrowContractAllowsTheContractType) {
+  // serialize.cpp throws both SerializeError (contract type, quiet) and
+  // runtime_error (fires); validate.cpp throws invalid_argument (quiet)
+  // and runtime_error (fires). Exactly one finding per file.
+  std::map<std::string, int> hits;
+  for (const auto& v : analyze_fixtures()) {
+    if (v.rule == "throw-contract") ++hits[v.file];
+  }
+  EXPECT_EQ(hits.at("src/core/serialize.cpp"), 1);
+  EXPECT_EQ(hits.at("src/core/validate.cpp"), 1);
+}
+
+TEST(AnalyzeFixtures, FloatAccumulationFlagsLoopAndMergeBoundary) {
+  int hits = 0;
+  for (const auto& v : analyze_fixtures()) {
+    if (v.file == "src/core/float_acc.cpp") ++hits;
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(AnalyzeFixtures, OrderSafetyProofsKeepNegativeFixturesQuiet) {
+  const auto by_file = rules_by_file(analyze_fixtures());
+  // sort-after, integral accumulation, keyed store, tie-broken argmax.
+  EXPECT_FALSE(by_file.contains("src/telescope/ordered_emission_safe.cpp"));
+  // Ordered containers, guarded writes, contract-conforming throw.
+  EXPECT_FALSE(by_file.contains("src/common/clean.cpp"));
+}
+
+TEST(AnalyzeFixtures, InlineAllowSuppresses) {
+  const auto by_file = rules_by_file(analyze_fixtures());
+  EXPECT_FALSE(by_file.contains("src/common/inline_allow.cpp"));
+}
+
+TEST(AnalyzeFixtures, AllowlistEntrySuppresses) {
+  const auto by_file = rules_by_file(
+      analyze_fixtures({{"ordered-emission", "src/common/allowlisted.cpp"}}));
+  EXPECT_FALSE(by_file.contains("src/common/allowlisted.cpp"));
+}
+
+TEST(AnalyzeFixtures, WithoutAllowlistEntryTheSuppressedFindingFires) {
+  const auto by_file = rules_by_file(analyze_fixtures());
+  EXPECT_EQ(by_file.at("src/common/allowlisted.cpp"),
+            std::set<std::string>{"ordered-emission"});
+}
+
+TEST(AnalyzeFixtures, StaleAllowlistEntryIsItselfAViolation) {
+  const auto by_file = rules_by_file(
+      analyze_fixtures({{"ordered-emission", "src/gone/removed.cpp"}}));
+  EXPECT_EQ(by_file.at("tools/analyze_allowlist.txt"),
+            std::set<std::string>{"stale-allowlist"});
+}
+
+TEST(LockOrder, ConsistentOrderIsQuiet) {
+  const std::vector<LockEdge> edges = {
+      {"A::mu_a_", "A::mu_b_", "one.cpp", 10},
+      {"A::mu_a_", "A::mu_b_", "two.cpp", 20},
+      {"A::mu_b_", "A::mu_c_", "two.cpp", 21},
+  };
+  EXPECT_TRUE(lock_order_violations(edges).empty());
+}
+
+TEST(LockOrder, OppositeOrderIsACycle) {
+  const std::vector<LockEdge> edges = {
+      {"A::mu_a_", "A::mu_b_", "one.cpp", 10},
+      {"A::mu_b_", "A::mu_a_", "two.cpp", 20},
+  };
+  const auto violations = lock_order_violations(edges);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "lock-order");
+}
+
+}  // namespace
+}  // namespace dosm::analyze

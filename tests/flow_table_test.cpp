@@ -263,5 +263,45 @@ TEST_P(ThresholdSweep, TighterMeansFewer) {
 INSTANTIATE_TEST_SUITE_P(Scales, ThresholdSweep,
                          ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
 
+// Regression: the top-port argmax iterates an unordered_map, and a
+// first-wins comparison let the winner among tied counts depend on hash
+// iteration order (libstdc++ iterates most-recently-inserted first, so
+// inserting 80 before 443 made 443 win). The argmax must be a total order:
+// lowest port wins ties.
+TEST(FlowTable, TopPortTieBreaksTowardLowestPort) {
+  std::vector<TelescopeEvent> events;
+  FlowTable table([&](const TelescopeEvent& e) { events.push_back(e); });
+  const Ipv4Addr victim(1, 2, 3, 4);
+  const Ipv4Addr scope(44, 0, 0, 1);
+  table.add(0.0, tcp_info(victim, 80), 40, scope);
+  table.add(1.0, tcp_info(victim, 443), 40, scope);
+  table.add(2.0, tcp_info(victim, 80), 40, scope);
+  table.add(3.0, tcp_info(victim, 443), 40, scope);
+  table.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].num_ports, 2u);
+  EXPECT_EQ(events[0].top_port, 80);
+}
+
+// Regression: same hash-order tie bug for the attack-protocol vote.
+TEST(FlowTable, AttackProtoTieBreaksTowardLowestProto) {
+  std::vector<TelescopeEvent> events;
+  FlowTable table([&](const TelescopeEvent& e) { events.push_back(e); });
+  const Ipv4Addr victim(1, 2, 3, 4);
+  const Ipv4Addr scope(44, 0, 0, 1);
+  auto vote = [&](double ts, std::uint8_t proto) {
+    BackscatterInfo info = tcp_info(victim, 80);
+    info.attack_proto = proto;
+    table.add(ts, info, 40, scope);
+  };
+  vote(0.0, 6);
+  vote(1.0, 17);
+  vote(2.0, 6);
+  vote(3.0, 17);
+  table.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].attack_proto, 6);
+}
+
 }  // namespace
 }  // namespace dosm::telescope

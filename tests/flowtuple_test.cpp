@@ -136,5 +136,27 @@ TEST(FlowTuple, RunsAlongsideRsdosOnSynthesizedTraffic) {
             0.9 * static_cast<double>(total_packets));
 }
 
+// Regression: the top-N ranking used a count-only comparator, so tuples
+// tied at the keep-boundary survived or dropped by the hash order of the
+// tuples_ map. The comparator must be a total order (count desc, then key
+// fields asc) so the kept prefix is deterministic.
+TEST(FlowTuple, TopNTieAtBoundaryKeepsSmallestTuples) {
+  FlowTuplePlugin plugin({}, /*interval_s=*/60, /*top_n=*/3);
+  // Eight tuples, all with the same packet count, differing only in source
+  // port. Only the three smallest keys may survive the cut.
+  const std::uint16_t sports[] = {4400, 1100, 3300, 2200,
+                                  8800, 5500, 7700, 6600};
+  for (std::uint16_t sport : sports)
+    for (int i = 0; i < 3; ++i)
+      plugin.on_packet(packet(100 + i, Ipv4Addr(1, 1, 1, 1), sport));
+  plugin.on_end();
+  ASSERT_EQ(plugin.intervals().size(), 1u);
+  const auto& top = plugin.intervals()[0].top_tuples;
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first.src_port, 1100);
+  EXPECT_EQ(top[1].first.src_port, 2200);
+  EXPECT_EQ(top[2].first.src_port, 3300);
+}
+
 }  // namespace
 }  // namespace dosm::telescope

@@ -2,6 +2,8 @@
 // skew, preexisting DPS customers, provider front IPs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dps/classifier.h"
 #include "sim/hosting.h"
 
@@ -226,6 +228,16 @@ TEST_F(HostingTest, LateRegistrationsAppearMidWindow) {
   // ~18% of domains register after day 0.
   EXPECT_GT(late, kDomains / 10);
   EXPECT_LT(late, kDomains / 3);
+}
+
+// Regression: the attack-target sampler's index -> IP mapping was built by
+// iterating the unordered hosting indexes, freezing hash order into the
+// sampler — reproducible within one standard library but not across
+// implementations. The mapping must be address-sorted.
+TEST_F(HostingTest, AttackableIpsAreAddressSorted) {
+  const auto& ips = hosting_->attackable_ips();
+  ASSERT_GT(ips.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(ips.begin(), ips.end()));
 }
 
 }  // namespace

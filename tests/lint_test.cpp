@@ -145,7 +145,7 @@ TEST(LintSource, ViolationCarriesLineNumberAndRule) {
   EXPECT_EQ(format_violation(violations[0]).substr(0, 19), "src/common/x.cpp:3:");
 }
 
-TEST(LintRepo, SrcAndToolsAreInvariantClean) {
+TEST(LintRepo, ScannedTreesAreInvariantClean) {
   std::vector<AllowEntry> allow;
   const auto allowlist_path =
       std::filesystem::path(DOSM_LINT_SOURCE_ROOT) / "tools/lint_allowlist.txt";
@@ -155,7 +155,8 @@ TEST(LintRepo, SrcAndToolsAreInvariantClean) {
     buf << in.rdbuf();
     allow = parse_allowlist(buf.str());
   }
-  const auto violations = lint_tree(DOSM_LINT_SOURCE_ROOT, {"src", "tools"}, allow);
+  const auto violations = lint_tree(
+      DOSM_LINT_SOURCE_ROOT, {"src", "tools", "bench", "examples"}, allow);
   for (const auto& v : violations) ADD_FAILURE() << format_violation(v);
 }
 

@@ -133,5 +133,32 @@ TEST(MailDns, ReverseMailIndexBasics) {
   EXPECT_TRUE(store.mail_domains_on(Ipv4Addr(1, 1, 1, 1), 10).empty());
 }
 
+// Regression: the involvement ranking used std::sort (unstable) with a
+// count-only comparator; once the input exceeds the introsort threshold,
+// tied addresses came back in a scrambled order that differed from the
+// map-ordered input. Ties must break by ascending address.
+TEST_F(MailImpactTest, TopMailTargetsTieBreakByAddress) {
+  // 24 exchangers, one domain and one attack each: all tied at count 1,
+  // comfortably above the 16-element insertion-sort cutoff.
+  for (int i = 0; i < 24; ++i) {
+    const auto o = static_cast<std::uint8_t>(i);
+    domain_with_mail("tied" + std::to_string(i) + ".com",
+                     Ipv4Addr(10, 0, 1, o), Ipv4Addr(10, 0, 3, o));
+  }
+  for (int i = 0; i < 24; ++i)
+    attack(Ipv4Addr(10, 0, 3, static_cast<std::uint8_t>(i)), 2);
+  store_.finalize();
+  dns_.build_reverse_index();
+
+  const MailImpactAnalysis mail(store_, dns_);
+  const auto top = mail.top_mail_targets(24);
+  ASSERT_EQ(top.size(), 24u);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].first,
+              Ipv4Addr(10, 0, 3, static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].second, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace dosm::core

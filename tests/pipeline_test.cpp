@@ -1,7 +1,9 @@
 // Corsaro-style pipeline tests: plugin dispatch, stats, pcap replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "telescope/pipeline.h"
 
@@ -112,6 +114,38 @@ TEST(Pipeline, CustomThresholdsAreHonored) {
   pipeline.finish();
   EXPECT_EQ(rsdos.events().size(), 0u);
   EXPECT_EQ(rsdos.detector().flows_filtered(), 1u);
+}
+
+// Regression: the sequential RsdosPlugin collected end-of-trace events in
+// the flow table's hash-flush order, while the sharded detector
+// (parallel/detect.cpp) canonically sorts — so the two paths disagreed on
+// byte order. on_end() must present (start, victim)-sorted events.
+TEST(Pipeline, RsdosEventsAreCanonicallySortedAfterFinish) {
+  Pipeline pipeline;
+  ClassifierThresholds lax;
+  lax.min_packets = 1;
+  lax.min_duration_s = 0.0;
+  lax.min_max_pps = 0.0;
+  auto& rsdos = pipeline.emplace_plugin<RsdosPlugin>(lax);
+  std::vector<PacketRecord> packets;
+  // 16 victims, ascending insertion order; every flow gets the same start
+  // timestamp so the canonical order is by victim address. A hash-order
+  // flush emits most-recently-inserted victims first.
+  for (int i = 1; i <= 16; ++i)
+    packets.push_back(
+        backscatter_at(100.0, Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i))));
+  for (int i = 1; i <= 16; ++i)
+    packets.push_back(
+        backscatter_at(200.0, Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i))));
+  pipeline.replay(packets);
+  pipeline.finish();
+  const auto& events = rsdos.events();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TelescopeEvent& a, const TelescopeEvent& b) {
+                               return std::tie(a.start, a.victim) <
+                                      std::tie(b.start, b.victim);
+                             }));
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+#pragma once
+// dosmeter_analyze — semantic static analyzer for the repo's determinism and
+// concurrency contracts. Where dosmeter_lint pattern-matches single lines,
+// this tool lexes each file into a token stream, tracks scopes and a
+// lightweight declaration index (tools/analyze/decl_index.h), and runs five
+// checks that need that context:
+//
+//   ordered-emission    unordered_{map,set} iteration whose body emits,
+//                       serializes, or accumulates order-sensitively must be
+//                       proven order-safe (sorted afterwards, commutative
+//                       integral accumulation, keyed stores, tie-broken
+//                       selection) or explicitly allowed.
+//   shared-state-race   mutable namespace-scope / static-local state and
+//                       non-atomic members of mutex-owning classes written
+//                       outside any lock-guard scope, in files reachable from
+//                       the concurrent subsystems (src/parallel, src/query,
+//                       src/obs).
+//   bare-lock           .lock()/.unlock()/.try_lock() called directly on a
+//                       mutex instead of going through an RAII guard.
+//   lock-order          inconsistent mutex acquisition order across the
+//                       observed guard nestings (a cycle in the global
+//                       acquired-before graph).
+//   throw-contract      throw sites that violate the repo's exception typing:
+//                       src/core/serialize.cpp throws SerializeError only;
+//                       config-validation code throws std::invalid_argument.
+//   float-accumulation  floating-point accumulation in unordered iteration
+//                       or merge/combine boundaries, where evaluation order
+//                       changes the result bits.
+//
+// Suppression mirrors dosmeter_lint: `rule path-suffix` entries in
+// tools/analyze_allowlist.txt, or an inline `analyze:allow(<rule>)` comment
+// on the flagged line. Stale allowlist entries are themselves violations.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analyze/decl_index.h"
+#include "scan/scan_util.h"
+
+namespace dosm::analyze {
+
+using scan::AllowEntry;
+using scan::Violation;
+
+struct AnalyzeOptions {
+  // Files whose rel_path starts with one of these prefixes — plus everything
+  // in their quoted-include closure — are in scope for shared-state-race.
+  std::vector<std::string> race_roots = {"src/parallel/", "src/query/",
+                                         "src/obs/"};
+  // rel-path suffix -> sole exception type that file may throw.
+  std::vector<std::pair<std::string, std::string>> throw_contracts = {
+      {"src/core/serialize.cpp", "SerializeError"}};
+};
+
+/// One observed "held `before` while acquiring `after`" guard nesting.
+struct LockEdge {
+  std::string before;
+  std::string after;
+  std::string file;
+  int line = 0;
+};
+
+/// Cross-file declaration context: per-file indexes plus deterministic
+/// unions used to resolve members/globals declared in headers from the
+/// .cpp files that use them.
+struct TreeIndex {
+  std::unordered_map<std::string, FileIndex> files;  // rel_path -> index
+  std::unordered_map<std::string, ClassInfo> classes;
+  std::unordered_map<std::string, VarInfo> members;  // union over all classes
+  std::unordered_map<std::string, VarInfo> globals;
+};
+
+/// Builds the cross-file index. Files are processed in rel_path order and
+/// names merged in sorted order so the result is reproducible.
+TreeIndex index_tree(const std::vector<scan::SourceFile>& files);
+
+/// Analyzes one file. `race_scope` gates shared-state-race; `lock_edges`
+/// (optional) receives guard-nesting edges for the global lock-order pass.
+std::vector<Violation> analyze_source(std::string_view rel_path,
+                                      std::string_view contents,
+                                      const std::vector<AllowEntry>& allow,
+                                      const AnalyzeOptions& opts,
+                                      bool race_scope, const TreeIndex& tree,
+                                      std::vector<LockEdge>* lock_edges);
+
+/// Analyzes every source file under root/subdirs: per-file checks, the
+/// global lock-order cycle pass, and stale-allowlist reporting.
+std::vector<Violation> analyze_tree(const std::string& root,
+                                    const std::vector<std::string>& subdirs,
+                                    const std::vector<AllowEntry>& allow,
+                                    const AnalyzeOptions& opts = {});
+
+/// Exposed for tests: finds a deterministic lock-order cycle, or empty.
+std::vector<Violation> lock_order_violations(
+    const std::vector<LockEdge>& edges);
+
+}  // namespace dosm::analyze

@@ -1,0 +1,367 @@
+#include "analyze/decl_index.h"
+
+#include <algorithm>
+#include <array>
+
+namespace dosm::analyze {
+namespace {
+
+bool is_qualifier(std::string_view s) {
+  static constexpr std::string_view kQuals[] = {
+      "static",   "const",    "constexpr", "consteval", "constinit",
+      "inline",   "mutable",  "volatile",  "thread_local", "extern",
+      "typename", "virtual",  "explicit",  "friend",    "register"};
+  return std::find(std::begin(kQuals), std::end(kQuals), s) != std::end(kQuals);
+}
+
+bool is_builtin_piece(std::string_view s) {
+  static constexpr std::string_view kPieces[] = {
+      "unsigned", "signed", "long", "short", "int",    "char",
+      "bool",     "float",  "double", "wchar_t", "char8_t", "char16_t",
+      "char32_t", "void",   "auto", "size_t", "ssize_t", "ptrdiff_t"};
+  return std::find(std::begin(kPieces), std::end(kPieces), s) != std::end(kPieces);
+}
+
+// Statement keywords that can never begin a declaration we care about.
+bool is_stmt_keyword(std::string_view s) {
+  static constexpr std::string_view kKw[] = {
+      "if",     "for",      "while",  "do",     "switch",  "case",
+      "default", "return",  "throw",  "else",   "break",   "continue",
+      "goto",   "new",      "delete", "using",  "namespace", "class",
+      "struct", "enum",     "union",  "template", "public", "private",
+      "protected", "operator", "sizeof", "co_return", "co_await",
+      "co_yield", "try",    "catch",  "this", "static_assert", "asm"};
+  return std::find(std::begin(kKw), std::end(kKw), s) != std::end(kKw);
+}
+
+VarClass classify_base(std::string_view base) {
+  static const std::array<std::pair<std::string_view, VarClass>, 27> kMap = {{
+      {"unordered_map", VarClass::kUnordered},
+      {"unordered_set", VarClass::kUnordered},
+      {"unordered_multimap", VarClass::kUnordered},
+      {"unordered_multiset", VarClass::kUnordered},
+      {"vector", VarClass::kOrderedContainer},
+      {"deque", VarClass::kOrderedContainer},
+      {"string", VarClass::kOrderedContainer},
+      {"basic_string", VarClass::kOrderedContainer},
+      {"mutex", VarClass::kMutex},
+      {"shared_mutex", VarClass::kMutex},
+      {"recursive_mutex", VarClass::kMutex},
+      {"timed_mutex", VarClass::kMutex},
+      {"recursive_timed_mutex", VarClass::kMutex},
+      {"shared_timed_mutex", VarClass::kMutex},
+      {"lock_guard", VarClass::kGuard},
+      {"unique_lock", VarClass::kGuard},
+      {"scoped_lock", VarClass::kGuard},
+      {"shared_lock", VarClass::kGuard},
+      {"atomic", VarClass::kAtomic},
+      {"function", VarClass::kStdFunction},
+      {"move_only_function", VarClass::kStdFunction},
+      {"ostream", VarClass::kOStream},
+      {"ofstream", VarClass::kOStream},
+      {"ostringstream", VarClass::kOStream},
+      {"stringstream", VarClass::kOStream},
+      {"fstream", VarClass::kOStream},
+      {"osyncstream", VarClass::kOStream},
+  }};
+  for (const auto& [name, cls] : kMap)
+    if (base == name) return cls;
+  if (base.substr(0, 7) == "atomic_") return VarClass::kAtomic;
+  static constexpr std::string_view kInts[] = {
+      "int8_t",  "int16_t",  "int32_t",  "int64_t",  "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "intmax_t",
+      "uintmax_t", "streamsize", "streamoff"};
+  if (std::find(std::begin(kInts), std::end(kInts), base) != std::end(kInts) ||
+      base.substr(0, 9) == "int_fast" || base.substr(0, 10) == "uint_fast" ||
+      base.substr(0, 10) == "int_least" || base.substr(0, 11) == "uint_least")
+    return VarClass::kIntegral;
+  return VarClass::kOther;
+}
+
+}  // namespace
+
+std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t i) {
+  if (i >= toks.size()) return i;
+  const std::string& open = toks[i].text;
+  std::string close;
+  if (open == "(") close = ")";
+  else if (open == "{") close = "}";
+  else if (open == "[") close = "]";
+  else if (open == "<") close = ">";
+  else return i;
+  const bool angle = open == "<";
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == open) ++depth;
+    else if (t == close) --depth;
+    else if (angle && t == ">>") depth -= 2;
+    else if (angle && (t == ";" || t == "{" || t == "}")) return i;  // not template args
+    if (depth <= 0) return j + 1;
+    if (angle && j - i > 300) return i;  // give up: a stray comparison
+  }
+  return i;  // unbalanced: give up
+}
+
+std::optional<VarInfo> parse_type(const std::vector<Tok>& toks, std::size_t i,
+                                  std::size_t& end) {
+  VarInfo info;
+  bool saw_type = false;
+  std::string base;
+  while (i < toks.size()) {
+    const Tok& t = toks[i];
+    if (t.kind == TokKind::kIdent && (t.text == "const" || t.text == "volatile")) {
+      info.is_const = info.is_const || t.text == "const";
+      ++i;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && is_builtin_piece(t.text)) {
+      // Builtin combos: consume the whole run (e.g. "unsigned long long").
+      if (t.text == "float" || t.text == "double") info.cls = VarClass::kFloat;
+      else if (info.cls == VarClass::kOther && t.text != "auto" && t.text != "void")
+        info.cls = VarClass::kIntegral;
+      saw_type = true;
+      ++i;
+      continue;
+    }
+    if (!saw_type && t.kind == TokKind::kIdent && !is_stmt_keyword(t.text) &&
+        !is_qualifier(t.text)) {
+      // Qualified name: ident (:: ident)*, then optional template args.
+      base = t.text;
+      ++i;
+      while (i + 1 < toks.size() && toks[i].is("::") &&
+             toks[i + 1].kind == TokKind::kIdent) {
+        base = toks[i + 1].text;
+        i += 2;
+      }
+      if (i < toks.size() && toks[i].is("<")) {
+        const std::size_t past = skip_balanced(toks, i);
+        if (past == i) return std::nullopt;  // '<' was a comparison
+        i = past;
+      }
+      info.cls = classify_base(base);
+      saw_type = true;
+      continue;
+    }
+    break;
+  }
+  if (!saw_type) return std::nullopt;
+  // Pointers/references (a pointer to T is not a T for our purposes, except
+  // that a reference keeps the pointee's class — range-for bindings and
+  // guard/mutex references behave like the referent).
+  while (i < toks.size() &&
+         (toks[i].is("&") || toks[i].is("&&") || toks[i].is("const"))) {
+    ++i;
+  }
+  if (i < toks.size() && toks[i].is("*")) {
+    info.cls = VarClass::kOther;
+    while (i < toks.size() && (toks[i].is("*") || toks[i].is("const"))) ++i;
+  }
+  end = i;
+  return info;
+}
+
+std::optional<ParsedDecl> parse_decl(const std::vector<Tok>& toks, std::size_t i) {
+  ParsedDecl decl;
+  // Qualifier prefix.
+  while (i < toks.size() && toks[i].kind == TokKind::kIdent &&
+         is_qualifier(toks[i].text)) {
+    if (toks[i].is("static")) decl.info.is_static = true;
+    if (toks[i].is("thread_local")) decl.info.is_thread_local = true;
+    if (toks[i].is("const") || toks[i].is("constexpr") || toks[i].is("constinit"))
+      decl.info.is_const = true;
+    ++i;
+  }
+  if (i >= toks.size() || toks[i].kind != TokKind::kIdent ||
+      is_stmt_keyword(toks[i].text))
+    return std::nullopt;
+  std::size_t after_type = i;
+  const auto type = parse_type(toks, i, after_type);
+  if (!type) return std::nullopt;
+  decl.info.cls = type->cls;
+  decl.info.is_const = decl.info.is_const || type->is_const;
+  i = after_type;
+  if (i >= toks.size()) return std::nullopt;
+
+  if (toks[i].is("[")) {
+    // Structured binding: [a, b, c]
+    ++i;
+    while (i < toks.size() && !toks[i].is("]")) {
+      if (toks[i].kind == TokKind::kIdent) decl.names.push_back(toks[i].text);
+      ++i;
+    }
+    if (i >= toks.size()) return std::nullopt;
+    ++i;  // ']'
+  } else {
+    if (toks[i].kind != TokKind::kIdent || is_stmt_keyword(toks[i].text) ||
+        is_qualifier(toks[i].text))
+      return std::nullopt;
+    if (i + 1 < toks.size() && toks[i + 1].is("::"))
+      return std::nullopt;  // qualified name: a function definition
+    decl.names.push_back(toks[i].text);
+    decl.info.line = toks[i].line;
+    ++i;
+  }
+
+  // Initializer / terminator.
+  if (i < toks.size() && (toks[i].is("(") || toks[i].is("{"))) {
+    const std::size_t past = skip_balanced(toks, i);
+    if (past == i) return std::nullopt;
+    const bool paren = toks[i].is("(");
+    for (std::size_t j = i + 1; j + 1 < past; ++j)
+      if (toks[j].kind == TokKind::kIdent) decl.init_idents.push_back(toks[j].text);
+    // Function declaration/definition, not a parenthesized initializer:
+    // '(' ... ')' followed by a body, ctor-initializer, or trailing
+    // qualifiers instead of ';' or ','.
+    if (paren && past < toks.size() && !toks[past].is(";") && !toks[past].is(","))
+      return std::nullopt;
+    i = past;
+  } else if (i < toks.size() && toks[i].is("=")) {
+    ++i;
+    int depth = 0;
+    while (i < toks.size()) {
+      const std::string& t = toks[i].text;
+      if (t == "(" || t == "{" || t == "[") ++depth;
+      else if (t == ")" || t == "}" || t == "]") --depth;
+      else if (depth == 0 && (t == ";" || t == ",")) break;
+      if (toks[i].kind == TokKind::kIdent) decl.init_idents.push_back(toks[i].text);
+      ++i;
+    }
+  } else if (i < toks.size() &&
+             (toks[i].is(";") || toks[i].is(",") || toks[i].is(":"))) {
+    // Plain declaration, or the left side of a range-for header.
+  } else {
+    return std::nullopt;
+  }
+
+  // Extra declarators: "int a, b;" — same class for every name.
+  while (i < toks.size() && toks[i].is(",")) {
+    ++i;
+    while (i < toks.size() && (toks[i].is("*") || toks[i].is("&"))) ++i;
+    if (i < toks.size() && toks[i].kind == TokKind::kIdent) {
+      decl.names.push_back(toks[i].text);
+      ++i;
+    }
+    while (i < toks.size() && !toks[i].is(",") && !toks[i].is(";")) {
+      if (toks[i].is("(") || toks[i].is("{") || toks[i].is("[")) {
+        const std::size_t past = skip_balanced(toks, i);
+        if (past == i) break;
+        i = past;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  if (decl.names.empty()) return std::nullopt;
+  decl.next = i;
+  return decl;
+}
+
+FileIndex build_index(const std::vector<Tok>& toks, std::string_view raw) {
+  FileIndex out;
+  out.includes = quoted_includes(raw);
+
+  enum class FrameKind { kNamespace, kClass, kOther };
+  struct Frame {
+    FrameKind kind;
+    std::string cls;
+  };
+  std::vector<Frame> stack = {{FrameKind::kNamespace, ""}};
+
+  std::string pending_class;   // "class X" seen, waiting for '{'
+  bool pending_namespace = false;
+  bool at_stmt_start = true;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    const FrameKind scope = stack.back().kind;
+
+    if (t.is("{")) {
+      if (!pending_class.empty()) {
+        stack.push_back({FrameKind::kClass, pending_class});
+        pending_class.clear();
+      } else if (pending_namespace) {
+        stack.push_back({FrameKind::kNamespace, ""});
+        pending_namespace = false;
+      } else {
+        stack.push_back({FrameKind::kOther, ""});
+      }
+      at_stmt_start = true;
+      continue;
+    }
+    if (t.is("}")) {
+      if (stack.size() > 1) stack.pop_back();
+      at_stmt_start = true;
+      continue;
+    }
+    if (t.is(";")) {
+      pending_class.clear();  // was a forward declaration
+      pending_namespace = false;
+      at_stmt_start = true;
+      continue;
+    }
+
+    if (t.ident("namespace")) {
+      pending_namespace = true;
+      at_stmt_start = false;
+      continue;
+    }
+    if (t.ident("template") && i + 1 < toks.size() && toks[i + 1].is("<")) {
+      const std::size_t past = skip_balanced(toks, i + 1);
+      if (past != i + 1) i = past - 1;
+      continue;
+    }
+    if ((t.ident("class") || t.ident("struct")) &&
+        (scope == FrameKind::kNamespace || scope == FrameKind::kClass ||
+         scope == FrameKind::kOther)) {
+      // "class X ... {" opens a class scope; "class X;" is cancelled at ';'.
+      // "enum class" is handled under "enum" below (never reaches here).
+      if (i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent)
+        pending_class = toks[i + 1].text;
+      at_stmt_start = false;
+      continue;
+    }
+    if (t.ident("enum") || t.ident("union")) {
+      // Skip the whole body; enumerators are not variables.
+      std::size_t j = i + 1;
+      while (j < toks.size() && !toks[j].is("{") && !toks[j].is(";")) ++j;
+      if (j < toks.size() && toks[j].is("{")) j = skip_balanced(toks, j) - 1;
+      i = j;
+      at_stmt_start = true;
+      continue;
+    }
+    if (t.is(":") && i > 0 &&
+        (toks[i - 1].ident("public") || toks[i - 1].ident("private") ||
+         toks[i - 1].ident("protected"))) {
+      at_stmt_start = true;
+      continue;
+    }
+    if (t.ident("public") || t.ident("private") || t.ident("protected")) {
+      continue;
+    }
+
+    if (at_stmt_start && t.kind == TokKind::kIdent &&
+        (scope == FrameKind::kNamespace || scope == FrameKind::kClass)) {
+      if (auto decl = parse_decl(toks, i)) {
+        if (decl->info.line == 0) decl->info.line = t.line;
+        for (const std::string& name : decl->names) {
+          if (scope == FrameKind::kClass) {
+            auto& cls = out.classes[stack.back().cls];
+            cls.members[name] = decl->info;
+            if (decl->info.cls == VarClass::kMutex) cls.has_mutex = true;
+          } else {
+            out.globals[name] = decl->info;
+          }
+        }
+        i = decl->next > i ? decl->next - 1 : i;
+        at_stmt_start = false;
+        continue;
+      }
+    }
+    at_stmt_start = false;
+  }
+  return out;
+}
+
+}  // namespace dosm::analyze

@@ -1,0 +1,83 @@
+#pragma once
+// Declaration indexing for dosmeter_analyze.
+//
+// A lightweight, pragmatic model of the declarations the checks need:
+// which identifiers name unordered containers, mutexes, RAII lock guards,
+// atomics, floating-point accumulators, callbacks, and output streams —
+// at namespace scope, as class members, and (via parse_decl, used by the
+// check walker) as function locals. It is not a C++ parser: ambiguity is
+// resolved toward whatever keeps the checks' false-positive rate low, and
+// genuine exceptions go through the allowlist.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/token.h"
+
+namespace dosm::analyze {
+
+enum class VarClass {
+  kOther,
+  kUnordered,          // std::unordered_{map,set,multimap,multiset}
+  kOrderedContainer,   // vector / deque / string: order-bearing output state
+  kMutex,              // std::mutex and friends
+  kGuard,              // lock_guard / unique_lock / scoped_lock / shared_lock
+  kAtomic,             // std::atomic<...> / std::atomic_*
+  kFloat,              // float / double / long double
+  kIntegral,           // integer types: commutative accumulation is safe
+  kStdFunction,        // std::function: invoking one is an emission
+  kOStream,            // ostream / ofstream / ostringstream / stringstream
+};
+
+struct VarInfo {
+  VarClass cls = VarClass::kOther;
+  bool is_const = false;
+  bool is_static = false;
+  bool is_thread_local = false;
+  int line = 0;
+};
+
+/// One parsed declaration statement (possibly a structured binding with
+/// several names).
+struct ParsedDecl {
+  std::vector<std::string> names;
+  VarInfo info;
+  // Identifiers appearing in a parenthesized/braced initializer — for lock
+  // guards these name the mutexes being acquired.
+  std::vector<std::string> init_idents;
+  std::size_t next = 0;  // token index just past the declarator (at init/;)
+};
+
+struct ClassInfo {
+  std::unordered_map<std::string, VarInfo> members;
+  bool has_mutex = false;
+};
+
+struct FileIndex {
+  std::unordered_map<std::string, ClassInfo> classes;
+  std::unordered_map<std::string, VarInfo> globals;  // namespace-scope vars
+  std::vector<std::string> includes;  // quoted include targets, as written
+};
+
+/// Classifies a type token sequence starting at `i`; advances past the type
+/// (qualified name, builtin combos, template arguments, *, &). Returns
+/// nullopt if tokens at `i` do not look like a type.
+std::optional<VarInfo> parse_type(const std::vector<Tok>& toks, std::size_t i,
+                                  std::size_t& end);
+
+/// Attempts to parse a declaration statement at token `i` (qualifiers, type,
+/// declarator name(s)). Returns nullopt if this is not a declaration.
+std::optional<ParsedDecl> parse_decl(const std::vector<Tok>& toks, std::size_t i);
+
+/// Skips a balanced token run starting at an opener ('(', '{', '[', '<');
+/// returns the index just past the matching closer. For '<' the scan bails
+/// (returns `i`) if the tokens cannot be template arguments.
+std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t i);
+
+/// Pass 1: namespace-scope and class-member declarations plus includes.
+FileIndex build_index(const std::vector<Tok>& toks, std::string_view raw);
+
+}  // namespace dosm::analyze

@@ -1,0 +1,95 @@
+// dosmeter_analyze — CLI driver for the semantic static analyzer.
+//
+//   dosmeter_analyze --root <repo-root> [--allowlist <file>] <subdir> [subdir...]
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include "analyze/analyze_core.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::vector<std::string> subdirs;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (args[i] == "--allowlist" && i + 1 < args.size()) {
+      allowlist_path = args[++i];
+    } else if (args[i] == "--help" || args[i] == "-h") {
+      std::cout << "usage: dosmeter_analyze --root <repo-root> "
+                   "[--allowlist <file>] <subdir> [subdir...]\n";
+      return 0;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "dosmeter_analyze: unknown option " << args[i] << "\n";
+      return 2;
+    } else {
+      subdirs.push_back(args[i]);
+    }
+  }
+  if (subdirs.empty()) {
+    std::cerr << "dosmeter_analyze: no subdirectories given (try: src tools)\n";
+    return 2;
+  }
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "dosmeter_analyze: root is not a directory: " << root << "\n";
+    return 2;
+  }
+  for (const std::string& subdir : subdirs) {
+    if (!std::filesystem::is_directory(std::filesystem::path(root) / subdir)) {
+      std::cerr << "dosmeter_analyze: no such subdirectory under root: "
+                << subdir << "\n";
+      return 2;
+    }
+  }
+
+  if (allowlist_path.empty()) {
+    const auto default_path =
+        std::filesystem::path(root) / "tools" / "analyze_allowlist.txt";
+    if (std::filesystem::exists(default_path))
+      allowlist_path = default_path.string();
+  }
+  std::vector<dosm::analyze::AllowEntry> allow;
+  if (!allowlist_path.empty()) {
+    if (!std::filesystem::exists(allowlist_path)) {
+      std::cerr << "dosmeter_analyze: allowlist not found: " << allowlist_path
+                << "\n";
+      return 2;
+    }
+    allow = dosm::scan::parse_allowlist(read_file(allowlist_path));
+  }
+
+  const auto violations = dosm::analyze::analyze_tree(root, subdirs, allow);
+  for (const auto& v : violations) {
+    std::cerr << dosm::scan::format_violation(v) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cerr << "dosmeter_analyze: " << violations.size()
+              << " violation(s); legitimate exceptions go in "
+                 "tools/analyze_allowlist.txt or an inline "
+                 "'analyze:allow(<rule>)' comment\n";
+    return 1;
+  }
+  std::cout << "dosmeter_analyze: clean (" << subdirs.size()
+            << " tree(s) scanned)\n";
+  return 0;
+}

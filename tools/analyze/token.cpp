@@ -1,0 +1,148 @@
+#include "analyze/token.h"
+
+#include <cctype>
+
+namespace dosm::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-char punctuators the checks care about, longest first so maximal
+// munch holds. Anything unlisted lexes as single characters, which is fine:
+// no check distinguishes e.g. <<= from << plus =.
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPuncts2[] = {"::", "->", "++", "--", "+=", "-=",
+                                         "*=", "/=", "%=", "|=", "&=", "^=",
+                                         "==", "!=", "<=", ">=", "&&", "||",
+                                         "<<", ">>"};
+
+}  // namespace
+
+std::vector<Tok> lex(std::string_view blanked) {
+  std::vector<Tok> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = blanked.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = blanked[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: skip to end of line, honoring continuations.
+      while (i < n) {
+        if (blanked[i] == '\n') {
+          if (i > 0 && blanked[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(blanked[j])) ++j;
+      out.push_back({TokKind::kIdent, std::string(blanked.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(blanked[j]) || blanked[j] == '.' ||
+                       blanked[j] == '\'' ||
+                       ((blanked[j] == '+' || blanked[j] == '-') &&
+                        (blanked[j - 1] == 'e' || blanked[j - 1] == 'E' ||
+                         blanked[j - 1] == 'p' || blanked[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.push_back({TokKind::kNumber, std::string(blanked.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && blanked[j] != '"' && blanked[j] != '\n') ++j;
+      if (j < n && blanked[j] == '"') ++j;
+      out.push_back({TokKind::kString, "\"\"", line});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && blanked[j] != '\'' && blanked[j] != '\n') ++j;
+      if (j < n && blanked[j] == '\'') ++j;
+      out.push_back({TokKind::kChar, "''", line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (std::string_view p : kPuncts3) {
+      if (blanked.compare(i, p.size(), p) == 0) {
+        out.push_back({TokKind::kPunct, std::string(p), line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (std::string_view p : kPuncts2) {
+      if (blanked.compare(i, p.size(), p) == 0) {
+        out.push_back({TokKind::kPunct, std::string(p), line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> quoted_includes(std::string_view raw) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t eol = raw.find('\n', pos);
+    if (eol == std::string_view::npos) eol = raw.size();
+    std::string_view rl = raw.substr(pos, eol - pos);
+    // Cheap directive match; commented-out includes are rare enough that a
+    // spurious include edge only widens the (conservative) reachable set.
+    std::size_t k = rl.find_first_not_of(" \t");
+    if (k != std::string_view::npos && rl[k] == '#') {
+      std::size_t inc = rl.find("include", k);
+      if (inc != std::string_view::npos) {
+        std::size_t q0 = rl.find('"', inc);
+        if (q0 != std::string_view::npos) {
+          std::size_t q1 = rl.find('"', q0 + 1);
+          if (q1 != std::string_view::npos && q1 > q0 + 1)
+            out.emplace_back(rl.substr(q0 + 1, q1 - q0 - 1));
+        }
+      }
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace dosm::analyze

@@ -1,0 +1,40 @@
+#pragma once
+// Lexer for dosmeter_analyze: turns comment/string-blanked C++ into a flat
+// token stream with line numbers. This is deliberately not a C++ parser —
+// the analyzer's checks work on tokens plus a scope stack, which is enough
+// to track declarations, loops, guards, and throw sites without dragging in
+// a compiler frontend.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosm::analyze {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. 0x..., digit separators)
+  kString,  // "..." (contents already blanked by the scanner)
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, multi-char ops fused (::, <<, +=, ...)
+};
+
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based
+
+  bool is(std::string_view s) const { return text == s; }
+  bool ident(std::string_view s) const { return kind == TokKind::kIdent && text == s; }
+};
+
+/// Lexes blanked source (see scan::blank_comments_and_literals).
+/// Preprocessor directives are skipped line-wise (the include graph is read
+/// from the raw text instead, since blanking erases quoted include paths).
+std::vector<Tok> lex(std::string_view blanked);
+
+/// Repo-relative include targets of `raw` source: the X in #include "X".
+/// Angle-bracket (system) includes are ignored.
+std::vector<std::string> quoted_includes(std::string_view raw);
+
+}  // namespace dosm::analyze

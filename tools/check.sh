@@ -6,13 +6,17 @@
 #   hardened   escalated warning set promoted to errors (build only)
 #   asan       AddressSanitizer + UndefinedBehaviorSanitizer, full test suite
 #   tsan       ThreadSanitizer, full test suite
-#   lint       dosmeter_lint (repo-invariant linter) over src/
+#   integer    integer-overflow / lossy-conversion sanitizer, full test suite
+#   lint       dosmeter_lint (repo-invariant linter) over src/tools/bench/examples
+#   analyze    dosmeter_analyze (semantic determinism & concurrency analyzer)
+#              over src/tools/bench/examples
 #   tidy       clang-tidy over src/ and tools/ (skipped if not installed)
 #   metrics    observability invariants: detect dumps byte-identical with and
 #              without --metrics-out, and instrumentation overhead <= 3%
 #
 # Usage:
-#   tools/check.sh            # hardened + asan + tsan + lint + metrics (+ tidy)
+#   tools/check.sh            # hardened + asan + tsan + integer + lint +
+#                             # analyze + metrics (+ tidy)
 #   tools/check.sh asan lint  # just the named modes
 #
 # Build trees land in build-check-<mode>/ so they never disturb ./build.
@@ -23,7 +27,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 MODES=("$@")
 if [ ${#MODES[@]} -eq 0 ]; then
-  MODES=(hardened asan tsan lint metrics)
+  MODES=(hardened asan tsan integer lint analyze metrics)
   if command -v clang-tidy >/dev/null 2>&1; then
     MODES+=(tidy)
   fi
@@ -66,9 +70,19 @@ for mode in "${MODES[@]}"; do
       configure_and_build "$ROOT/build-check-tsan" -DDOSMETER_SANITIZE=thread
       run_tests "$ROOT/build-check-tsan"
       ;;
+    integer)
+      configure_and_build "$ROOT/build-check-integer" -DDOSMETER_SANITIZE=integer
+      run_tests "$ROOT/build-check-integer"
+      ;;
     lint)
       configure_and_build "$ROOT/build-check-lint" --target dosmeter_lint
-      "$ROOT/build-check-lint/tools/dosmeter_lint" --root "$ROOT" src tools
+      "$ROOT/build-check-lint/tools/dosmeter_lint" --root "$ROOT" \
+        src tools bench examples
+      ;;
+    analyze)
+      configure_and_build "$ROOT/build-check-lint" --target dosmeter_analyze
+      "$ROOT/build-check-lint/tools/dosmeter_analyze" --root "$ROOT" \
+        src tools bench examples
       ;;
     metrics)
       configure_and_build "$ROOT/build-check-metrics" \
@@ -98,7 +112,7 @@ for mode in "${MODES[@]}"; do
       configure_and_build "$ROOT/build-check-lint" --target tidy
       ;;
     *)
-      echo "unknown mode: $mode (expected hardened|asan|tsan|lint|tidy|metrics)" >&2
+      echo "unknown mode: $mode (expected hardened|asan|tsan|integer|lint|analyze|tidy|metrics)" >&2
       exit 2
       ;;
   esac

@@ -1,12 +1,7 @@
 #include "lint/lint_core.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <regex>
-#include <sstream>
-#include <tuple>
 
 namespace dosm::lint {
 namespace {
@@ -94,151 +89,18 @@ bool starts_with_any(std::string_view path, const std::vector<std::string>& pref
   });
 }
 
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
-}
-
-// Blanks comments and string/char literals with spaces, preserving line
-// structure so reported line numbers match the raw file.
-std::string blank_comments_and_literals(std::string_view src) {
-  std::string out(src);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for raw string literals: )delim"
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          // Raw string literal? Look back for R prefix.
-          if (i > 0 && out[i - 1] == 'R') {
-            std::size_t j = i + 1;
-            while (j < out.size() && out[j] != '(') ++j;
-            raw_delim = ")" + out.substr(i + 1, j - (i + 1)) + "\"";
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'') {
-          // Skip digit separators like 1'000'000.
-          if (!(i > 0 && (std::isalnum(static_cast<unsigned char>(out[i - 1])) != 0) &&
-                (std::isalnum(static_cast<unsigned char>(next)) != 0))) {
-            state = State::kChar;
-          }
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') state = State::kCode;
-        else out[i] = ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool allowed(const std::vector<AllowEntry>& allow, std::string_view rule,
-             std::string_view rel_path) {
-  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
-    return (e.rule == "*" || e.rule == rule) && ends_with(rel_path, e.path_suffix);
-  });
-}
-
-bool has_inline_allow(std::string_view raw_line, std::string_view rule) {
-  const std::string marker = "lint:allow(" + std::string(rule) + ")";
-  return raw_line.find(marker) != std::string_view::npos;
-}
-
-std::vector<std::string> split_lines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
 }  // namespace
-
-std::vector<AllowEntry> parse_allowlist(std::string_view text) {
-  std::vector<AllowEntry> entries;
-  for (const std::string& line : split_lines(text)) {
-    std::istringstream in(line);
-    std::string rule;
-    std::string suffix;
-    if (!(in >> rule) || rule[0] == '#') continue;
-    if (in >> suffix) entries.push_back(AllowEntry{rule, suffix});
-  }
-  return entries;
-}
 
 std::vector<Violation> lint_source(std::string_view rel_path,
                                    std::string_view contents,
                                    const std::vector<AllowEntry>& allow) {
   std::vector<Violation> out;
-  const std::string blanked = blank_comments_and_literals(contents);
-  const std::vector<std::string> raw_lines = split_lines(contents);
-  const std::vector<std::string> code_lines = split_lines(blanked);
+  const std::string blanked = scan::blank_comments_and_literals(contents);
+  const std::vector<std::string> raw_lines = scan::split_lines(contents);
+  const std::vector<std::string> code_lines = scan::split_lines(blanked);
   for (const Rule& rule : rules()) {
     if (!starts_with_any(rel_path, rule.path_prefixes)) continue;
-    if (allowed(allow, rule.id, rel_path)) continue;
+    if (scan::allowed(allow, rule.id, rel_path)) continue;
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
       if (rule.match_raw) {
         static const std::regex kIncludeDirective(R"(^\s*#\s*include\b)");
@@ -247,46 +109,34 @@ std::vector<Violation> lint_source(std::string_view rel_path,
       } else {
         if (!std::regex_search(code_lines[i], rule.pattern)) continue;
       }
-      if (i < raw_lines.size() && has_inline_allow(raw_lines[i], rule.id)) continue;
+      if (i < raw_lines.size() && scan::has_inline_allow(raw_lines[i], "lint", rule.id))
+        continue;
       out.push_back(Violation{std::string(rel_path), static_cast<int>(i) + 1,
                               rule.id, rule.detail});
     }
   }
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
+  scan::sort_violations(out);
   return out;
 }
 
 std::vector<Violation> lint_tree(const std::string& root,
                                  const std::vector<std::string>& subdirs,
                                  const std::vector<AllowEntry>& allow) {
-  namespace fs = std::filesystem;
   std::vector<Violation> out;
-  for (const std::string& subdir : subdirs) {
-    const fs::path base = fs::path(root) / subdir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") continue;
-      std::string rel = fs::relative(entry.path(), root).generic_string();
-      std::ifstream in(entry.path(), std::ios::binary);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      const std::string contents = buf.str();
-      auto file_violations = lint_source(rel, contents, allow);
-      out.insert(out.end(), file_violations.begin(), file_violations.end());
-    }
+  std::vector<std::string> rel_paths;
+  for (const scan::SourceFile& file : scan::load_tree(root, subdirs)) {
+    rel_paths.push_back(file.rel_path);
+    auto file_violations = lint_source(file.rel_path, file.contents, allow);
+    out.insert(out.end(), file_violations.begin(), file_violations.end());
   }
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
+  for (const AllowEntry& e : scan::stale_entries(allow, rel_paths)) {
+    out.push_back(Violation{
+        "tools/lint_allowlist.txt", 0, "stale-allowlist",
+        "allowlist entry '" + e.rule + " " + e.path_suffix +
+            "' matches no scanned file; prune it"});
+  }
+  scan::sort_violations(out);
   return out;
-}
-
-std::string format_violation(const Violation& v) {
-  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " + v.detail;
 }
 
 }  // namespace dosm::lint

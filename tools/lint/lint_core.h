@@ -10,29 +10,24 @@
 //   include-hygiene   no parent-relative includes, C-compat headers, bits/
 //
 // Exceptions go through tools/lint_allowlist.txt ("rule path-suffix" lines)
-// or an inline "lint:allow(rule)" comment on the offending line.
+// or an inline "lint:allow(rule)" comment on the offending line. The
+// deeper, flow-sensitive contracts (ordered emission, lock discipline,
+// exception types) live in the sibling analyzer, tools/analyze/.
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "scan/scan_util.h"
+
 namespace dosm::lint {
 
-struct Violation {
-  std::string file;  // path relative to the scanned root, '/'-separated
-  int line = 0;      // 1-based
-  std::string rule;
-  std::string detail;
-};
-
-struct AllowEntry {
-  std::string rule;         // rule id, or "*" for any rule
-  std::string path_suffix;  // matched against the end of the relative path
-};
-
-// Parses allowlist text: one "rule path-suffix" pair per line; '#' comments
-// and blank lines ignored.
-std::vector<AllowEntry> parse_allowlist(std::string_view text);
+// Line-oriented scanning, allowlist handling, and reporting are shared with
+// dosmeter_analyze through tools/scan/.
+using Violation = scan::Violation;
+using AllowEntry = scan::AllowEntry;
+using scan::format_violation;
+using scan::parse_allowlist;
 
 // Lints one file's contents. Comments and string/char literals are blanked
 // before rules run, so banned tokens inside them never fire; the inline
@@ -42,12 +37,11 @@ std::vector<Violation> lint_source(std::string_view rel_path,
                                    const std::vector<AllowEntry>& allow);
 
 // Recursively lints every .h/.hpp/.cc/.cpp file under root/<subdir> for each
-// subdir. Returned violations are sorted by (file, line, rule).
+// subdir. Returned violations are sorted by (file, line, rule). Allowlist
+// entries that match no scanned file are reported as "stale-allowlist"
+// violations so dead exceptions get pruned instead of rotting.
 std::vector<Violation> lint_tree(const std::string& root,
                                  const std::vector<std::string>& subdirs,
                                  const std::vector<AllowEntry>& allow);
-
-// Human-readable one-line rendering: "file:line: [rule] detail".
-std::string format_violation(const Violation& v);
 
 }  // namespace dosm::lint

@@ -1,0 +1,195 @@
+#include "scan/scan_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace dosm::scan {
+
+std::vector<AllowEntry> parse_allowlist(std::string_view text) {
+  std::vector<AllowEntry> entries;
+  for (const std::string& line : split_lines(text)) {
+    std::istringstream in(line);
+    std::string rule;
+    std::string suffix;
+    if (!(in >> rule) || rule[0] == '#') continue;
+    if (in >> suffix) entries.push_back(AllowEntry{rule, suffix});
+  }
+  return entries;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool allowed(const std::vector<AllowEntry>& allow, std::string_view rule,
+             std::string_view rel_path) {
+  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
+    return (e.rule == "*" || e.rule == rule) && ends_with(rel_path, e.path_suffix);
+  });
+}
+
+bool has_inline_allow(std::string_view raw_line, std::string_view marker,
+                      std::string_view rule) {
+  const std::string needle =
+      std::string(marker) + ":allow(" + std::string(rule) + ")";
+  return raw_line.find(needle) != std::string_view::npos;
+}
+
+std::vector<AllowEntry> stale_entries(const std::vector<AllowEntry>& allow,
+                                      const std::vector<std::string>& rel_paths) {
+  std::vector<AllowEntry> stale;
+  for (const AllowEntry& e : allow) {
+    const bool matches_some_file =
+        std::any_of(rel_paths.begin(), rel_paths.end(),
+                    [&](const std::string& p) { return ends_with(p, e.path_suffix); });
+    if (!matches_some_file) stale.push_back(e);
+  }
+  return stale;
+}
+
+std::string blank_comments_and_literals(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw string literals: )delim"
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string literal? Look back for R prefix.
+          if (i > 0 && out[i - 1] == 'R') {
+            std::size_t j = i + 1;
+            while (j < out.size() && out[j] != '(') ++j;
+            raw_delim = ")" + out.substr(i + 1, j - (i + 1)) + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Skip digit separators like 1'000'000.
+          if (!(i > 0 && (std::isalnum(static_cast<unsigned char>(out[i - 1])) != 0) &&
+                (std::isalnum(static_cast<unsigned char>(next)) != 0))) {
+            state = State::kChar;
+          }
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Blank the delimiter but keep its closing quote so the blanked
+          // text still tokenizes as a balanced "" string literal.
+          for (std::size_t j = i; j + 1 < i + raw_delim.size(); ++j) out[j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> out;
+  for (const std::string& subdir : subdirs) {
+    const fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      out.push_back(SourceFile{fs::relative(entry.path(), root).generic_string(),
+                               buf.str()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SourceFile& a, const SourceFile& b) {
+    return a.rel_path < b.rel_path;
+  });
+  return out;
+}
+
+void sort_violations(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+}
+
+std::string format_violation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " + v.detail;
+}
+
+}  // namespace dosm::scan

@@ -1,0 +1,72 @@
+#pragma once
+// Shared source-scanning utilities for the repo's static-checking tools
+// (dosmeter_lint, dosmeter_analyze). Both tools share the same suppression
+// conventions: a "<rule> <path-suffix>" allowlist file plus an inline
+// "<marker>:allow(<rule>)" comment on the offending line — only the marker
+// prefix ("lint" vs "analyze") differs.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosm::scan {
+
+struct Violation {
+  std::string file;  // path relative to the scanned root, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string detail;
+};
+
+struct AllowEntry {
+  std::string rule;         // rule id, or "*" for any rule
+  std::string path_suffix;  // matched against the end of the relative path
+};
+
+/// One source file loaded from a scan tree.
+struct SourceFile {
+  std::string rel_path;  // relative to the scanned root, '/'-separated
+  std::string contents;
+};
+
+/// Parses allowlist text: one "rule path-suffix" pair per line; '#' comments
+/// and blank lines ignored.
+std::vector<AllowEntry> parse_allowlist(std::string_view text);
+
+/// True if `rule` at `rel_path` is suppressed by some allowlist entry.
+bool allowed(const std::vector<AllowEntry>& allow, std::string_view rule,
+             std::string_view rel_path);
+
+/// True if the raw line carries "<marker>:allow(<rule>)" (e.g. marker
+/// "lint" -> "lint:allow(wall-clock)").
+bool has_inline_allow(std::string_view raw_line, std::string_view marker,
+                      std::string_view rule);
+
+/// Allowlist entries whose path suffix matches none of `rel_paths`: stale
+/// entries that outlived the file (or tree) they excepted and must be pruned.
+std::vector<AllowEntry> stale_entries(const std::vector<AllowEntry>& allow,
+                                      const std::vector<std::string>& rel_paths);
+
+/// Blanks comments and string/char literals with spaces, preserving line
+/// structure (and the literals' delimiting quotes) so both line numbers and
+/// token boundaries survive.
+std::string blank_comments_and_literals(std::string_view src);
+
+/// Splits text into lines (no trailing '\n' on each).
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Recursively loads every .h/.hpp/.cc/.cpp file under root/<subdir> for
+/// each subdir, sorted by relative path so scans are deterministic.
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  const std::vector<std::string>& subdirs);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Sorts by (file, line, rule) — the canonical report order.
+void sort_violations(std::vector<Violation>& violations);
+
+/// Human-readable one-line rendering: "file:line: [rule] detail".
+std::string format_violation(const Violation& v);
+
+}  // namespace dosm::scan
