@@ -1,0 +1,62 @@
+// Per-query execution budgets for the serving layer.
+//
+// A production query API cannot let one expensive query starve every other
+// client, so the executor enforces two independent ceilings while a query
+// runs (src/serve wires them per request; library callers default to
+// unlimited):
+//
+//   max_rows     candidate rows the executor may VERIFY (rows visited by the
+//                chosen access path, matching or not). Row accounting is a
+//                pure function of (snapshot, query), so a row-budget abort
+//                is fully deterministic: the same query against the same
+//                snapshot version aborts at the same row on every worker.
+//
+//   deadline_ns  absolute obs::monotonic_now_ns() deadline, checked every
+//                few thousand rows. Whether a timeout fires is inherently
+//                timing-dependent; it can only ever convert a response into
+//                an error, never change the bytes of a successful one —
+//                which is how the serve determinism contract survives
+//                wall-clock admission (DESIGN.md §12).
+//
+// A blown budget surfaces as BudgetExceeded; the serve layer maps it to a
+// deterministic JSON error response (HTTP 422).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dosm::query {
+
+struct ExecBudget {
+  /// Candidate rows the executor may verify; 0 = unlimited.
+  std::uint64_t max_rows = 0;
+  /// Absolute monotonic-clock deadline in ns (obs::monotonic_now_ns
+  /// epoch); 0 = none.
+  std::uint64_t deadline_ns = 0;
+
+  bool unlimited() const { return max_rows == 0 && deadline_ns == 0; }
+};
+
+class BudgetExceeded : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kRows, kTime };
+
+  BudgetExceeded(Kind kind, std::uint64_t limit)
+      : std::runtime_error(kind == Kind::kRows
+                               ? "query row budget exceeded (max_rows=" +
+                                     std::to_string(limit) + ")"
+                               : "query time budget exceeded"),
+        kind_(kind),
+        limit_(limit) {}
+
+  Kind kind() const { return kind_; }
+  /// The max_rows limit for kRows; the deadline for kTime.
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  Kind kind_;
+  std::uint64_t limit_;
+};
+
+}  // namespace dosm::query

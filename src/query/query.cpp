@@ -1,8 +1,76 @@
 #include "query/query.h"
 
+#include <bit>
 #include <sstream>
 
+#include "common/sanitize.h"
+
 namespace dosm::query {
+namespace {
+
+/// FNV-1a-64 over explicitly little-endian byte sequences: byte-for-byte
+/// identical on every platform. Wraparound is the algorithm.
+struct CanonicalHasher {
+  std::uint64_t state = 14695981039346656037ull;
+
+  DOSM_ALLOW_UNSIGNED_WRAP void byte(std::uint8_t b) {
+    state ^= b;
+    state *= 1099511628211ull;
+  }
+  void u16(std::uint16_t v) {
+    byte(static_cast<std::uint8_t>(v & 0xff));
+    byte(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      byte(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      byte(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
+
+std::uint64_t Query::cache_key() const {
+  // Each field folds a distinct tag byte, a presence byte, and (when
+  // present) its value, so absent-vs-default and field-vs-field never
+  // alias. Field order is fixed forever; new fields append new tags.
+  CanonicalHasher h;
+  h.byte(0x01);
+  h.byte(time ? 1 : 0);
+  if (time) {
+    h.f64(time->begin);
+    h.f64(time->end);
+  }
+  h.byte(0x02);
+  h.byte(static_cast<std::uint8_t>(source));
+  h.byte(0x03);
+  h.byte(prefix ? 1 : 0);
+  if (prefix) {
+    h.u32(prefix->network().value());
+    h.byte(static_cast<std::uint8_t>(prefix->length()));
+  }
+  h.byte(0x04);
+  h.byte(asn ? 1 : 0);
+  if (asn) h.u32(*asn);
+  h.byte(0x05);
+  h.byte(country ? 1 : 0);
+  if (country) {
+    const std::string code = country->to_string();
+    h.byte(static_cast<std::uint8_t>(code[0]));
+    h.byte(static_cast<std::uint8_t>(code[1]));
+  }
+  h.byte(0x06);
+  h.byte(port ? 1 : 0);
+  if (port) h.u16(*port);
+  h.byte(0x07);
+  h.byte(min_intensity ? 1 : 0);
+  if (min_intensity) h.f64(*min_intensity);
+  return h.state;
+}
 
 std::string to_string(const Query& query) {
   std::ostringstream out;

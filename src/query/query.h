@@ -76,6 +76,15 @@ struct Query {
     min_intensity = intensity;
     return *this;
   }
+
+  /// Canonical 64-bit hash over EVERY filter field (presence and value),
+  /// platform-stable: fields are folded in a fixed order with distinct
+  /// per-field tags, doubles by bit pattern, so two queries collide only if
+  /// they are semantically different yet hash-equal (the result cache pairs
+  /// this key with the canonical string to rule even that out). Any change
+  /// to any field changes the key (unit-tested); extending Query means
+  /// extending this function and its test.
+  std::uint64_t cache_key() const;
 };
 
 /// Human-readable filter list, e.g. for --explain output.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -36,6 +37,8 @@ struct QueryMetrics {
   obs::Counter& postings_clipped;
   obs::Counter& segments_scanned;
   obs::Counter& segments_skipped;
+  obs::Counter& budget_rows_exceeded;
+  obs::Counter& budget_time_exceeded;
   obs::Histogram& build_seconds;
 
   static QueryMetrics& get() {
@@ -62,6 +65,10 @@ struct QueryMetrics {
                       "Segments executed on behalf of queries"),
           reg.counter("query.segment.skipped",
                       "Segments skipped by time-range segment clipping"),
+          reg.counter("query.budget.rows_exceeded",
+                      "Queries aborted by the candidate-row budget"),
+          reg.counter("query.budget.time_exceeded",
+                      "Queries aborted by the execution deadline"),
           reg.histogram("query.snapshot_build_seconds",
                         "Batch snapshot build time (all segments)",
                         obs::latency_buckets()),
@@ -81,6 +88,38 @@ struct QueryMetrics {
       case IndexChoice::kPort: exec_port.inc(); return;
     }
   }
+};
+
+/// Per-execution budget accounting. charge() runs once per verified
+/// candidate row; row accounting is exact (deterministic aborts), the
+/// deadline is polled every kDeadlineStride rows to keep the hot loop off
+/// the clock.
+class BudgetState {
+ public:
+  explicit BudgetState(const ExecBudget& budget) : budget_(budget) {}
+
+  void charge() {
+    if (budget_.unlimited()) return;
+    ++rows_;
+    if (budget_.max_rows != 0 && rows_ > budget_.max_rows) {
+      QueryMetrics::get().budget_rows_exceeded.inc();
+      throw BudgetExceeded(BudgetExceeded::Kind::kRows, budget_.max_rows);
+    }
+    // Poll on the first row (fail fast on an already-expired deadline —
+    // scans shorter than the stride would otherwise never look at the
+    // clock), then once per stride.
+    if (budget_.deadline_ns != 0 && rows_ % kDeadlineStride == 1 &&
+        obs::monotonic_now_ns() > budget_.deadline_ns) {
+      QueryMetrics::get().budget_time_exceeded.inc();
+      throw BudgetExceeded(BudgetExceeded::Kind::kTime, budget_.deadline_ns);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kDeadlineStride = 4096;
+
+  const ExecBudget& budget_;
+  std::uint64_t rows_ = 0;
 };
 
 }  // namespace
@@ -223,8 +262,10 @@ bool Snapshot::row_matches(const Query& query, const EventFrame& frame,
 }
 
 template <typename Fn>
-void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
+void Snapshot::for_each_match(const Query& query, const ExecBudget& budget,
+                              Fn&& fn) const {
   QueryMetrics& metrics = QueryMetrics::get();
+  BudgetState spent(budget);
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     const FrameSegment& seg = *segments_[s];
     if (query.time && !seg.overlaps(query.time->begin, query.time->end)) {
@@ -243,17 +284,23 @@ void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
     const auto verify_postings = [&](std::span<const std::uint32_t> postings) {
       const auto clipped = clip(postings, time_rows);
       metrics.postings_clipped.add(postings.size() - clipped.size());
-      for (const std::uint32_t row : clipped)
+      for (const std::uint32_t row : clipped) {
+        spent.charge();
         if (row_matches(query, frame, row)) fn(frame, row, base + row);
+      }
     };
     switch (chosen.choice) {
       case IndexChoice::kFullScan:
-        for (std::uint32_t row = 0; row < frame.size(); ++row)
+        for (std::uint32_t row = 0; row < frame.size(); ++row) {
+          spent.charge();
           if (row_matches(query, frame, row)) fn(frame, row, base + row);
+        }
         break;
       case IndexChoice::kTimeRange:
-        for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row)
+        for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row) {
+          spent.charge();
           if (row_matches(query, frame, row)) fn(frame, row, base + row);
+        }
         break;
       case IndexChoice::kTarget32:
         verify_postings(seg.index().by_target(query.prefix->network().value()));
@@ -275,25 +322,28 @@ void Snapshot::for_each_match(const Query& query, Fn&& fn) const {
   }
 }
 
-std::uint64_t Snapshot::count(const Query& query) const {
+std::uint64_t Snapshot::count(const Query& query,
+                              const ExecBudget& budget) const {
   std::uint64_t n = 0;
-  for_each_match(query,
+  for_each_match(query, budget,
                  [&](const EventFrame&, std::uint32_t, std::uint32_t) { ++n; });
   return n;
 }
 
-std::uint64_t Snapshot::unique_targets(const Query& query) const {
+std::uint64_t Snapshot::unique_targets(const Query& query,
+                                       const ExecBudget& budget) const {
   std::unordered_set<std::uint32_t> targets;
-  for_each_match(query,
+  for_each_match(query, budget,
                  [&](const EventFrame& frame, std::uint32_t row,
                      std::uint32_t) { targets.insert(frame.target()[row]); });
   return targets.size();
 }
 
-DailySeries Snapshot::daily_attacks(const Query& query) const {
+DailySeries Snapshot::daily_attacks(const Query& query,
+                                    const ExecBudget& budget) const {
   DailySeries series(window_.num_days());
-  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
-                            std::uint32_t) {
+  for_each_match(query, budget, [&](const EventFrame& frame, std::uint32_t row,
+                                    std::uint32_t) {
     const std::int32_t day = frame.day()[row];
     if (day >= 0) series.add(day, 1.0);
   });
@@ -301,9 +351,10 @@ DailySeries Snapshot::daily_attacks(const Query& query) const {
 }
 
 std::vector<TargetCount> Snapshot::top_targets(const Query& query,
-                                               std::size_t k) const {
+                                               std::size_t k,
+                                               const ExecBudget& budget) const {
   std::unordered_map<std::uint32_t, std::uint64_t> counts;
-  for_each_match(query,
+  for_each_match(query, budget,
                  [&](const EventFrame& frame, std::uint32_t row,
                      std::uint32_t) { ++counts[frame.target()[row]]; });
   std::vector<TargetCount> out;
@@ -319,12 +370,12 @@ std::vector<TargetCount> Snapshot::top_targets(const Query& query,
   return out;
 }
 
-std::vector<AsnCount> Snapshot::top_asns(const Query& query,
-                                         std::size_t k) const {
+std::vector<AsnCount> Snapshot::top_asns(const Query& query, std::size_t k,
+                                         const ExecBudget& budget) const {
   std::unordered_map<meta::Asn, std::unordered_set<std::uint32_t>> targets;
   std::unordered_map<meta::Asn, std::uint64_t> events;
-  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
-                            std::uint32_t) {
+  for_each_match(query, budget, [&](const EventFrame& frame, std::uint32_t row,
+                                    std::uint32_t) {
     const meta::Asn asn = frame.asn()[row];
     if (asn == meta::kUnknownAsn) return;
     targets[asn].insert(frame.target()[row]);
@@ -343,7 +394,7 @@ std::vector<AsnCount> Snapshot::top_asns(const Query& query,
 }
 
 std::vector<core::CountryCount> Snapshot::country_ranking(
-    const Query& query) const {
+    const Query& query, const ExecBudget& budget) const {
   // Packed codes order exactly like CountryCode (both compare the two ASCII
   // letters lexicographically), so sorting on the packed key reproduces the
   // EventStore tie-break. The first-seen dedup walks global row order, so
@@ -351,8 +402,8 @@ std::vector<core::CountryCount> Snapshot::country_ranking(
   std::unordered_set<std::uint32_t> seen;
   std::unordered_map<PackedCountry, std::uint64_t> counts;
   std::uint64_t total = 0;
-  for_each_match(query, [&](const EventFrame& frame, std::uint32_t row,
-                            std::uint32_t) {
+  for_each_match(query, budget, [&](const EventFrame& frame, std::uint32_t row,
+                                    std::uint32_t) {
     if (!seen.insert(frame.target()[row]).second) return;
     ++counts[frame.country()[row]];
     ++total;
@@ -374,16 +425,17 @@ std::vector<core::CountryCount> Snapshot::country_ranking(
   return out;
 }
 
-std::vector<core::CountryCount> Snapshot::top_countries(const Query& query,
-                                                        std::size_t k) const {
-  auto ranking = country_ranking(query);
+std::vector<core::CountryCount> Snapshot::top_countries(
+    const Query& query, std::size_t k, const ExecBudget& budget) const {
+  auto ranking = country_ranking(query, budget);
   if (ranking.size() > k) ranking.resize(k);
   return ranking;
 }
 
-std::vector<std::uint32_t> Snapshot::match_rows(const Query& query) const {
+std::vector<std::uint32_t> Snapshot::match_rows(const Query& query,
+                                                const ExecBudget& budget) const {
   std::vector<std::uint32_t> rows;
-  for_each_match(query,
+  for_each_match(query, budget,
                  [&](const EventFrame&, std::uint32_t, std::uint32_t global) {
                    rows.push_back(global);
                  });

@@ -27,6 +27,7 @@
 
 #include "common/stats.h"
 #include "core/event_store.h"
+#include "query/budget.h"
 #include "query/build_context.h"
 #include "query/event_frame.h"
 #include "query/index.h"
@@ -84,21 +85,30 @@ class Snapshot {
   /// execution cost). Empty snapshots report a zero-candidate full scan.
   QueryPlan plan(const Query& query) const;
 
-  std::uint64_t count(const Query& query) const;
-  std::uint64_t unique_targets(const Query& query) const;
+  // Every aggregation accepts an optional ExecBudget (default: unlimited).
+  // Blowing the row budget is deterministic for a given (snapshot, query);
+  // both budget kinds surface as BudgetExceeded (see query/budget.h).
+  std::uint64_t count(const Query& query, const ExecBudget& budget = {}) const;
+  std::uint64_t unique_targets(const Query& query,
+                               const ExecBudget& budget = {}) const;
   /// Attacks per window day (events starting outside the window are
   /// dropped, as in EventStore::daily_breakdown).
-  DailySeries daily_attacks(const Query& query) const;
-  std::vector<TargetCount> top_targets(const Query& query, std::size_t k) const;
-  std::vector<AsnCount> top_asns(const Query& query, std::size_t k) const;
+  DailySeries daily_attacks(const Query& query,
+                            const ExecBudget& budget = {}) const;
+  std::vector<TargetCount> top_targets(const Query& query, std::size_t k,
+                                       const ExecBudget& budget = {}) const;
+  std::vector<AsnCount> top_asns(const Query& query, std::size_t k,
+                                 const ExecBudget& budget = {}) const;
   /// Table-4 semantics: unique matching targets per country, descending,
   /// with shares. Identical output to EventStore::country_ranking for the
   /// same source filter (regression-tested byte-for-byte).
-  std::vector<core::CountryCount> country_ranking(const Query& query) const;
-  std::vector<core::CountryCount> top_countries(const Query& query,
-                                                std::size_t k) const;
+  std::vector<core::CountryCount> country_ranking(
+      const Query& query, const ExecBudget& budget = {}) const;
+  std::vector<core::CountryCount> top_countries(
+      const Query& query, std::size_t k, const ExecBudget& budget = {}) const;
   /// Matching global row ids in frame order (ascending start).
-  std::vector<std::uint32_t> match_rows(const Query& query) const;
+  std::vector<std::uint32_t> match_rows(const Query& query,
+                                        const ExecBudget& budget = {}) const;
 
  private:
   struct Located {
@@ -112,9 +122,11 @@ class Snapshot {
   static QueryPlan plan_segment(const Query& query, const FrameSegment& seg);
 
   /// Calls fn(frame, local_row, global_row) for every matching row, in
-  /// global row order.
+  /// global row order. Charges every VERIFIED candidate row against the
+  /// budget; throws BudgetExceeded when a ceiling is hit.
   template <typename Fn>
-  void for_each_match(const Query& query, Fn&& fn) const;
+  void for_each_match(const Query& query, const ExecBudget& budget,
+                      Fn&& fn) const;
 
   StudyWindow window_;
   std::vector<std::shared_ptr<const FrameSegment>> segments_;

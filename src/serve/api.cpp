@@ -1,0 +1,344 @@
+#include "serve/api.h"
+
+#include <charconv>
+
+#include "common/time.h"
+#include "serve/json.h"
+#include "serve/metrics.h"
+
+namespace dosm::serve {
+namespace {
+
+constexpr std::string_view kJson = "application/json";
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+ApiCall bad_request(std::string error) {
+  ApiCall call;
+  call.endpoint = Endpoint::kBadRequest;
+  call.error = std::move(error);
+  return call;
+}
+
+/// Canonical, injective rendering of the resolved call — the cache-key
+/// material. Doubles render via to_chars shortest-round-trip, so two
+/// different queries always canonicalize differently.
+std::string canonicalize(const ApiCall& call) {
+  const query::Query& q = call.query;
+  std::string out = "agg=";
+  out += call.agg;
+  out += ";k=";
+  out += std::to_string(call.k);
+  out += ";explain=";
+  out += call.explain ? '1' : '0';
+  out += ";t=";
+  if (q.time) {
+    out += json_double(q.time->begin);
+    out += ',';
+    out += json_double(q.time->end);
+  } else {
+    out += '-';
+  }
+  out += ";src=";
+  out += core::to_string(q.source);
+  out += ";pfx=";
+  out += q.prefix ? q.prefix->to_string() : "-";
+  out += ";asn=";
+  out += q.asn ? std::to_string(*q.asn) : "-";
+  out += ";cc=";
+  out += q.country ? q.country->to_string() : "-";
+  out += ";port=";
+  out += q.port ? std::to_string(*q.port) : "-";
+  out += ";min=";
+  out += q.min_intensity ? json_double(*q.min_intensity) : "-";
+  return out;
+}
+
+/// Applies one query parameter to the call. Returns an error message, or
+/// empty on success. Day/second time params are collected by the caller.
+std::string apply_param(const std::string& key, const std::string& value,
+                        ApiCall& call) {
+  query::Query& q = call.query;
+  try {
+    if (key == "source") {
+      if (value == "telescope")
+        q.from_source(core::SourceFilter::kTelescope);
+      else if (value == "honeypot")
+        q.from_source(core::SourceFilter::kHoneypot);
+      else if (value == "combined")
+        q.from_source(core::SourceFilter::kCombined);
+      else
+        return "source must be telescope|honeypot|combined";
+    } else if (key == "prefix") {
+      q.in_prefix(net::Prefix::parse(value));
+    } else if (key == "asn") {
+      std::uint64_t asn = 0;
+      if (!parse_u64(value, asn) || asn > 0xffffffffull)
+        return "malformed asn";
+      q.in_asn(static_cast<meta::Asn>(asn));
+    } else if (key == "country") {
+      q.in_country(meta::CountryCode(value));
+    } else if (key == "port") {
+      std::uint64_t port = 0;
+      if (!parse_u64(value, port) || port > 0xffff) return "malformed port";
+      q.on_port(static_cast<std::uint16_t>(port));
+    } else if (key == "min_intensity") {
+      double intensity = 0.0;
+      if (!parse_f64(value, intensity)) return "malformed min_intensity";
+      q.at_least(intensity);
+    } else if (key == "agg") {
+      if (value != "summary" && value != "daily" && value != "top-targets" &&
+          value != "top-asns" && value != "top-countries" && value != "events")
+        return "unknown agg: " + value;
+      call.agg = value;
+    } else if (key == "k") {
+      std::uint64_t k = 0;
+      if (!parse_u64(value, k) || k == 0 || k > kMaxK)
+        return "k must be in [1, " + std::to_string(kMaxK) + "]";
+      call.k = static_cast<std::size_t>(k);
+    } else if (key == "explain") {
+      if (value != "0" && value != "1") return "explain must be 0 or 1";
+      call.explain = value == "1";
+    } else {
+      return "unknown parameter: " + key;
+    }
+  } catch (const std::invalid_argument& e) {
+    return std::string("malformed ") + key + ": " + e.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+ApiResponse error_response(int status, std::string_view message) {
+  JsonWriter w;
+  w.begin_object().key("error").value(message).end_object();
+  return ApiResponse{status, std::string(kJson), std::move(w).take()};
+}
+
+ApiResponse execute_root() {
+  JsonWriter w;
+  w.begin_object()
+      .key("service")
+      .value("dosmeter query server")
+      .key("endpoints")
+      .begin_array()
+      .value("/healthz")
+      .value("/metrics")
+      .value("/query")
+      .end_array()
+      .end_object();
+  return ApiResponse{200, std::string(kJson), std::move(w).take()};
+}
+
+ApiResponse execute_health(const query::Snapshot* snapshot) {
+  if (snapshot == nullptr) return error_response(503, "no snapshot published");
+  JsonWriter w;
+  w.begin_object()
+      .key("status")
+      .value("ok")
+      .key("snapshot_version")
+      .value(snapshot->version())
+      .key("events")
+      .value(static_cast<std::uint64_t>(snapshot->size()))
+      .key("segments")
+      .value(static_cast<std::uint64_t>(snapshot->num_segments()))
+      .end_object();
+  return ApiResponse{200, std::string(kJson), std::move(w).take()};
+}
+
+ApiCall parse_api_call(const HttpRequest& request, const StudyWindow& window) {
+  ApiCall call;
+  if (request.path == "/" || request.path.empty()) {
+    call.endpoint = request.method == "GET" ? Endpoint::kRoot
+                                            : Endpoint::kMethodNotAllowed;
+    return call;
+  }
+  if (request.path == "/healthz") {
+    call.endpoint = request.method == "GET" ? Endpoint::kHealth
+                                            : Endpoint::kMethodNotAllowed;
+    return call;
+  }
+  if (request.path == "/metrics") {
+    call.endpoint = request.method == "GET" ? Endpoint::kMetrics
+                                            : Endpoint::kMethodNotAllowed;
+    return call;
+  }
+  if (request.path != "/query") {
+    call.endpoint = Endpoint::kNotFound;
+    return call;
+  }
+  if (request.method != "GET" && request.method != "POST") {
+    call.endpoint = Endpoint::kMethodNotAllowed;
+    return call;
+  }
+
+  // POST bodies carry form-encoded parameters appended after URL ones.
+  std::vector<std::pair<std::string, std::string>> params = request.params;
+  if (request.method == "POST" && !request.body.empty() &&
+      !parse_query_string(request.body, params))
+    return bad_request("malformed form body");
+
+  // Time parameters resolve to one half-open [begin, end) range. Days and
+  // raw seconds are mutually exclusive.
+  std::optional<CivilDate> from;
+  std::optional<CivilDate> to;
+  std::optional<double> t0;
+  std::optional<double> t1;
+  for (const auto& [key, value] : params) {
+    try {
+      if (key == "from") {
+        from = parse_civil(value);
+      } else if (key == "to") {
+        to = parse_civil(value);
+      } else if (key == "t0") {
+        double t = 0.0;
+        if (!parse_f64(value, t)) return bad_request("malformed t0");
+        t0 = t;
+      } else if (key == "t1") {
+        double t = 0.0;
+        if (!parse_f64(value, t)) return bad_request("malformed t1");
+        t1 = t;
+      } else {
+        const std::string error = apply_param(key, value, call);
+        if (!error.empty()) return bad_request(error);
+      }
+    } catch (const std::invalid_argument& e) {
+      return bad_request(std::string("malformed ") + key + ": " + e.what());
+    }
+  }
+  if ((from || to) && (t0 || t1))
+    return bad_request("from/to and t0/t1 are mutually exclusive");
+  if (from || to) {
+    const double begin = from ? static_cast<double>(unix_from_civil(*from))
+                              : static_cast<double>(window.start_time());
+    const double end =
+        to ? static_cast<double>(unix_from_civil(*to) + kSecondsPerDay)
+           : static_cast<double>(window.end_time());
+    call.query.between(begin, end);
+  } else if (t0 || t1) {
+    const double begin = t0 ? *t0 : static_cast<double>(window.start_time());
+    const double end = t1 ? *t1 : static_cast<double>(window.end_time());
+    call.query.between(begin, end);
+  }
+
+  call.endpoint = Endpoint::kQuery;
+  call.canonical = canonicalize(call);
+  return call;
+}
+
+ApiResponse execute_query(const query::Snapshot& snapshot, const ApiCall& call,
+                          const query::ExecBudget& budget) {
+  const query::Query& q = call.query;
+  try {
+    JsonWriter w;
+    w.begin_object()
+        .key("snapshot_version")
+        .value(snapshot.version())
+        .key("agg")
+        .value(call.agg)
+        .key("query")
+        .value(query::to_string(q));
+    if (call.explain) w.key("plan").value(query::to_string(snapshot.plan(q)));
+
+    if (call.agg == "summary") {
+      w.key("events").value(snapshot.count(q, budget));
+      w.key("unique_targets").value(snapshot.unique_targets(q, budget));
+    } else if (call.agg == "daily") {
+      const auto daily = snapshot.daily_attacks(q, budget);
+      w.key("days").begin_array();
+      for (int d = 0; d < daily.num_days(); ++d) {
+        if (daily.at(d) == 0.0) continue;
+        w.begin_object()
+            .key("date")
+            .value(to_string(snapshot.window().date_of_day(d)))
+            .key("attacks")
+            .value(static_cast<std::uint64_t>(daily.at(d)))
+            .end_object();
+      }
+      w.end_array();
+    } else if (call.agg == "top-targets") {
+      w.key("rows").begin_array();
+      for (const auto& row : snapshot.top_targets(q, call.k, budget)) {
+        w.begin_object()
+            .key("target")
+            .value(row.target.to_string())
+            .key("events")
+            .value(row.events)
+            .end_object();
+      }
+      w.end_array();
+    } else if (call.agg == "top-asns") {
+      w.key("rows").begin_array();
+      for (const auto& row : snapshot.top_asns(q, call.k, budget)) {
+        w.begin_object()
+            .key("asn")
+            .value(static_cast<std::uint64_t>(row.asn))
+            .key("targets")
+            .value(row.targets)
+            .key("events")
+            .value(row.events)
+            .end_object();
+      }
+      w.end_array();
+    } else if (call.agg == "top-countries") {
+      w.key("rows").begin_array();
+      for (const auto& row : snapshot.top_countries(q, call.k, budget)) {
+        w.begin_object()
+            .key("country")
+            .value(row.country.to_string())
+            .key("targets")
+            .value(row.targets)
+            .key("share")
+            .value(row.share)
+            .end_object();
+      }
+      w.end_array();
+    } else {  // events
+      const auto rows = snapshot.match_rows(q, budget);
+      w.key("total_rows").value(static_cast<std::uint64_t>(rows.size()));
+      w.key("rows").begin_array();
+      for (std::size_t i = 0; i < rows.size() && i < call.k; ++i) {
+        const std::uint32_t row = rows[i];
+        w.begin_object()
+            .key("start")
+            .value(snapshot.start_at(row))
+            .key("target")
+            .value(snapshot.target_at(row).to_string())
+            .key("source")
+            .value(snapshot.source_at(row) == core::EventSource::kTelescope
+                       ? "telescope"
+                       : "honeypot")
+            .key("intensity")
+            .value(snapshot.intensity_at(row))
+            .key("port")
+            .value(static_cast<std::uint64_t>(snapshot.top_port_at(row)))
+            .end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    return ApiResponse{200, std::string(kJson), std::move(w).take()};
+  } catch (const query::BudgetExceeded& e) {
+    Metrics& metrics = Metrics::get();
+    if (e.kind() == query::BudgetExceeded::Kind::kRows)
+      metrics.budget_rows_rejected.inc();
+    else
+      metrics.budget_time_rejected.inc();
+    return error_response(422, e.what());
+  } catch (const std::exception& e) {
+    return error_response(500, e.what());
+  }
+}
+
+}  // namespace dosm::serve

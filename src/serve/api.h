@@ -1,0 +1,85 @@
+// The JSON query API: URL/body → Query mapping and deterministic
+// execution over a Snapshot.
+//
+// Endpoints (GET; /query also accepts POST with a form/query-string body):
+//
+//   /            JSON index of endpoints
+//   /healthz     {"status":"ok","snapshot_version":N,"events":M}
+//   /metrics     Prometheus text of the process-wide obs registry
+//   /query       the query API. Parameters (all optional, ANDed):
+//                  from=YYYY-MM-DD  to=YYYY-MM-DD   day-granular window
+//                  t0=UNIX  t1=UNIX                 second-granular window
+//                  source=telescope|honeypot|combined
+//                  prefix=A.B.C.D/L   asn=N   country=CC   port=N
+//                  min_intensity=X
+//                  agg=summary|daily|top-targets|top-asns|top-countries
+//                      |events (default summary)
+//                  k=N (top-k / listing rows, default 10, capped)
+//                  explain=1 (include the planner's access path)
+//
+// Parsing is split from execution so the server can consult the result
+// cache in between: parse_api_call() produces the canonical request (the
+// cache key material), execute_query() produces the response body. Both are
+// pure functions of their inputs — the determinism contract (byte-identical
+// responses for the same query + snapshot version, any worker count, cache
+// on or off) falls out of that purity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "query/budget.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+#include "serve/http.h"
+
+namespace dosm::serve {
+
+enum class Endpoint : std::uint8_t {
+  kRoot,
+  kHealth,
+  kMetrics,
+  kQuery,
+  kNotFound,
+  kMethodNotAllowed,
+  kBadRequest,
+};
+
+struct ApiCall {
+  Endpoint endpoint = Endpoint::kNotFound;
+  query::Query query;
+  std::string agg = "summary";
+  std::size_t k = 10;
+  bool explain = false;
+  std::string error;      // set for kBadRequest
+  std::string canonical;  // canonical request string, set for kQuery
+};
+
+struct ApiResponse {
+  int status = 200;
+  std::string content_type;
+  std::string body;
+};
+
+/// Maximum rows a top-k / events listing may request.
+inline constexpr std::size_t kMaxK = 100000;
+
+/// Routes + parses one HTTP request. Time filters resolve against
+/// `window` (the snapshot's study window), so the canonical form is fully
+/// resolved before caching. Never throws.
+ApiCall parse_api_call(const HttpRequest& request, const StudyWindow& window);
+
+/// Executes a parsed kQuery call against a snapshot. BudgetExceeded maps to
+/// a deterministic 422 error body; anything else to 500. Never throws.
+ApiResponse execute_query(const query::Snapshot& snapshot, const ApiCall& call,
+                          const query::ExecBudget& budget);
+
+/// Non-query endpoints (root/health). `snapshot` may be null (health then
+/// reports "no snapshot" with a 503).
+ApiResponse execute_root();
+ApiResponse execute_health(const query::Snapshot* snapshot);
+
+/// Renders a JSON error body: {"error":"..."}.
+ApiResponse error_response(int status, std::string_view message);
+
+}  // namespace dosm::serve

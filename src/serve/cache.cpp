@@ -1,0 +1,123 @@
+#include "serve/cache.h"
+
+#include "serve/metrics.h"
+
+namespace dosm::serve {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::string ResultCache::make_key(std::uint64_t snapshot_version,
+                                  std::uint64_t query_hash,
+                                  const std::string& canonical_request) {
+  std::string key = "v";
+  key += std::to_string(snapshot_version);
+  key += '/';
+  key += hex64(query_hash);
+  key += '/';
+  key += canonical_request;
+  return key;
+}
+
+std::size_t ResultCache::entry_cost(const std::string& key,
+                                    const CachedResponse& response) {
+  // Key + body + content type, plus a fixed estimate for node/map overhead
+  // so millions of tiny entries cannot blow past the budget unaccounted.
+  constexpr std::size_t kOverhead = 128;
+  return key.size() + response.body.size() + response.content_type.size() +
+         kOverhead;
+}
+
+std::shared_ptr<const CachedResponse> ResultCache::get(const std::string& key) {
+  Metrics& metrics = Metrics::get();
+  if (!enabled()) {
+    metrics.cache_misses.inc();
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    metrics.cache_misses.inc();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  metrics.cache_hits.inc();
+  return it->second->response;
+}
+
+void ResultCache::put(const std::string& key,
+                      std::shared_ptr<const CachedResponse> response) {
+  if (!enabled() || response == nullptr) return;
+  Metrics& metrics = Metrics::get();
+  const std::size_t cost = entry_cost(key, *response);
+  if (cost > max_bytes_) return;  // never admit an entry that IS the budget
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    bytes_ -= it->second->cost;
+    it->second->response = std::move(response);
+    it->second->cost = cost;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Node{key, std::move(response), cost});
+    by_key_.emplace(key, lru_.begin());
+    bytes_ += cost;
+  }
+  while (bytes_ > max_bytes_) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.cost;
+    by_key_.erase(victim.key);
+    lru_.pop_back();
+    metrics.cache_evictions.inc();
+  }
+  metrics.cache_bytes.set(static_cast<std::int64_t>(bytes_));
+  metrics.cache_entries.set(static_cast<std::int64_t>(lru_.size()));
+}
+
+void ResultCache::purge_stale(std::uint64_t current_version) {
+  if (!enabled()) return;
+  Metrics& metrics = Metrics::get();
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Walk the recency list (ordered, unlike the map) erasing stale nodes.
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->response->snapshot_version != current_version) {
+        bytes_ -= it->cost;
+        by_key_.erase(it->key);
+        it = lru_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    metrics.cache_bytes.set(static_cast<std::int64_t>(bytes_));
+    metrics.cache_entries.set(static_cast<std::int64_t>(lru_.size()));
+  }
+  metrics.cache_stale_dropped.add(dropped);
+}
+
+std::size_t ResultCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace dosm::serve

@@ -1,0 +1,86 @@
+// Snapshot-version-keyed LRU result cache.
+//
+// The dashboard workload ("Age of DDoScovery": the same cross-vantage
+// comparison queries re-issued all day) makes repeated queries against an
+// immutable snapshot — so a response computed once is valid until the next
+// SnapshotPublisher publish. Keys therefore embed the snapshot VERSION next
+// to Query::cache_key(): a publish naturally invalidates every cached body
+// (old versions stop being requested), and purge_stale() reclaims their
+// bytes eagerly when the server notices the swap.
+//
+// The cache is sized in BYTES, not entries: one giant top-k listing must
+// not silently pin megabytes while a thousand tiny summaries thrash.
+// Entries larger than the whole budget are never admitted. The full
+// canonical request string is part of the key, so a 64-bit hash collision
+// degrades to a miss, never to serving the wrong body.
+//
+// Thread-safe behind one mutex; entries are shared_ptr so a hit outlives
+// concurrent eviction. Metrics: serve.cache.{hits,misses,evictions,
+// stale_dropped,bytes,entries}.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dosm::serve {
+
+struct CachedResponse {
+  int status = 200;
+  std::string content_type;
+  std::string body;
+  std::uint64_t snapshot_version = 0;
+};
+
+class ResultCache {
+ public:
+  /// max_bytes == 0 disables the cache (every get() misses, put() drops).
+  explicit ResultCache(std::size_t max_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  bool enabled() const { return max_bytes_ != 0; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// The composite cache key: version-prefixed hash + canonical request.
+  static std::string make_key(std::uint64_t snapshot_version,
+                              std::uint64_t query_hash,
+                              const std::string& canonical_request);
+
+  /// Returns the cached response and refreshes recency, or nullptr.
+  std::shared_ptr<const CachedResponse> get(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// until the byte budget holds.
+  void put(const std::string& key,
+           std::shared_ptr<const CachedResponse> response);
+
+  /// Drops every entry whose snapshot version differs from `current` —
+  /// called when the server observes a publish.
+  void purge_stale(std::uint64_t current_version);
+
+  std::size_t bytes() const;
+  std::size_t entries() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const CachedResponse> response;
+    std::size_t cost = 0;
+  };
+
+  static std::size_t entry_cost(const std::string& key,
+                                const CachedResponse& response);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> by_key_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dosm::serve

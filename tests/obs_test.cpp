@@ -9,6 +9,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "serve/metrics.h"
 
 namespace dosm::obs {
 namespace {
@@ -185,6 +186,34 @@ TEST_F(ObsTest, GlobalRegistryIsASingleton) {
   Counter& a = MetricsRegistry::global().counter("test.global_singleton", "");
   Counter& b = MetricsRegistry::global().counter("test.global_singleton", "");
   EXPECT_EQ(&a, &b);
+}
+
+// The query server registers its serve.* family in the global registry;
+// the Prometheus exporter must expose every series a dashboard scrapes
+// (request counters, admission drops, cache accounting, the latency
+// histogram). Touching serve::Metrics::get() is what registers them.
+TEST_F(ObsTest, ServeMetricsAppearInPrometheusExport) {
+  serve::Metrics& metrics = serve::Metrics::get();
+  metrics.requests.inc();
+  metrics.request_seconds.observe(0.002);
+  const std::string prom =
+      to_prometheus(MetricsRegistry::global().snapshot());
+  for (const std::string_view name :
+       {"dosm_serve_requests", "dosm_serve_admission_rejected",
+        "dosm_serve_admission_enqueued", "dosm_serve_queue_depth",
+        "dosm_serve_responses_ok", "dosm_serve_responses_client_error",
+        "dosm_serve_responses_server_error", "dosm_serve_bad_requests",
+        "dosm_serve_budget_rows_rejected", "dosm_serve_budget_time_rejected",
+        "dosm_serve_cache_hits", "dosm_serve_cache_misses",
+        "dosm_serve_cache_evictions", "dosm_serve_cache_stale_dropped",
+        "dosm_serve_cache_bytes", "dosm_serve_cache_entries",
+        "dosm_serve_connections_accepted", "dosm_serve_connections_closed"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(prom.find("# TYPE dosm_serve_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dosm_serve_request_seconds_bucket{le="),
+            std::string::npos);
 }
 
 }  // namespace

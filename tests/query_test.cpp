@@ -356,5 +356,117 @@ TEST(QueryTable4RegressionTest, CountryRankingIsByteIdenticalToLegacyScan) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Query::cache_key() — the canonical hash the serve result cache keys on.
+// ---------------------------------------------------------------------------
+
+/// One mutation per Query field. Extending Query means extending this list
+/// (the test below fails when a new field leaves the key unchanged only if
+/// the list names it, so keep it exhaustive).
+std::vector<std::pair<std::string, Query>> single_field_variants() {
+  std::vector<std::pair<std::string, Query>> variants;
+  variants.emplace_back("time", Query{}.between(100.0, 200.0));
+  variants.emplace_back("time.begin", Query{}.between(101.0, 200.0));
+  variants.emplace_back("time.end", Query{}.between(100.0, 201.0));
+  variants.emplace_back("source.telescope",
+                        Query{}.from_source(core::SourceFilter::kTelescope));
+  variants.emplace_back("source.honeypot",
+                        Query{}.from_source(core::SourceFilter::kHoneypot));
+  variants.emplace_back(
+      "prefix", Query{}.in_prefix(net::Prefix(net::Ipv4Addr(0x0a000000u), 8)));
+  variants.emplace_back(
+      "prefix.length",
+      Query{}.in_prefix(net::Prefix(net::Ipv4Addr(0x0a000000u), 9)));
+  variants.emplace_back("asn", Query{}.in_asn(65000));
+  variants.emplace_back("asn.other", Query{}.in_asn(65001));
+  variants.emplace_back("country", Query{}.in_country(meta::CountryCode("US")));
+  variants.emplace_back("country.other",
+                        Query{}.in_country(meta::CountryCode("DE")));
+  variants.emplace_back("port", Query{}.on_port(80));
+  variants.emplace_back("port.other", Query{}.on_port(443));
+  variants.emplace_back("min_intensity", Query{}.at_least(1.5));
+  variants.emplace_back("min_intensity.other", Query{}.at_least(1.6));
+  return variants;
+}
+
+TEST(QueryCacheKeyTest, AnyFieldChangeChangesTheKey) {
+  const std::uint64_t base = Query{}.cache_key();
+  const auto variants = single_field_variants();
+  // Every single-field mutation moves the key away from the default...
+  for (const auto& [name, query] : variants)
+    EXPECT_NE(query.cache_key(), base) << name;
+  // ...and away from every other mutation (field tags keep e.g. asn=80
+  // and port=80 apart).
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    for (std::size_t j = i + 1; j < variants.size(); ++j)
+      EXPECT_NE(variants[i].second.cache_key(), variants[j].second.cache_key())
+          << variants[i].first << " vs " << variants[j].first;
+}
+
+TEST(QueryCacheKeyTest, KeyIsStableForEqualQueries) {
+  const Query a = Query{}.between(100.0, 200.0).on_port(80).at_least(0.5);
+  const Query b = Query{}.between(100.0, 200.0).on_port(80).at_least(0.5);
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_key(), a.cache_key());
+}
+
+// ---------------------------------------------------------------------------
+// ExecBudget enforcement inside Snapshot execution.
+// ---------------------------------------------------------------------------
+
+TEST(QueryBudgetTest, RowBudgetAbortsDeterministically) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto snapshot = Snapshot::from_store(
+      world->store, BuildContext{world->population.pfx2as(),
+                                 world->population.geo()});
+  const Query all;
+  ExecBudget tight;
+  tight.max_rows = 10;  // far below the small world's event count
+  ASSERT_GT(snapshot->count(all), 10u);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      snapshot->count(all, tight);
+      FAIL() << "expected BudgetExceeded";
+    } catch (const BudgetExceeded& e) {
+      EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kRows);
+      EXPECT_EQ(e.limit(), 10u);
+    }
+  }
+  // Aggregations all charge the same accounting.
+  EXPECT_THROW(snapshot->unique_targets(all, tight), BudgetExceeded);
+  EXPECT_THROW(snapshot->daily_attacks(all, tight), BudgetExceeded);
+  EXPECT_THROW(snapshot->top_targets(all, 5, tight), BudgetExceeded);
+  EXPECT_THROW(snapshot->top_asns(all, 5, tight), BudgetExceeded);
+  EXPECT_THROW(snapshot->top_countries(all, 5, tight), BudgetExceeded);
+  EXPECT_THROW(snapshot->match_rows(all, tight), BudgetExceeded);
+}
+
+TEST(QueryBudgetTest, SufficientBudgetDoesNotPerturbResults) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto snapshot = Snapshot::from_store(
+      world->store, BuildContext{world->population.pfx2as(),
+                                 world->population.geo()});
+  const Query all;
+  ExecBudget roomy;
+  roomy.max_rows = snapshot->size() + 1;
+  EXPECT_EQ(snapshot->count(all, roomy), snapshot->count(all));
+  EXPECT_EQ(snapshot->top_asns(all, 5, roomy), snapshot->top_asns(all, 5));
+}
+
+TEST(QueryBudgetTest, ExpiredDeadlineSurfacesAsTimeKind) {
+  const auto world = sim::build_world(sim::ScenarioConfig::small());
+  const auto snapshot = Snapshot::from_store(
+      world->store, BuildContext{world->population.pfx2as(),
+                                 world->population.geo()});
+  ExecBudget expired;
+  expired.deadline_ns = 1;  // monotonic epoch start — always in the past
+  try {
+    snapshot->count(Query{}, expired);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kTime);
+  }
+}
+
 }  // namespace
 }  // namespace dosm::query

@@ -49,7 +49,7 @@ struct AnalyzeOptions {
   // Files whose rel_path starts with one of these prefixes — plus everything
   // in their quoted-include closure — are in scope for shared-state-race.
   std::vector<std::string> race_roots = {"src/parallel/", "src/query/",
-                                         "src/obs/"};
+                                         "src/obs/", "src/serve/"};
   // rel-path suffix -> sole exception type that file may throw.
   std::vector<std::pair<std::string, std::string>> throw_contracts = {
       {"src/core/serialize.cpp", "SerializeError"}};

@@ -28,10 +28,17 @@
 //     renders the observability registry (src/obs). `detect` and `query`
 //     also accept --metrics-out F to dump their metrics after the run;
 //     instrumentation never perturbs analysis output (event dumps are
-//     byte-identical with metrics on or off).
+//     byte-identical with metrics on or off). `--listen` passes through to
+//     `dosmeter serve`, whose /metrics endpoint scrapes the same registry
+//     live.
+//
+//   dosmeter serve [world options] [--port N] [--workers N] ...
+//     starts the HTTP/JSON query server (src/serve) over a simulated
+//     world's snapshot; see serve_usage() below.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -53,6 +60,7 @@
 #include "parallel/workload.h"
 #include "query/engine.h"
 #include "query/snapshot.h"
+#include "serve/server.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -80,7 +88,8 @@ struct Options {
       "subcommands:\n"
       "  dosmeter query --help    ad-hoc queries over the event store\n"
       "  dosmeter detect --help   packet-level parallel detection\n"
-      "  dosmeter metrics --help  pipeline observability view\n";
+      "  dosmeter metrics --help  pipeline observability view\n"
+      "  dosmeter serve --help    HTTP/JSON query server\n";
   std::exit(code);
 }
 
@@ -495,6 +504,7 @@ struct MetricsOptions {
   std::uint64_t seed = 42;
   std::string format = "table";  // table | json | prom
   std::string out;
+  std::string listen;  // [ADDR:]PORT — keep serving /metrics live
 };
 
 [[noreturn]] void metrics_usage(int code) {
@@ -503,9 +513,14 @@ struct MetricsOptions {
       "Runs a small end-to-end workload through every instrumented layer\n"
       "(telescope flow table, honeypot fleet, parallel workers, streaming\n"
       "fusion, query engine) and renders the metrics registry.\n"
-      "  --seed N    workload seed (default 42)\n"
-      "  --format F  table | json | prom (default table)\n"
-      "  --out F     also write the registry to F (.prom -> Prometheus)\n";
+      "  --seed N       workload seed (default 42)\n"
+      "  --format F     table | json | prom (default table)\n"
+      "  --out F        also write the registry to F (.prom -> Prometheus)\n"
+      "  --listen [A:]P keep running and serve the registry live at\n"
+      "                 http://A:P/metrics — a passthrough to the query\n"
+      "                 server (`dosmeter serve`), which scrapes the same\n"
+      "                 process-wide registry and adds its own serve.*\n"
+      "                 series (requests, cache, admission drops, latency)\n";
   std::exit(code);
 }
 
@@ -524,6 +539,7 @@ MetricsOptions parse_metrics_options(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::stoull(need_value(i));
     else if (arg == "--format") options.format = need_value(i);
     else if (arg == "--out") options.out = need_value(i);
+    else if (arg == "--listen") options.listen = need_value(i);
     else {
       std::cerr << "unknown metrics option: " << arg << "\n";
       metrics_usage(2);
@@ -627,6 +643,170 @@ int metrics_main(int argc, char** argv) {
     obs::write_metrics_file(options.out, obs::MetricsRegistry::global());
     std::cerr << "[dosmeter] wrote metrics to " << options.out << "\n";
   }
+  if (!options.listen.empty()) {
+    serve::ServerConfig server_config;
+    const std::size_t colon = options.listen.rfind(':');
+    const std::string port_text = colon == std::string::npos
+                                      ? options.listen
+                                      : options.listen.substr(colon + 1);
+    if (colon != std::string::npos)
+      server_config.bind_address = options.listen.substr(0, colon);
+    server_config.port = static_cast<std::uint16_t>(std::stoul(port_text));
+    const serve::Server server(server_config, engine);
+    std::cerr << "[dosmeter] serving metrics at http://"
+              << server_config.bind_address << ":" << server.port()
+              << "/metrics (Ctrl-C to stop)\n";
+    std::promise<void>().get_future().wait();  // serve until killed
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `dosmeter serve` — the HTTP/JSON query server (src/serve).
+// ---------------------------------------------------------------------------
+
+struct ServeOptions {
+  sim::ScenarioConfig scenario;
+  std::string load_events;
+  serve::ServerConfig server;
+  int threads = 1;
+  int segment_days = 0;
+};
+
+[[noreturn]] void serve_usage(int code) {
+  std::cout <<
+      "dosmeter serve — HTTP/JSON query server over the fused event dataset\n"
+      "dataset (pick one):\n"
+      "  --seed/--days/--domains/--direct/--reflection   simulate a world\n"
+      "  --load-events F   serve a binary event dump (dosmeter --save-events)\n"
+      "server:\n"
+      "  --address A       bind address (default 127.0.0.1)\n"
+      "  --port N          TCP port (default 8080; 0 picks an ephemeral\n"
+      "                    port, printed on startup)\n"
+      "  --workers N       worker threads (default 4)\n"
+      "  --queue N         pending-connection capacity; beyond it the\n"
+      "                    acceptor answers 429 (default 64)\n"
+      "  --cache-bytes N   result-cache budget in bytes (default 8 MiB;\n"
+      "                    0 disables caching)\n"
+      "  --max-rows N      per-query row budget -> 422 (default unlimited)\n"
+      "  --max-millis N    per-query time budget -> 422 (default unlimited)\n"
+      "  --threads N       snapshot build threads (default 1)\n"
+      "  --segment-days N  days per snapshot segment (default 0 = one)\n"
+      "endpoints: /  /healthz  /metrics  /query — see src/serve/api.h for\n"
+      "the /query parameters (same filters as `dosmeter query`).\n";
+  std::exit(code);
+}
+
+ServeOptions parse_serve_options(int argc, char** argv) {
+  ServeOptions options;
+  options.server.port = 8080;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      serve_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") serve_usage(0);
+    else if (arg == "--seed") options.scenario.seed = std::stoull(need_value(i));
+    else if (arg == "--days") {
+      const int days = std::stoi(need_value(i));
+      if (days < 2) {
+        std::cerr << "--days must be >= 2\n";
+        serve_usage(2);
+      }
+      options.scenario.window.end = civil_from_days(
+          days_from_civil(options.scenario.window.start) + days - 1);
+    } else if (arg == "--domains") {
+      options.scenario.hosting.num_domains = std::stoi(need_value(i));
+    } else if (arg == "--direct") {
+      options.scenario.attacker.direct_per_day = std::stod(need_value(i));
+    } else if (arg == "--reflection") {
+      options.scenario.attacker.reflection_per_day = std::stod(need_value(i));
+    } else if (arg == "--load-events") {
+      options.load_events = need_value(i);
+    } else if (arg == "--address") {
+      options.server.bind_address = need_value(i);
+    } else if (arg == "--port") {
+      options.server.port = static_cast<std::uint16_t>(std::stoul(need_value(i)));
+    } else if (arg == "--workers") {
+      options.server.workers = std::stoul(need_value(i));
+      if (options.server.workers == 0) {
+        std::cerr << "--workers must be >= 1\n";
+        serve_usage(2);
+      }
+    } else if (arg == "--queue") {
+      options.server.queue_capacity = std::stoul(need_value(i));
+    } else if (arg == "--cache-bytes") {
+      options.server.cache_bytes = std::stoul(need_value(i));
+    } else if (arg == "--max-rows") {
+      options.server.max_rows = std::stoull(need_value(i));
+    } else if (arg == "--max-millis") {
+      options.server.max_millis = std::stoull(need_value(i));
+    } else if (arg == "--threads") {
+      options.threads = std::stoi(need_value(i));
+      if (options.threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        serve_usage(2);
+      }
+    } else if (arg == "--segment-days") {
+      options.segment_days = std::stoi(need_value(i));
+      if (options.segment_days < 0) {
+        std::cerr << "--segment-days must be >= 0\n";
+        serve_usage(2);
+      }
+    } else {
+      std::cerr << "unknown serve option: " << arg << "\n";
+      serve_usage(2);
+    }
+  }
+  return options;
+}
+
+int serve_main(int argc, char** argv) {
+  const ServeOptions options = parse_serve_options(argc, argv);
+
+  // Materialize the snapshot the same way `dosmeter query` does.
+  std::shared_ptr<const query::Snapshot> snapshot;
+  const StudyWindow window = options.scenario.window;
+  const meta::PrefixToAsMap empty_pfx2as;
+  const meta::GeoDatabase empty_geo;
+  std::unique_ptr<sim::World> world;
+  if (!options.load_events.empty()) {
+    const auto events = core::load_events(options.load_events);
+    std::cerr << "[dosmeter] loaded " << events.size() << " events from "
+              << options.load_events << "\n";
+    snapshot = query::Snapshot::build(
+        window, events,
+        query::BuildContext{empty_pfx2as, empty_geo, options.threads,
+                            options.segment_days},
+        /*version=*/1);
+  } else {
+    std::cerr << "[dosmeter] building " << window.num_days()
+              << "-day world (seed " << options.scenario.seed << ")...\n";
+    world = sim::build_world(options.scenario);
+    snapshot = query::Snapshot::from_store(
+        world->store,
+        query::BuildContext{world->population.pfx2as(),
+                            world->population.geo(), options.threads,
+                            options.segment_days},
+        /*version=*/1);
+  }
+  std::cerr << "[dosmeter] snapshot ready: " << snapshot->size()
+            << " events indexed in " << snapshot->num_segments()
+            << " segment(s)\n";
+
+  query::QueryEngine engine;
+  engine.publish(std::move(snapshot));
+  const serve::Server server(options.server, engine);
+  std::cerr << "[dosmeter] serving at http://" << options.server.bind_address
+            << ":" << server.port() << "/query (" << options.server.workers
+            << " workers, queue " << options.server.queue_capacity
+            << ", cache " << options.server.cache_bytes
+            << " bytes; Ctrl-C to stop)\n";
+  std::promise<void>().get_future().wait();  // serve until killed
   return 0;
 }
 
@@ -638,6 +818,8 @@ int main(int argc, char** argv) try {
     return detect_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "metrics")
     return metrics_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "serve")
+    return serve_main(argc, argv);
   const Options options = parse_options(argc, argv);
   const auto& config = options.scenario;
 
