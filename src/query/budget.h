@@ -5,11 +5,13 @@
 // runs (src/serve wires them per request; library callers default to
 // unlimited):
 //
-//   max_rows     candidate rows the executor may VERIFY (rows visited by the
-//                chosen access path, matching or not). Row accounting is a
-//                pure function of (snapshot, query), so a row-budget abort
-//                is fully deterministic: the same query against the same
-//                snapshot version aborts at the same row on every worker.
+//   max_rows     rows the executor may MATCH (rows that pass every
+//                predicate and reach the aggregator). Matched rows — unlike
+//                visited candidates — do not depend on which access path
+//                the per-segment planner picks, so a row-budget abort is a
+//                pure function of (dataset, query): identical at any
+//                --segment-days granularity, identical hot vs cold tier,
+//                identical on every worker.
 //
 //   deadline_ns  absolute obs::monotonic_now_ns() deadline, checked every
 //                few thousand rows. Whether a timeout fires is inherently
@@ -29,7 +31,8 @@
 namespace dosm::query {
 
 struct ExecBudget {
-  /// Candidate rows the executor may verify; 0 = unlimited.
+  /// Matched rows the executor may deliver to the aggregator; 0 =
+  /// unlimited. Access-path-independent (see header comment).
   std::uint64_t max_rows = 0;
   /// Absolute monotonic-clock deadline in ns (obs::monotonic_now_ns
   /// epoch); 0 = none.

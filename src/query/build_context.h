@@ -15,6 +15,8 @@
 // are resolved into columns during the build).
 #pragma once
 
+#include <cstddef>
+
 #include "meta/geo.h"
 #include "meta/pfx2as.h"
 
@@ -33,6 +35,20 @@ struct BuildContext {
   /// streaming SnapshotPublisher always seals one segment per completed
   /// day regardless of this knob — that is its publish contract.
   int segment_days = 0;
+
+  // Tiered-storage spill knobs, honored by storage::open_tiered when a
+  // snapshot is materialized over an on-disk archive (src/storage). Pure
+  // in-memory builds ignore both; results are byte-identical for any
+  // setting — the knobs move bytes between tiers, never change answers.
+
+  /// Trailing window days kept resident (hot) when opening an archive: a
+  /// segment stays in memory iff it contains a start within the last
+  /// `hot_days` days of the study window. 0 spills every segment cold.
+  int hot_days = 0;
+  /// Byte budget for the decoded cold-segment LRU cache (estimated decoded
+  /// size, columns + index). 0 disables caching: every cold access decodes
+  /// afresh and drops the segment when the query finishes.
+  std::size_t cold_cache_bytes = 64u << 20;
 };
 
 }  // namespace dosm::query

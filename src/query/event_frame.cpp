@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <iterator>
+#include <stdexcept>
 #include <tuple>
 #include <utility>
 
@@ -22,6 +23,31 @@ meta::CountryCode unpack_country(PackedCountry packed) {
   const char chars[2] = {static_cast<char>(packed >> 8),
                          static_cast<char>(packed & 0xff)};
   return meta::CountryCode(std::string_view(chars, 2));
+}
+
+EventFrame EventFrame::from_columns(StudyWindow window, FrameColumns columns) {
+  const std::size_t n = columns.start.size();
+  if (columns.end.size() != n || columns.intensity.size() != n ||
+      columns.target.size() != n || columns.source.size() != n ||
+      columns.ip_proto.size() != n || columns.top_port.size() != n ||
+      columns.asn.size() != n || columns.country.size() != n ||
+      columns.day.size() != n)
+    throw std::invalid_argument("EventFrame: column lengths disagree");
+  if (!std::is_sorted(columns.start.begin(), columns.start.end()))
+    throw std::invalid_argument("EventFrame: start column is not sorted");
+  EventFrame frame;
+  frame.window_ = window;
+  frame.start_ = std::move(columns.start);
+  frame.end_ = std::move(columns.end);
+  frame.intensity_ = std::move(columns.intensity);
+  frame.target_ = std::move(columns.target);
+  frame.source_ = std::move(columns.source);
+  frame.ip_proto_ = std::move(columns.ip_proto);
+  frame.top_port_ = std::move(columns.top_port);
+  frame.asn_ = std::move(columns.asn);
+  frame.country_ = std::move(columns.country);
+  frame.day_ = std::move(columns.day);
+  return frame;
 }
 
 FrameBuilder::FrameBuilder(StudyWindow window,

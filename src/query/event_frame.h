@@ -32,9 +32,32 @@ meta::CountryCode unpack_country(PackedCountry packed);
 /// Immutable SoA view of the hot event fields plus resolved metadata.
 /// Rows are sorted by (start, target, source); a row id is an index into
 /// every column.
+/// The ten frame columns as plain vectors — the exchange type between the
+/// frame and the on-disk columnar archive (src/storage), which encodes and
+/// decodes columns wholesale.
+struct FrameColumns {
+  std::vector<double> start;
+  std::vector<double> end;
+  std::vector<double> intensity;
+  std::vector<std::uint32_t> target;
+  std::vector<std::uint8_t> source;
+  std::vector<std::uint8_t> ip_proto;
+  std::vector<std::uint16_t> top_port;
+  std::vector<meta::Asn> asn;
+  std::vector<PackedCountry> country;
+  std::vector<std::int32_t> day;
+};
+
 class EventFrame {
  public:
   EventFrame() = default;
+
+  /// Reassembles a frame from already-materialized columns — the archive
+  /// reader's path. Throws std::invalid_argument when column lengths
+  /// disagree or `start` is not sorted ascending; the metadata columns are
+  /// taken as-is (they were resolved when the frame was first built), so
+  /// the result is byte-identical to the frame that was archived.
+  static EventFrame from_columns(StudyWindow window, FrameColumns columns);
 
   std::size_t size() const { return start_.size(); }
   bool empty() const { return start_.empty(); }

@@ -1,0 +1,64 @@
+// The seam between the query layer and tiered (on-disk) segment storage.
+//
+// A Snapshot may hold a mix of resident FrameSegments (hot tier) and cold
+// references that materialize on demand through a SegmentProvider — the
+// storage layer (src/storage) implements this interface over an on-disk
+// columnar archive plus a byte-budgeted decoded-segment cache. Keeping the
+// interface here (and the implementation there) lets dosm_query stay
+// ignorant of file formats while dosm_storage depends on dosm_query, not
+// the other way around.
+//
+// Contract: fetch(id) must return a segment byte-identical to the one that
+// was sealed and archived — same column bytes, same index — so query
+// results over a cold segment are bit-for-bit those of the hot original at
+// any cache budget (tests/storage_test.cpp holds this for all six
+// aggregations). Both calls must be safe from concurrent reader threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "query/index.h"
+
+namespace dosm::query {
+
+class FrameSegment;
+
+class SegmentProvider {
+ public:
+  virtual ~SegmentProvider() = default;
+
+  /// Decodes (or returns a cached copy of) cold segment `id`. The returned
+  /// pointer keeps the segment alive independently of the provider's cache,
+  /// so an eviction can never invalidate an in-flight query.
+  virtual std::shared_ptr<const FrameSegment> fetch(std::uint32_t id) const = 0;
+
+  /// The smallest local row range that can contain starts in [t0, t1),
+  /// computed from the archive's per-block zone maps WITHOUT loading the
+  /// segment. An empty range proves the segment holds no candidate rows
+  /// (the planner then skips the load entirely). Rows are start-sorted, so
+  /// the range is contiguous; every excluded block is counted in
+  /// storage.zone.block_skips by the implementation.
+  virtual RowRange clip(std::uint32_t id, double t0, double t1) const = 0;
+};
+
+/// A cold segment slot: everything the planner needs to clip and order the
+/// segment without touching the archive, plus the provider to materialize
+/// it when rows must actually be scanned. Metadata comes from the archive
+/// TOC and is validated against the decoded segment on load.
+struct ColdSegmentRef {
+  std::shared_ptr<const SegmentProvider> provider;
+  std::uint32_t id = 0;     // provider-scoped segment id (archive position)
+  std::uint32_t rows = 0;   // exact row count (global row ids depend on it)
+  double start_min = 0.0;   // inclusive start-time bounds from the TOC
+  double start_max = 0.0;
+};
+
+/// One Snapshot slot: resident (hot) when `resident` is non-null, otherwise
+/// cold through `cold.provider`.
+struct TieredSlot {
+  std::shared_ptr<const FrameSegment> resident;
+  ColdSegmentRef cold;
+};
+
+}  // namespace dosm::query

@@ -90,28 +90,41 @@ struct QueryMetrics {
   }
 };
 
-/// Per-execution budget accounting. charge() runs once per verified
-/// candidate row; row accounting is exact (deterministic aborts), the
-/// deadline is polled every kDeadlineStride rows to keep the hot loop off
-/// the clock.
+/// Per-execution budget accounting, global across the whole segment list.
+///
+/// The two ceilings deliberately count different things. The row budget
+/// charges MATCHED rows only: the matched set — unlike the candidates an
+/// access path happens to visit — is the same for every per-segment planner
+/// choice, every --segment-days granularity, and every storage tier, so a
+/// row-budget abort is a pure function of (dataset, query). The deadline is
+/// polled per VISITED candidate on a stride (cheap, and visits bound the
+/// actual work done); which queries it rejects is timing-dependent by
+/// contract, and it never changes the bytes of a successful response.
 class BudgetState {
  public:
   explicit BudgetState(const ExecBudget& budget) : budget_(budget) {}
 
-  void charge() {
-    if (budget_.unlimited()) return;
-    ++rows_;
-    if (budget_.max_rows != 0 && rows_ > budget_.max_rows) {
-      QueryMetrics::get().budget_rows_exceeded.inc();
-      throw BudgetExceeded(BudgetExceeded::Kind::kRows, budget_.max_rows);
-    }
+  /// Once per visited candidate row, before verification.
+  void visit() {
+    if (budget_.deadline_ns == 0) return;
+    ++visited_;
     // Poll on the first row (fail fast on an already-expired deadline —
     // scans shorter than the stride would otherwise never look at the
     // clock), then once per stride.
-    if (budget_.deadline_ns != 0 && rows_ % kDeadlineStride == 1 &&
+    if (visited_ % kDeadlineStride == 1 &&
         obs::monotonic_now_ns() > budget_.deadline_ns) {
       QueryMetrics::get().budget_time_exceeded.inc();
       throw BudgetExceeded(BudgetExceeded::Kind::kTime, budget_.deadline_ns);
+    }
+  }
+
+  /// Once per matched row, before it reaches the aggregator: the
+  /// (max_rows + 1)-th match aborts deterministically.
+  void charge_match() {
+    if (budget_.max_rows == 0) return;
+    if (++matched_ > budget_.max_rows) {
+      QueryMetrics::get().budget_rows_exceeded.inc();
+      throw BudgetExceeded(BudgetExceeded::Kind::kRows, budget_.max_rows);
     }
   }
 
@@ -119,7 +132,8 @@ class BudgetState {
   static constexpr std::uint64_t kDeadlineStride = 4096;
 
   const ExecBudget& budget_;
-  std::uint64_t rows_ = 0;
+  std::uint64_t visited_ = 0;
+  std::uint64_t matched_ = 0;
 };
 
 }  // namespace
@@ -128,6 +142,7 @@ Snapshot::Snapshot(StudyWindow window,
                    std::vector<std::shared_ptr<const FrameSegment>> segments,
                    std::uint64_t version)
     : window_(window), segments_(std::move(segments)), version_(version) {
+  meta_.reserve(segments_.size());
   bases_.reserve(segments_.size());
   double prev_max = -1.0e300;
   bool first = true;
@@ -139,9 +154,60 @@ Snapshot::Snapshot(StudyWindow window,
           "Snapshot: segments must cover strictly increasing start ranges");
     first = false;
     prev_max = segment->start_max();
+    meta_.push_back({static_cast<std::uint32_t>(segment->size()),
+                     segment->start_min(), segment->start_max()});
     bases_.push_back(static_cast<std::uint32_t>(total_rows_));
     total_rows_ += segment->size();
   }
+}
+
+Snapshot::Snapshot(StudyWindow window, std::vector<TieredSlot> slots,
+                   std::uint64_t version)
+    : window_(window), version_(version) {
+  segments_.reserve(slots.size());
+  cold_.reserve(slots.size());
+  meta_.reserve(slots.size());
+  bases_.reserve(slots.size());
+  double prev_max = -1.0e300;
+  bool first = true;
+  for (TieredSlot& slot : slots) {
+    SlotMeta meta;
+    if (slot.resident != nullptr) {
+      if (slot.resident->size() == 0)
+        throw std::invalid_argument("Snapshot: empty resident segment");
+      meta = {static_cast<std::uint32_t>(slot.resident->size()),
+              slot.resident->start_min(), slot.resident->start_max()};
+    } else {
+      if (slot.cold.provider == nullptr || slot.cold.rows == 0 ||
+          !(slot.cold.start_min <= slot.cold.start_max))
+        throw std::invalid_argument("Snapshot: malformed cold segment ref");
+      meta = {slot.cold.rows, slot.cold.start_min, slot.cold.start_max};
+      ++num_cold_;
+    }
+    if (!first && meta.start_min <= prev_max)
+      throw std::invalid_argument(
+          "Snapshot: segments must cover strictly increasing start ranges");
+    first = false;
+    prev_max = meta.start_max;
+    segments_.push_back(std::move(slot.resident));
+    cold_.push_back(std::move(slot.cold));
+    meta_.push_back(meta);
+    bases_.push_back(static_cast<std::uint32_t>(total_rows_));
+    total_rows_ += meta.rows;
+  }
+}
+
+const FrameSegment& Snapshot::resolve(
+    std::size_t s, std::shared_ptr<const FrameSegment>& keep) const {
+  if (segments_[s] != nullptr) return *segments_[s];
+  const ColdSegmentRef& cold = cold_[s];
+  keep = cold.provider->fetch(cold.id);
+  if (keep == nullptr || keep->size() != meta_[s].rows ||
+      keep->start_min() != meta_[s].start_min ||
+      keep->start_max() != meta_[s].start_max)
+    throw std::runtime_error(
+        "Snapshot: cold segment does not match its archived metadata");
+  return *keep;
 }
 
 std::shared_ptr<const Snapshot> Snapshot::build(
@@ -161,7 +227,9 @@ std::shared_ptr<const Snapshot> Snapshot::from_store(
 Snapshot::Located Snapshot::locate(std::uint32_t row) const {
   const auto it = std::upper_bound(bases_.begin(), bases_.end(), row);
   const auto index = static_cast<std::size_t>(it - bases_.begin()) - 1;
-  return {segments_[index].get(), row - bases_[index]};
+  Located at{nullptr, nullptr, row - bases_[index]};
+  at.segment = &resolve(index, at.keep_alive);
+  return at;
 }
 
 double Snapshot::start_at(std::uint32_t row) const {
@@ -223,14 +291,28 @@ QueryPlan Snapshot::plan_segment(const Query& query, const FrameSegment& seg) {
 QueryPlan Snapshot::plan(const Query& query) const {
   // Aggregate of the per-segment plans over the time-clipped segment
   // subset: candidates sum; the reported choice is the dominant segment's
-  // (most candidates, earliest segment on ties).
+  // (most candidates, earliest segment on ties). Cold segments are
+  // estimated from archive metadata alone — segment bounds plus per-block
+  // zone maps — so explain never pages anything in; their postings are
+  // unknowable without loading, hence a scan-shaped estimate.
   QueryPlan total{IndexChoice::kFullScan, 0};
   std::uint64_t dominant = 0;
   bool any = false;
-  for (const auto& segment : segments_) {
-    if (query.time && !segment->overlaps(query.time->begin, query.time->end))
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    if (query.time && !meta_[s].overlaps(query.time->begin, query.time->end))
       continue;
-    const QueryPlan part = plan_segment(query, *segment);
+    QueryPlan part;
+    if (segments_[s] != nullptr) {
+      part = plan_segment(query, *segments_[s]);
+    } else if (query.time) {
+      const RowRange rows =
+          cold_[s].provider->clip(cold_[s].id, query.time->begin,
+                                  query.time->end);
+      if (rows.size() == 0) continue;
+      part = {IndexChoice::kTimeRange, rows.size()};
+    } else {
+      part = {IndexChoice::kFullScan, meta_[s].rows};
+    }
     total.candidates += part.candidates;
     if (!any || part.candidates > dominant) {
       total.choice = part.choice;
@@ -267,11 +349,24 @@ void Snapshot::for_each_match(const Query& query, const ExecBudget& budget,
   QueryMetrics& metrics = QueryMetrics::get();
   BudgetState spent(budget);
   for (std::size_t s = 0; s < segments_.size(); ++s) {
-    const FrameSegment& seg = *segments_[s];
-    if (query.time && !seg.overlaps(query.time->begin, query.time->end)) {
+    if (query.time && !meta_[s].overlaps(query.time->begin, query.time->end)) {
       metrics.segments_skipped.inc();
       continue;
     }
+    // Cold slot + time filter: consult the zone maps before paging the
+    // segment in. An empty clip proves no start can fall in the range
+    // (possible even after the segment-level overlap check, when the range
+    // lands in a gap between blocks), so the load is skipped entirely.
+    if (segments_[s] == nullptr && query.time &&
+        cold_[s]
+                .provider->clip(cold_[s].id, query.time->begin,
+                                query.time->end)
+                .size() == 0) {
+      metrics.segments_skipped.inc();
+      continue;
+    }
+    std::shared_ptr<const FrameSegment> keep;
+    const FrameSegment& seg = resolve(s, keep);
     metrics.segments_scanned.inc();
     const EventFrame& frame = seg.frame();
     const std::uint32_t base = bases_[s];
@@ -285,21 +380,30 @@ void Snapshot::for_each_match(const Query& query, const ExecBudget& budget,
       const auto clipped = clip(postings, time_rows);
       metrics.postings_clipped.add(postings.size() - clipped.size());
       for (const std::uint32_t row : clipped) {
-        spent.charge();
-        if (row_matches(query, frame, row)) fn(frame, row, base + row);
+        spent.visit();
+        if (row_matches(query, frame, row)) {
+          spent.charge_match();
+          fn(frame, row, base + row);
+        }
       }
     };
     switch (chosen.choice) {
       case IndexChoice::kFullScan:
         for (std::uint32_t row = 0; row < frame.size(); ++row) {
-          spent.charge();
-          if (row_matches(query, frame, row)) fn(frame, row, base + row);
+          spent.visit();
+          if (row_matches(query, frame, row)) {
+            spent.charge_match();
+            fn(frame, row, base + row);
+          }
         }
         break;
       case IndexChoice::kTimeRange:
         for (std::uint32_t row = time_rows.begin; row < time_rows.end; ++row) {
-          spent.charge();
-          if (row_matches(query, frame, row)) fn(frame, row, base + row);
+          spent.visit();
+          if (row_matches(query, frame, row)) {
+            spent.charge_match();
+            fn(frame, row, base + row);
+          }
         }
         break;
       case IndexChoice::kTarget32:

@@ -18,6 +18,14 @@
 // (see query/engine.h), so any number of reader threads may query one
 // concurrently with no synchronization. Consecutive snapshots from the
 // streaming publisher share sealed segments by pointer.
+//
+// Tiering: a slot may instead be a COLD reference (query/segment_provider.h)
+// that the storage layer materializes on demand from an on-disk archive.
+// The planner clips cold segments by their TOC metadata and per-block zone
+// maps before loading anything; once a segment is fetched it goes through
+// exactly the hot execution path, so results are byte-identical across
+// tiers (the ExecBudget row budget counts MATCHED rows, which no access
+// path or tier can change).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,7 @@
 #include "query/index.h"
 #include "query/query.h"
 #include "query/segment.h"
+#include "query/segment_provider.h"
 
 namespace dosm::query {
 
@@ -43,6 +52,13 @@ class Snapshot {
   /// this is the streaming publisher's structural-sharing path.
   Snapshot(StudyWindow window,
            std::vector<std::shared_ptr<const FrameSegment>> segments,
+           std::uint64_t version);
+
+  /// Assembles a tiered snapshot over a mix of resident segments and cold
+  /// references (slot order must still cover strictly increasing start
+  /// ranges). This is storage::open_tiered's path; query results are
+  /// byte-identical to a fully resident snapshot over the same segments.
+  Snapshot(StudyWindow window, std::vector<TieredSlot> slots,
            std::uint64_t version);
 
   Snapshot(const Snapshot&) = delete;
@@ -61,10 +77,14 @@ class Snapshot {
       const core::EventStore& store, const BuildContext& ctx,
       std::uint64_t version = 0);
 
-  /// Sealed segments in time order.
+  /// Sealed segments in time order. Cold slots appear as null pointers —
+  /// callers that walk this span (structural-sharing checks, the archive
+  /// writer) must hold a fully resident snapshot; see fully_resident().
   std::span<const std::shared_ptr<const FrameSegment>> segments() const {
     return segments_;
   }
+  /// True when every slot is resident (no cold references).
+  bool fully_resident() const { return num_cold_ == 0; }
   std::size_t num_segments() const { return segments_.size(); }
   const StudyWindow& window() const { return window_; }
   /// Total rows across all segments.
@@ -111,26 +131,49 @@ class Snapshot {
                                         const ExecBudget& budget = {}) const;
 
  private:
+  /// Per-slot metadata, valid without materializing the slot: what the
+  /// segment-list clip and the cold planner run on.
+  struct SlotMeta {
+    std::uint32_t rows = 0;
+    double start_min = 0.0;
+    double start_max = 0.0;
+
+    bool overlaps(double t0, double t1) const {
+      return start_min < t1 && start_max >= t0;
+    }
+  };
+
   struct Located {
+    std::shared_ptr<const FrameSegment> keep_alive;  // set for cold slots
     const FrameSegment* segment;
     std::uint32_t row;  // local to the segment
   };
   Located locate(std::uint32_t row) const;
+
+  /// Materializes slot s: resident pointer, or provider fetch for a cold
+  /// slot (validated against the slot metadata). `keep` extends the cold
+  /// segment's lifetime for the caller's scan.
+  const FrameSegment& resolve(std::size_t s,
+                              std::shared_ptr<const FrameSegment>& keep) const;
 
   static bool row_matches(const Query& query, const EventFrame& frame,
                           std::uint32_t row);
   static QueryPlan plan_segment(const Query& query, const FrameSegment& seg);
 
   /// Calls fn(frame, local_row, global_row) for every matching row, in
-  /// global row order. Charges every VERIFIED candidate row against the
-  /// budget; throws BudgetExceeded when a ceiling is hit.
+  /// global row order. Charges every MATCHED row against the row budget
+  /// (access-path- and tier-independent) and polls the deadline per visited
+  /// candidate; throws BudgetExceeded when a ceiling is hit.
   template <typename Fn>
   void for_each_match(const Query& query, const ExecBudget& budget,
                       Fn&& fn) const;
 
   StudyWindow window_;
-  std::vector<std::shared_ptr<const FrameSegment>> segments_;
+  std::vector<std::shared_ptr<const FrameSegment>> segments_;  // null = cold
+  std::vector<ColdSegmentRef> cold_;  // parallel to segments_ when tiered
+  std::vector<SlotMeta> meta_;        // parallel: rows + start bounds
   std::vector<std::uint32_t> bases_;  // global row id of each segment's row 0
+  std::size_t num_cold_ = 0;
   std::size_t total_rows_ = 0;
   std::uint64_t version_ = 0;
 };

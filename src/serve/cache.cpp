@@ -19,6 +19,14 @@ std::string hex64(std::uint64_t v) {
 
 ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
 
+ResultCache::~ResultCache() {
+  // Subtract (rather than zero) so a coexisting instance's share survives;
+  // for the normal single-server case this lands the gauges exactly at 0.
+  Metrics& metrics = Metrics::get();
+  metrics.cache_bytes.add(-static_cast<std::int64_t>(bytes_));
+  metrics.cache_entries.add(-static_cast<std::int64_t>(lru_.size()));
+}
+
 std::string ResultCache::make_key(std::uint64_t snapshot_version,
                                   std::uint64_t query_hash,
                                   const std::string& canonical_request) {

@@ -40,6 +40,11 @@ class ResultCache {
   /// max_bytes == 0 disables the cache (every get() misses, put() drops).
   explicit ResultCache(std::size_t max_bytes);
 
+  /// Releases this instance's share of the process-global serve.cache.bytes
+  /// / serve.cache.entries gauges: freed entries must never keep reporting
+  /// as resident after the cache (e.g. a stopped Server) is gone.
+  ~ResultCache();
+
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 

@@ -50,6 +50,32 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
+/// Closes a connection that may still hold unread pipelined bytes. A plain
+/// close() there makes the kernel answer the unread data with RST, and RST
+/// can wipe the peer's receive queue — the response just written (e.g. the
+/// canned 429) evaporates before the client reads it. Lingering close
+/// instead: stop sending (the peer sees our FIN after the response), drain
+/// whatever is in flight, then release the fd only once the peer closed or
+/// the bound hit. The drain is bounded tightly — a 100 ms receive timeout
+/// and a spin cap — because the acceptor calls this inline on the reject
+/// path: a hostile client that never closes must not stall admission.
+void close_lingering(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  timeval tv{};
+  tv.tv_usec = 100000;  // 100 ms
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char sink[1024];
+  for (int spins = 0; spins < 64; ++spins) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n == 0) break;  // peer consumed the response and closed cleanly
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // timeout or error: we waited long enough
+    }
+  }
+  ::close(fd);
+}
+
 }  // namespace
 
 BoundedFdQueue::BoundedFdQueue(std::size_t capacity) : capacity_(capacity) {}
@@ -162,10 +188,11 @@ void Server::accept_loop() {
       metrics.queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
     } else {
       // Saturated: answer immediately so the client backs off instead of
-      // timing out, then give the fd back to the kernel.
+      // timing out. The client may have pipelined requests we never read;
+      // the lingering close keeps the kernel from RST-ing the 429 away.
       metrics.admission_rejected.inc();
       send_all(fd, kRejectResponse);
-      ::close(fd);
+      close_lingering(fd);
       metrics.connections_closed.inc();
     }
   }
@@ -176,7 +203,10 @@ void Server::worker_loop() {
   for (int fd = queue_.pop(); fd >= 0; fd = queue_.pop()) {
     metrics.queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
     serve_connection(fd);
-    ::close(fd);
+    // serve_connection can return with pipelined bytes still unread (a
+    // Connection: close response, a malformed request) — same RST hazard
+    // as the admission reject path.
+    close_lingering(fd);
     metrics.connections_closed.inc();
   }
 }

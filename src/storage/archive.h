@@ -1,0 +1,114 @@
+// The versioned on-disk segment archive ("DOSARCH1").
+//
+// One archive holds a whole snapshot's sealed segments in time order, each
+// compressed column-by-column and block-by-block (storage/codec.h), plus a
+// footer TOC that carries everything the planner needs WITHOUT touching a
+// segment: exact row counts, start-time bounds, and per-block min/max zone
+// maps over the start column. Layout:
+//
+//   [8]  magic "DOSARCH1"                       (magic doubles as version)
+//   [12] study window  (start y/m/d, end y/m/d; i32 + u8 + u8 each)
+//   [4]  u32 segment count
+//   segment blobs, back to back:
+//     u32 rows, then the 10 columns in frame order (start, end, intensity,
+//     target, source, ip_proto, top_port, asn, country, day), each a
+//     u32 byte length + the encoded blocks; then u32 CRC-32 of everything
+//     before it in the blob.
+//   TOC:
+//     per segment: u64 offset, u64 length, u32 rows,
+//                  f64 start_min, f64 start_max, u32 block count,
+//                  per block { f64 start_min, f64 start_max }
+//   [8]  u64 TOC offset   [4] u32 TOC CRC-32   [8] tail magic "DOSMEND1"
+//
+// The reader validates magic, bounds, and CRCs up front (TOC) and per
+// segment (blob CRC), throwing core::SerializeError on anything corrupt —
+// never crashing, never allocating proportional to hostile bytes
+// (tests/storage_fuzz_test.cpp holds this under ASan). Version policy:
+// readers must load v1 archives forever; format changes bump the magic and
+// add a new reader path (tests/data/golden_v1.dosarch pins this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "query/index.h"
+#include "query/segment.h"
+#include "query/snapshot.h"
+
+namespace dosm::storage {
+
+inline constexpr char kArchiveMagic[8] = {'D', 'O', 'S', 'A',
+                                          'R', 'C', 'H', '1'};
+inline constexpr char kArchiveTailMagic[8] = {'D', 'O', 'S', 'M',
+                                              'E', 'N', 'D', '1'};
+
+/// One start-column zone-map entry: the min/max start of one kBlockRows
+/// block. Blocks partition a segment's rows in order, so block i covers
+/// local rows [i * kBlockRows, min(rows, (i + 1) * kBlockRows)).
+struct BlockZone {
+  double start_min = 0.0;
+  double start_max = 0.0;
+};
+
+/// Per-segment TOC entry, valid without reading the segment blob.
+struct SegmentMeta {
+  std::uint64_t offset = 0;  // blob position from file start
+  std::uint64_t length = 0;  // blob length including its CRC
+  std::uint32_t rows = 0;
+  double start_min = 0.0;
+  double start_max = 0.0;
+  std::vector<BlockZone> zones;
+};
+
+/// Writes a fully resident snapshot's segments as one archive file. Throws
+/// core::SerializeError on I/O failure and std::invalid_argument when the
+/// snapshot holds cold (non-resident) slots. Returns the written file size.
+std::uint64_t write_archive(const std::string& path,
+                            const query::Snapshot& snapshot);
+
+/// Same, over an explicit segment list (must be in bucket order).
+std::uint64_t write_archive(
+    const std::string& path, const StudyWindow& window,
+    std::span<const std::shared_ptr<const query::FrameSegment>> segments);
+
+/// Read side: opens the file, validates header + TOC eagerly, and decodes
+/// segments on demand. Thread-safe (file reads are serialized internally).
+class ArchiveReader {
+ public:
+  /// Throws core::SerializeError on a missing, truncated, or corrupt file.
+  explicit ArchiveReader(const std::string& path);
+  ~ArchiveReader();
+
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  const StudyWindow& window() const { return window_; }
+  std::size_t num_segments() const { return meta_.size(); }
+  const SegmentMeta& meta(std::uint32_t id) const { return meta_.at(id); }
+  std::uint64_t file_size() const { return file_size_; }
+
+  /// Decodes segment `id` into a freshly indexed FrameSegment,
+  /// byte-identical to the segment that was written. Validates the blob
+  /// CRC and every decoded invariant; throws core::SerializeError on
+  /// corruption.
+  std::shared_ptr<const query::FrameSegment> load(std::uint32_t id) const;
+
+  /// The smallest local row range that can hold starts in [t0, t1),
+  /// from the zone maps alone. `blocks_skipped` (optional) receives the
+  /// number of blocks the zone maps excluded.
+  query::RowRange clip(std::uint32_t id, double t0, double t1,
+                       std::uint64_t* blocks_skipped = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  StudyWindow window_;
+  std::vector<SegmentMeta> meta_;
+  std::uint64_t file_size_ = 0;
+};
+
+}  // namespace dosm::storage

@@ -1,0 +1,121 @@
+// Per-block column codecs for the on-disk segment archive (src/storage).
+//
+// Columns are split into fixed blocks of kBlockRows rows. Each block is
+// encoded independently with whichever codec yields the fewest bytes for
+// THAT block — the empirical choice makes the format robust to column
+// shape (a dictionary wins on two-letter countries, deltas win on sorted
+// timestamps, min-offset bitpacking wins on ports and ASNs) and is fully
+// deterministic (ties break toward the lowest codec id).
+//
+// Integer codecs (u8/u16/u32/i32 columns):
+//   kRaw       fixed-width little-endian values
+//   kDelta     zigzag(v[i] - v[i-1]) LEB128 varints (v[-1] := 0)
+//   kDict      sorted distinct-value table + ceil(log2(n))-bit indexes
+//   kBitpack   min-offset + fixed bit-width packed values
+//
+// Double codecs (start/end/intensity columns):
+//   kRaw64       IEEE-754 bit patterns, little-endian
+//   kScaledDelta the block is exactly representable as value * 10^k
+//                integers (k <= 3, verified bit-for-bit at encode time, so
+//                decode reproduces the identical doubles) -> zigzag-delta
+//                varints over the scaled integers. Start-sorted
+//                second-granularity timestamps collapse to ~1 byte/row.
+//
+// Every decode path is bounds-checked: a ByteReader running off its slice,
+// an oversized dictionary, a varint past 10 bytes, or a row-count mismatch
+// throws core::SerializeError and never over-allocates (allocations are
+// bounded by the caller-supplied expected row count, never by bytes read
+// from the file).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+
+namespace dosm::storage {
+
+/// Rows per encoded block; the zone-map granularity.
+inline constexpr std::uint32_t kBlockRows = 4096;
+
+/// Bounds-checked little-endian cursor over an immutable byte slice. All
+/// reads throw core::SerializeError on exhaustion — the single error type
+/// the whole archive reader surfaces for corrupt input.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> bytes, std::string_view what)
+      : bytes_(bytes), what_(what) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  /// LEB128, at most 10 bytes.
+  std::uint64_t varint();
+  /// The next `n` bytes as a subslice (no copy).
+  std::span<const std::uint8_t> bytes(std::size_t n);
+
+  [[noreturn]] void fail(const std::string& detail) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::string_view what_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only little-endian byte sink (the writer's counterpart).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void varint(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return out_.size(); }
+  const std::vector<std::uint8_t>& data() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// CRC-32 (IEEE 802.3) over a byte slice; guards every segment blob and the
+/// TOC so a flipped bit surfaces as SerializeError, not as wrong answers.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+std::uint64_t zigzag_encode(std::int64_t v);
+std::int64_t zigzag_decode(std::uint64_t v);
+
+// One column, encoded block-by-block (ceil(n / kBlockRows) blocks, each
+// prefixed by a codec tag + encoded length). The integer overloads share a
+// template over the value type; doubles get the scaled-delta treatment.
+void encode_column(ByteWriter& out, std::span<const std::uint8_t> values);
+void encode_column(ByteWriter& out, std::span<const std::uint16_t> values);
+void encode_column(ByteWriter& out, std::span<const std::uint32_t> values);
+void encode_column(ByteWriter& out, std::span<const std::int32_t> values);
+void encode_column(ByteWriter& out, std::span<const double> values);
+
+// Decodes exactly `rows` values; throws core::SerializeError on any
+// malformed block. The output vector is sized from `rows` (caller-trusted,
+// validated against the TOC), never from file bytes.
+std::vector<std::uint8_t> decode_column_u8(ByteReader& in, std::uint32_t rows);
+std::vector<std::uint16_t> decode_column_u16(ByteReader& in,
+                                             std::uint32_t rows);
+std::vector<std::uint32_t> decode_column_u32(ByteReader& in,
+                                             std::uint32_t rows);
+std::vector<std::int32_t> decode_column_i32(ByteReader& in,
+                                            std::uint32_t rows);
+std::vector<double> decode_column_f64(ByteReader& in, std::uint32_t rows);
+
+}  // namespace dosm::storage

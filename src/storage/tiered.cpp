@@ -1,0 +1,115 @@
+#include "storage/tiered.h"
+
+#include <utility>
+#include <vector>
+
+#include "storage/metrics.h"
+
+namespace dosm::storage {
+
+TieredStore::TieredStore(std::shared_ptr<const ArchiveReader> reader,
+                         std::size_t cache_budget_bytes)
+    : reader_(std::move(reader)), budget_(cache_budget_bytes) {}
+
+TieredStore::~TieredStore() {
+  Metrics& metrics = Metrics::get();
+  metrics.resident_bytes.add(-static_cast<std::int64_t>(resident_bytes_));
+  metrics.resident_segments.add(
+      -static_cast<std::int64_t>(entries_.size()));
+}
+
+void TieredStore::evict_to_fit() const {
+  Metrics& metrics = Metrics::get();
+  while (resident_bytes_ > budget_ && !lru_.empty()) {
+    const std::uint32_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;  // analyze:allow(shared-state-race): caller holds mutex_ (see header contract)
+    metrics.resident_bytes.add(-static_cast<std::int64_t>(it->second.bytes));
+    metrics.resident_segments.add(-1);
+    metrics.cache_evictions.inc();
+    entries_.erase(it);
+  }
+}
+
+std::shared_ptr<const query::FrameSegment> TieredStore::fetch(
+    std::uint32_t id) const {
+  Metrics& metrics = Metrics::get();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      metrics.cache_hits.inc();
+      return it->second.segment;
+    }
+  }
+  metrics.cache_misses.inc();
+  // Decode outside the lock: ArchiveReader serializes file I/O itself, and
+  // a racing duplicate decode yields an identical segment (the loser below
+  // just adopts the winner's copy).
+  std::shared_ptr<const query::FrameSegment> segment = reader_->load(id);
+  const std::size_t bytes = segment->size() * kDecodedBytesPerRow;
+  if (budget_ == 0 || bytes > budget_) return segment;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.segment;
+  }
+  lru_.push_front(id);
+  entries_.emplace(id, Entry{segment, bytes, lru_.begin()});
+  resident_bytes_ += bytes;
+  metrics.resident_bytes.add(static_cast<std::int64_t>(bytes));
+  metrics.resident_segments.add(1);
+  evict_to_fit();
+  return segment;
+}
+
+query::RowRange TieredStore::clip(std::uint32_t id, double t0,
+                                  double t1) const {
+  Metrics& metrics = Metrics::get();
+  std::uint64_t skipped = 0;
+  const query::RowRange rows = reader_->clip(id, t0, t1, &skipped);
+  metrics.zone_block_skips.add(skipped);
+  if (rows.size() == 0) metrics.zone_segment_skips.inc();
+  return rows;
+}
+
+std::shared_ptr<const query::Snapshot> open_tiered(
+    const std::string& path, const query::BuildContext& ctx,
+    std::uint64_t version) {
+  const auto reader = std::make_shared<const ArchiveReader>(path);
+  const auto store =
+      std::make_shared<const TieredStore>(reader, ctx.cold_cache_bytes);
+
+  // Segments whose start range reaches into the trailing hot window stay
+  // resident. hot_days <= 0 keeps everything cold; hot_days >= num_days
+  // decodes the whole archive up front.
+  const StudyWindow& window = reader->window();
+  double hot_from = static_cast<double>(window.end_time());
+  if (ctx.hot_days > 0) {
+    const int first_hot_day =
+        window.num_days() > ctx.hot_days ? window.num_days() - ctx.hot_days : 0;
+    hot_from = static_cast<double>(window.day_start(first_hot_day));
+  }
+
+  std::vector<query::TieredSlot> slots;
+  slots.reserve(reader->num_segments());
+  for (std::uint32_t id = 0; id < reader->num_segments(); ++id) {
+    const SegmentMeta& meta = reader->meta(id);
+    query::TieredSlot slot;
+    if (meta.start_max >= hot_from) {
+      slot.resident = reader->load(id);
+    } else {
+      slot.cold = query::ColdSegmentRef{store, id, meta.rows, meta.start_min,
+                                        meta.start_max};
+    }
+    slots.push_back(std::move(slot));
+  }
+  return std::make_shared<const query::Snapshot>(window, std::move(slots),
+                                                 version);
+}
+
+}  // namespace dosm::storage

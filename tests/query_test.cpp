@@ -453,6 +453,60 @@ TEST(QueryBudgetTest, SufficientBudgetDoesNotPerturbResults) {
   EXPECT_EQ(snapshot->top_asns(all, 5, roomy), snapshot->top_asns(all, 5));
 }
 
+TEST(QueryBudgetTest, RowBudgetIsIdenticalAcrossSegmentGranularities) {
+  // Regression: the row budget must charge MATCHED rows, not visited
+  // candidates. Candidate counts depend on which access path each
+  // per-segment planner picks, so charging candidates made the same query
+  // with the same max_rows succeed at one --segment-days and throw at
+  // another. Matched rows are a pure function of (dataset, query).
+  const auto scenario = make_scenario(0xb0d6e7, 2000);
+  const int granularities[] = {0, 1, 7};
+  std::vector<std::shared_ptr<const Snapshot>> snaps;
+  for (const int days : granularities)
+    snaps.push_back(Snapshot::build(
+        scenario.window, scenario.events,
+        BuildContext{scenario.pfx2as, scenario.geo, 1, days}));
+
+  // Find a query whose candidate counts differ across granularities AND
+  // exceed its matched count — exactly the shape where candidate-charging
+  // diverges: with max_rows == matched, a candidate-charging executor
+  // throws on the granularity that scans more than it matches.
+  Rng rng(20260808);
+  bool exercised = false;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const Query q = random_query(rng, scenario);
+    const std::uint64_t matched = snaps[0]->count(q);
+    if (matched < 2) continue;
+    std::uint64_t max_candidates = 0;
+    for (const auto& snap : snaps)
+      max_candidates = std::max(max_candidates, snap->plan(q).candidates);
+    if (max_candidates <= matched) continue;
+    exercised = true;
+
+    ExecBudget exact;
+    exact.max_rows = matched;
+    for (std::size_t g = 0; g < snaps.size(); ++g) {
+      EXPECT_EQ(snaps[g]->count(q, exact), matched)
+          << "segment_days=" << granularities[g];
+      EXPECT_EQ(snaps[g]->match_rows(q, exact), snaps[0]->match_rows(q, exact))
+          << "segment_days=" << granularities[g];
+    }
+    ExecBudget tight;
+    tight.max_rows = matched - 1;
+    for (std::size_t g = 0; g < snaps.size(); ++g) {
+      try {
+        snaps[g]->count(q, tight);
+        FAIL() << "expected BudgetExceeded at segment_days="
+               << granularities[g];
+      } catch (const BudgetExceeded& e) {
+        EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kRows);
+      }
+    }
+    if (exercised && attempt > 50) break;  // a handful of shapes is plenty
+  }
+  ASSERT_TRUE(exercised) << "no query separated candidates from matches";
+}
+
 TEST(QueryBudgetTest, ExpiredDeadlineSurfacesAsTimeKind) {
   const auto world = sim::build_world(sim::ScenarioConfig::small());
   const auto snapshot = Snapshot::from_store(

@@ -13,7 +13,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -275,6 +277,37 @@ TEST(ResultCacheTest, PurgeStaleDropsOldVersionsOnly) {
   EXPECT_EQ(cache.entries(), 1u);
 }
 
+TEST(ResultCacheTest, PurgeStaleUpdatesResidentGauges) {
+  // Gauge-staleness audit note: purge_stale() was already correct — it sets
+  // serve.cache.bytes/entries under the same lock as the eviction, as do
+  // put() and the LRU eviction loop. This test pins that behavior.
+  ResultCache cache(1 << 16);
+  cache.put("v1/a", entry(1, "old"));
+  cache.put("v1/b", entry(1, "old-too"));
+  cache.put("v2/a", entry(2, "new"));
+  Metrics& metrics = Metrics::get();
+  cache.purge_stale(2);
+  EXPECT_EQ(metrics.cache_entries.value(), 1);
+  EXPECT_EQ(metrics.cache_bytes.value(),
+            static_cast<std::int64_t>(cache.bytes()));
+}
+
+TEST(ResultCacheTest, DestructionReleasesResidentGauges) {
+  // Regression: a destroyed cache (a stopped Server) used to leave the
+  // process-global serve.cache.bytes/entries gauges frozen at its last
+  // resident footprint — freed memory reported as resident forever.
+  Metrics& metrics = Metrics::get();
+  {
+    ResultCache cache(1 << 16);
+    cache.put("a", entry(1, "alpha"));
+    cache.put("b", entry(1, "beta"));
+    EXPECT_EQ(metrics.cache_entries.value(), 2);
+    EXPECT_GT(metrics.cache_bytes.value(), 0);
+  }
+  EXPECT_EQ(metrics.cache_entries.value(), 0);
+  EXPECT_EQ(metrics.cache_bytes.value(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // API mapping (no sockets).
 // ---------------------------------------------------------------------------
@@ -505,6 +538,55 @@ TEST(ServerTest, SaturatedQueueAnswers429) {
   EXPECT_NE(response.find("Retry-After"), std::string::npos);
   EXPECT_GT(Metrics::get().admission_rejected.value(), rejected_before);
   ::close(bounced);
+  ::close(queued);
+  ::close(busy);
+}
+
+TEST(ServerTest, RejectedPipelinedClientStillReceivesThe429) {
+  // Regression: the acceptor's reject path used plain close(). A client
+  // that had already pipelined requests the server never read made the
+  // kernel answer the unread bytes with RST — and RST discards the peer's
+  // receive queue, so the 429 evaporated before the client could read it.
+  // The lingering close (shutdown + bounded drain) must keep the response
+  // deliverable.
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  const Server server(config, shared_engine());
+
+  const int busy = connect_to(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int queued = connect_to(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A burst of bounced clients, each pipelining two requests in one
+  // segment at connect time. The acceptor serializes rejects, so for every
+  // connection after the first the pipelined bytes are guaranteed to be in
+  // the server's receive queue by the time its reject path closes — the
+  // exact shape where close() answered with RST.
+  constexpr int kBurst = 48;  // enough trials that the pre-fix RST race
+                              // cannot slip through a full run
+  int bounced[kBurst];
+  for (int i = 0; i < kBurst; ++i) {
+    bounced[i] = connect_to(server.port());
+    send_all(bounced[i],
+             "GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string response = read_response(bounced[i]);
+    EXPECT_EQ(status_of(response), 429) << "connection " << i << "\n"
+                                        << response;
+    EXPECT_NE(response.find("saturated"), std::string::npos)
+        << "connection " << i;
+    // The stream must end in a clean FIN. Pre-fix the unread pipelined
+    // bytes made close() emit RST, which surfaces here as ECONNRESET — and
+    // on stacks that flush the receive queue on RST, as a lost 429 above.
+    char tail[64];
+    const ssize_t eof = ::recv(bounced[i], tail, sizeof(tail), 0);
+    EXPECT_EQ(eof, 0) << "connection " << i << ": "
+                      << (eof < 0 ? std::strerror(errno) : "trailing bytes");
+    ::close(bounced[i]);
+  }
   ::close(queued);
   ::close(busy);
 }

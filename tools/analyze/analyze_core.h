@@ -14,7 +14,7 @@
 //                       non-atomic members of mutex-owning classes written
 //                       outside any lock-guard scope, in files reachable from
 //                       the concurrent subsystems (src/parallel, src/query,
-//                       src/obs).
+//                       src/obs, src/serve, src/storage).
 //   bare-lock           .lock()/.unlock()/.try_lock() called directly on a
 //                       mutex instead of going through an RAII guard.
 //   lock-order          inconsistent mutex acquisition order across the
@@ -49,10 +49,12 @@ struct AnalyzeOptions {
   // Files whose rel_path starts with one of these prefixes — plus everything
   // in their quoted-include closure — are in scope for shared-state-race.
   std::vector<std::string> race_roots = {"src/parallel/", "src/query/",
-                                         "src/obs/", "src/serve/"};
+                                         "src/obs/", "src/serve/",
+                                         "src/storage/"};
   // rel-path suffix -> sole exception type that file may throw.
   std::vector<std::pair<std::string, std::string>> throw_contracts = {
-      {"src/core/serialize.cpp", "SerializeError"}};
+      {"src/core/serialize.cpp", "SerializeError"},
+      {"src/storage/codec.cpp", "SerializeError"}};
 };
 
 /// One observed "held `before` while acquiring `after`" guard nesting.

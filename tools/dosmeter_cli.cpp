@@ -35,6 +35,11 @@
 //   dosmeter serve [world options] [--port N] [--workers N] ...
 //     starts the HTTP/JSON query server (src/serve) over a simulated
 //     world's snapshot; see serve_usage() below.
+//
+//   dosmeter archive save|load ...
+//     seals a snapshot into the compressed on-disk segment archive
+//     (src/storage) and queries it back through the tiered hot/cold path;
+//     see archive_usage() below.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -62,6 +67,8 @@
 #include "query/snapshot.h"
 #include "serve/server.h"
 #include "sim/scenario.h"
+#include "storage/archive.h"
+#include "storage/tiered.h"
 
 namespace {
 
@@ -309,6 +316,67 @@ struct QueryOptions {
   std::exit(code);
 }
 
+/// Runs one aggregation and prints its table — shared by `dosmeter query`
+/// (in-memory snapshots) and `dosmeter archive load` (tiered snapshots), so
+/// both paths render byte-identical output for the same dataset. Returns
+/// false on an unknown aggregation name.
+bool print_aggregation(const query::Snapshot& snapshot,
+                       const StudyWindow& window, const query::Query& q,
+                       const std::string& agg, std::size_t k, bool explain) {
+  std::cout << "query: " << query::to_string(q) << "\n";
+  if (explain)
+    std::cout << "plan:  " << query::to_string(snapshot.plan(q)) << "\n";
+
+  if (agg == "summary") {
+    std::cout << "events:         " << snapshot.count(q) << "\n";
+    std::cout << "unique targets: " << snapshot.unique_targets(q) << "\n";
+  } else if (agg == "daily") {
+    const auto daily = snapshot.daily_attacks(q);
+    TextTable table({"date", "attacks"});
+    for (int d = 0; d < daily.num_days(); ++d) {
+      if (daily.at(d) == 0.0) continue;
+      table.add_row({to_string(window.date_of_day(d)), fixed(daily.at(d), 0)});
+    }
+    std::cout << table;
+  } else if (agg == "top-targets") {
+    TextTable table({"target", "events"});
+    for (const auto& row : snapshot.top_targets(q, k))
+      table.add_row({row.target.to_string(), std::to_string(row.events)});
+    std::cout << table;
+  } else if (agg == "top-asns") {
+    TextTable table({"asn", "targets", "events"});
+    for (const auto& row : snapshot.top_asns(q, k))
+      table.add_row({"AS" + std::to_string(row.asn),
+                     std::to_string(row.targets), std::to_string(row.events)});
+    std::cout << table;
+  } else if (agg == "top-countries") {
+    TextTable table({"country", "targets", "share"});
+    for (const auto& row : snapshot.top_countries(q, k))
+      table.add_row({row.country.to_string(), std::to_string(row.targets),
+                     percent(row.share, 2)});
+    std::cout << table;
+  } else if (agg == "events") {
+    const auto rows = snapshot.match_rows(q);
+    TextTable table({"start", "target", "source", "intensity", "port"});
+    for (std::size_t i = 0; i < rows.size() && i < k; ++i) {
+      const auto row = rows[i];
+      table.add_row({fixed(snapshot.start_at(row), 0),
+                     snapshot.target_at(row).to_string(),
+                     snapshot.source_at(row) == core::EventSource::kTelescope
+                         ? "telescope"
+                         : "honeypot",
+                     fixed(snapshot.intensity_at(row), 2),
+                     std::to_string(snapshot.top_port_at(row))});
+    }
+    std::cout << table;
+    if (rows.size() > k)
+      std::cout << "(" << rows.size() - k << " more rows; raise --k)\n";
+  } else {
+    return false;
+  }
+  return true;
+}
+
 QueryOptions parse_query_options(int argc, char** argv) {
   QueryOptions options;
   auto need_value = [&](int& i) -> std::string {
@@ -435,57 +503,8 @@ int query_main(int argc, char** argv) {
                    : static_cast<double>(window.end_time());
     options.query.between(begin, end);
   }
-  const query::Query& q = options.query;
-
-  std::cout << "query: " << query::to_string(q) << "\n";
-  if (options.explain)
-    std::cout << "plan:  " << query::to_string(snapshot->plan(q)) << "\n";
-
-  if (options.agg == "summary") {
-    std::cout << "events:         " << snapshot->count(q) << "\n";
-    std::cout << "unique targets: " << snapshot->unique_targets(q) << "\n";
-  } else if (options.agg == "daily") {
-    const auto daily = snapshot->daily_attacks(q);
-    TextTable table({"date", "attacks"});
-    for (int d = 0; d < daily.num_days(); ++d) {
-      if (daily.at(d) == 0.0) continue;
-      table.add_row({to_string(window.date_of_day(d)), fixed(daily.at(d), 0)});
-    }
-    std::cout << table;
-  } else if (options.agg == "top-targets") {
-    TextTable table({"target", "events"});
-    for (const auto& row : snapshot->top_targets(q, options.k))
-      table.add_row({row.target.to_string(), std::to_string(row.events)});
-    std::cout << table;
-  } else if (options.agg == "top-asns") {
-    TextTable table({"asn", "targets", "events"});
-    for (const auto& row : snapshot->top_asns(q, options.k))
-      table.add_row({"AS" + std::to_string(row.asn),
-                     std::to_string(row.targets), std::to_string(row.events)});
-    std::cout << table;
-  } else if (options.agg == "top-countries") {
-    TextTable table({"country", "targets", "share"});
-    for (const auto& row : snapshot->top_countries(q, options.k))
-      table.add_row({row.country.to_string(), std::to_string(row.targets),
-                     percent(row.share, 2)});
-    std::cout << table;
-  } else if (options.agg == "events") {
-    const auto rows = snapshot->match_rows(q);
-    TextTable table({"start", "target", "source", "intensity", "port"});
-    for (std::size_t i = 0; i < rows.size() && i < options.k; ++i) {
-      const auto row = rows[i];
-      table.add_row({fixed(snapshot->start_at(row), 0),
-                     snapshot->target_at(row).to_string(),
-                     snapshot->source_at(row) == core::EventSource::kTelescope
-                         ? "telescope"
-                         : "honeypot",
-                     fixed(snapshot->intensity_at(row), 2),
-                     std::to_string(snapshot->top_port_at(row))});
-    }
-    std::cout << table;
-    if (rows.size() > options.k)
-      std::cout << "(" << rows.size() - options.k << " more rows; raise --k)\n";
-  } else {
+  if (!print_aggregation(*snapshot, window, options.query, options.agg,
+                         options.k, options.explain)) {
     std::cerr << "unknown aggregation: " << options.agg << "\n";
     query_usage(2);
   }
@@ -810,6 +829,224 @@ int serve_main(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `dosmeter archive` — seal snapshots to disk, query them back tiered.
+// ---------------------------------------------------------------------------
+
+struct ArchiveOptions {
+  std::string mode;  // save | load
+  std::string file;
+  // save:
+  sim::ScenarioConfig scenario;
+  std::string load_events;
+  int threads = 1;
+  int segment_days = 7;
+  // load:
+  int hot_days = 0;
+  std::size_t cache_bytes = 64u << 20;
+  query::Query query;
+  std::optional<CivilDate> from;
+  std::optional<CivilDate> to;
+  std::string agg = "summary";
+  std::size_t k = 10;
+  bool explain = false;
+  std::string metrics_out;
+};
+
+[[noreturn]] void archive_usage(int code) {
+  std::cout <<
+      "dosmeter archive — compressed on-disk segment archives (src/storage)\n"
+      "  dosmeter archive save --file F [dataset] [--threads N]\n"
+      "                        [--segment-days N (default 7)]\n"
+      "    seals the dataset's snapshot segments into archive F and prints\n"
+      "    the compression ratio vs the raw in-memory columns.\n"
+      "    dataset: --seed/--days/--domains/--direct/--reflection to\n"
+      "    simulate a world, or --load-events F for a binary event dump.\n"
+      "  dosmeter archive load --file F [--hot-days N] [--cache-bytes N]\n"
+      "                        [filters] [--agg A] [--k N] [--explain]\n"
+      "                        [--metrics-out F]\n"
+      "    opens F as a tiered snapshot — the trailing --hot-days stay\n"
+      "    resident, everything older decodes on demand through an LRU\n"
+      "    cache of --cache-bytes (0 = no cache) — and runs one query.\n"
+      "    Filters and aggregations are those of `dosmeter query`; results\n"
+      "    are byte-identical to querying the archived dataset in memory,\n"
+      "    for any --hot-days / --cache-bytes.\n";
+  std::exit(code);
+}
+
+ArchiveOptions parse_archive_options(int argc, char** argv) {
+  ArchiveOptions options;
+  if (argc < 3) archive_usage(2);
+  options.mode = argv[2];
+  if (options.mode == "--help" || options.mode == "-h") archive_usage(0);
+  if (options.mode != "save" && options.mode != "load") {
+    std::cerr << "archive mode must be save|load\n";
+    archive_usage(2);
+  }
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      archive_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") archive_usage(0);
+    else if (arg == "--file") options.file = need_value(i);
+    else if (arg == "--seed") options.scenario.seed = std::stoull(need_value(i));
+    else if (arg == "--days") {
+      const int days = std::stoi(need_value(i));
+      if (days < 2) {
+        std::cerr << "--days must be >= 2\n";
+        archive_usage(2);
+      }
+      options.scenario.window.end = civil_from_days(
+          days_from_civil(options.scenario.window.start) + days - 1);
+    } else if (arg == "--domains") {
+      options.scenario.hosting.num_domains = std::stoi(need_value(i));
+    } else if (arg == "--direct") {
+      options.scenario.attacker.direct_per_day = std::stod(need_value(i));
+    } else if (arg == "--reflection") {
+      options.scenario.attacker.reflection_per_day = std::stod(need_value(i));
+    } else if (arg == "--load-events") {
+      options.load_events = need_value(i);
+    } else if (arg == "--threads") {
+      options.threads = std::stoi(need_value(i));
+      if (options.threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        archive_usage(2);
+      }
+    } else if (arg == "--segment-days") {
+      options.segment_days = std::stoi(need_value(i));
+      if (options.segment_days < 0) {
+        std::cerr << "--segment-days must be >= 0\n";
+        archive_usage(2);
+      }
+    } else if (arg == "--hot-days") {
+      options.hot_days = std::stoi(need_value(i));
+    } else if (arg == "--cache-bytes") {
+      options.cache_bytes = std::stoul(need_value(i));
+    } else if (arg == "--from") {
+      options.from = parse_civil(need_value(i));
+    } else if (arg == "--to") {
+      options.to = parse_civil(need_value(i));
+    } else if (arg == "--source") {
+      const std::string value = need_value(i);
+      if (value == "telescope")
+        options.query.from_source(core::SourceFilter::kTelescope);
+      else if (value == "honeypot")
+        options.query.from_source(core::SourceFilter::kHoneypot);
+      else if (value == "combined")
+        options.query.from_source(core::SourceFilter::kCombined);
+      else {
+        std::cerr << "--source must be telescope|honeypot|combined\n";
+        archive_usage(2);
+      }
+    } else if (arg == "--prefix") {
+      options.query.in_prefix(net::Prefix::parse(need_value(i)));
+    } else if (arg == "--asn") {
+      options.query.in_asn(static_cast<meta::Asn>(std::stoul(need_value(i))));
+    } else if (arg == "--country") {
+      options.query.in_country(meta::CountryCode(need_value(i)));
+    } else if (arg == "--port") {
+      options.query.on_port(static_cast<std::uint16_t>(std::stoi(need_value(i))));
+    } else if (arg == "--min-intensity") {
+      options.query.at_least(std::stod(need_value(i)));
+    } else if (arg == "--agg") {
+      options.agg = need_value(i);
+    } else if (arg == "--k") {
+      options.k = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = need_value(i);
+    } else {
+      std::cerr << "unknown archive option: " << arg << "\n";
+      archive_usage(2);
+    }
+  }
+  if (options.file.empty()) {
+    std::cerr << "archive " << options.mode << " needs --file\n";
+    archive_usage(2);
+  }
+  return options;
+}
+
+int archive_main(int argc, char** argv) {
+  ArchiveOptions options = parse_archive_options(argc, argv);
+  const meta::PrefixToAsMap empty_pfx2as;
+  const meta::GeoDatabase empty_geo;
+
+  if (options.mode == "save") {
+    // Same dataset paths as `dosmeter query`, then one write_archive call.
+    std::shared_ptr<const query::Snapshot> snapshot;
+    std::unique_ptr<sim::World> world;
+    if (!options.load_events.empty()) {
+      const auto events = core::load_events(options.load_events);
+      std::cerr << "[dosmeter] loaded " << events.size() << " events from "
+                << options.load_events << "\n";
+      snapshot = query::Snapshot::build(
+          options.scenario.window, events,
+          query::BuildContext{empty_pfx2as, empty_geo, options.threads,
+                              options.segment_days});
+    } else {
+      std::cerr << "[dosmeter] building " << options.scenario.window.num_days()
+                << "-day world (seed " << options.scenario.seed << ")...\n";
+      world = sim::build_world(options.scenario);
+      snapshot = query::Snapshot::from_store(
+          world->store,
+          query::BuildContext{world->population.pfx2as(),
+                              world->population.geo(), options.threads,
+                              options.segment_days});
+    }
+    const std::uint64_t archive_bytes =
+        storage::write_archive(options.file, *snapshot);
+    const std::uint64_t raw_bytes = snapshot->size() * 42;  // SoA bytes/row
+    std::cout << "archived " << snapshot->size() << " events in "
+              << snapshot->num_segments() << " segment(s) to " << options.file
+              << "\n";
+    std::cout << "bytes: " << archive_bytes << " compressed vs " << raw_bytes
+              << " raw columns (" << fixed(double(raw_bytes) /
+                                               double(std::max<std::uint64_t>(
+                                                   archive_bytes, 1)),
+                                           2)
+              << "x)\n";
+    return 0;
+  }
+
+  // load: open tiered, run one query through the hot/cold machinery.
+  query::BuildContext ctx{empty_pfx2as, empty_geo};
+  ctx.hot_days = options.hot_days;
+  ctx.cold_cache_bytes = options.cache_bytes;
+  const auto snapshot = storage::open_tiered(options.file, ctx, /*version=*/1);
+  const StudyWindow window = snapshot->window();
+  std::cerr << "[dosmeter] opened " << options.file << ": " << snapshot->size()
+            << " events in " << snapshot->num_segments() << " segment(s), "
+            << (snapshot->fully_resident() ? "all hot" : "tiered") << "\n";
+
+  if (options.from || options.to) {
+    const double begin =
+        options.from ? static_cast<double>(unix_from_civil(*options.from))
+                     : static_cast<double>(window.start_time());
+    const double end =
+        options.to ? static_cast<double>(unix_from_civil(*options.to) +
+                                         kSecondsPerDay)
+                   : static_cast<double>(window.end_time());
+    options.query.between(begin, end);
+  }
+  if (!print_aggregation(*snapshot, window, options.query, options.agg,
+                         options.k, options.explain)) {
+    std::cerr << "unknown aggregation: " << options.agg << "\n";
+    archive_usage(2);
+  }
+  if (!options.metrics_out.empty()) {
+    obs::write_metrics_file(options.metrics_out, obs::MetricsRegistry::global());
+    std::cerr << "[dosmeter] wrote metrics to " << options.metrics_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -820,6 +1057,8 @@ int main(int argc, char** argv) try {
     return metrics_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "serve")
     return serve_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "archive")
+    return archive_main(argc, argv);
   const Options options = parse_options(argc, argv);
   const auto& config = options.scenario;
 
