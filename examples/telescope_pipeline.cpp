@@ -2,8 +2,9 @@
 //
 // Synthesizes one hour of /8 darknet traffic (three ground-truth attacks
 // plus scan/misconfiguration noise), writes it through our pcap writer,
-// reads it back with the pcap reader, and replays it through the RS-DoS
-// plugin pipeline, printing the inferred attack events.
+// reads it back through the batched ingest front end (src/ingest), and
+// replays it through the RS-DoS plugin pipeline, printing the inferred
+// attack events.
 //
 //   $ ./telescope_pipeline
 #include <iostream>
@@ -76,13 +77,14 @@ int main() {
   pfx2as.announce(net::Prefix::parse("162.254.0.0/16"), 32590);
   pfx2as.announce(net::Prefix::parse("198.41.0.0/16"), 13335);
 
-  net::PcapReader reader(pcap);
   telescope::Pipeline pipeline;
   auto& stats = pipeline.emplace_plugin<telescope::TrafficStatsPlugin>();
   auto& flowtuple = pipeline.emplace_plugin<telescope::FlowTuplePlugin>();
   auto& geotag = pipeline.emplace_plugin<telescope::GeoTaggingPlugin>(geo, pfx2as);
   auto& rsdos = pipeline.emplace_plugin<telescope::RsdosPlugin>();
-  pipeline.replay(reader);
+  // The batched front end (capture thread -> SPSC ring -> decode); plugins
+  // see the identical packet sequence the sequential PcapReader would give.
+  pipeline.replay(pcap);
   pipeline.finish();
 
   std::cout << "\nPipeline: " << stats.total_packets() << " packets, "

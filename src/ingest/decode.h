@@ -1,0 +1,32 @@
+// Batch decode: FrameBatch -> PacketRecords, with per-reason skip counts.
+//
+// The per-frame policy is net::decode_frame — the same function the
+// sequential PcapReader::next_packet uses — so the batched and sequential
+// front ends accept and drop exactly the same frames by construction. The
+// batch loop adds what the hot path needs: records append into a reusable
+// caller-owned vector (no optional/copy per packet) and skips fold into
+// local tallies flushed to the obs counters once per batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ingest/batch.h"
+#include "net/headers.h"
+
+namespace dosm::ingest {
+
+/// Per-batch skip tallies (also mirrored into ingest.skipped.*).
+struct DecodeStats {
+  std::uint64_t skipped_link = 0;
+  std::uint64_t skipped_truncated = 0;
+  std::uint64_t skipped_undecodable = 0;
+};
+
+/// Decodes every frame of `batch`, appending accepted packets to `out` in
+/// frame order. Returns the skip tallies for this batch after adding them
+/// to the global ingest.skipped.* counters.
+DecodeStats decode_batch(const FrameBatch& batch, std::uint32_t link_type,
+                         std::vector<net::PacketRecord>& out);
+
+}  // namespace dosm::ingest

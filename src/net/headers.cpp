@@ -131,12 +131,21 @@ std::optional<PacketRecord> decode_packet(std::span<const std::uint8_t> bytes,
                                           UnixSeconds ts_sec,
                                           std::uint32_t ts_usec,
                                           bool* checksum_ok) {
-  if (bytes.size() < kIpHeaderLen) return std::nullopt;
-  if ((bytes[0] >> 4) != 4) return std::nullopt;  // not IPv4
-  const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
-  if (ihl < kIpHeaderLen || bytes.size() < ihl) return std::nullopt;
-
   PacketRecord rec;
+  if (!decode_packet_into(bytes, ts_sec, ts_usec, rec, checksum_ok))
+    return std::nullopt;
+  return rec;
+}
+
+bool decode_packet_into(std::span<const std::uint8_t> bytes,
+                        UnixSeconds ts_sec, std::uint32_t ts_usec,
+                        PacketRecord& rec, bool* checksum_ok) {
+  if (bytes.size() < kIpHeaderLen) return false;
+  if ((bytes[0] >> 4) != 4) return false;  // not IPv4
+  const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
+  if (ihl < kIpHeaderLen || bytes.size() < ihl) return false;
+
+  rec = PacketRecord{};
   rec.ts_sec = ts_sec;
   rec.ts_usec = ts_usec;
   rec.ip_len = get_u16(bytes, 2);
@@ -150,16 +159,16 @@ std::optional<PacketRecord> decode_packet(std::span<const std::uint8_t> bytes,
 
   const auto payload = bytes.subspan(ihl);
   if (rec.is_tcp()) {
-    if (payload.size() < 14) return rec;  // truncated transport: keep IP view
+    if (payload.size() < 14) return true;  // truncated transport: keep IP view
     rec.src_port = get_u16(payload, 0);
     rec.dst_port = get_u16(payload, 2);
     rec.tcp_flags = payload[13] & 0x3f;
   } else if (rec.is_udp()) {
-    if (payload.size() < 4) return rec;
+    if (payload.size() < 4) return true;
     rec.src_port = get_u16(payload, 0);
     rec.dst_port = get_u16(payload, 2);
   } else if (rec.is_icmp()) {
-    if (payload.size() < 2) return rec;
+    if (payload.size() < 2) return true;
     rec.icmp_type = payload[0];
     rec.icmp_code = payload[1];
     if (is_icmp_error(rec.icmp_type) && payload.size() >= kIcmpHeaderLen + kIpHeaderLen) {
@@ -181,7 +190,7 @@ std::optional<PacketRecord> decode_packet(std::span<const std::uint8_t> bytes,
       }
     }
   }
-  return rec;
+  return true;
 }
 
 }  // namespace dosm::net

@@ -108,4 +108,12 @@ std::optional<PacketRecord> decode_packet(std::span<const std::uint8_t> bytes,
                                           std::uint32_t ts_usec = 0,
                                           bool* checksum_ok = nullptr);
 
+/// Allocation-free core of decode_packet: writes into `rec` and returns
+/// false on truncated or non-IPv4 input. The batched ingest decoder calls
+/// this directly so the hot loop never constructs a std::optional per
+/// packet; both entry points share one parse by construction.
+bool decode_packet_into(std::span<const std::uint8_t> bytes,
+                        UnixSeconds ts_sec, std::uint32_t ts_usec,
+                        PacketRecord& rec, bool* checksum_ok = nullptr);
+
 }  // namespace dosm::net

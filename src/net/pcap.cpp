@@ -4,9 +4,38 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace dosm::net {
 
 namespace {
+
+/// Frames both ingest front ends dropped, by reason. Registered lazily on
+/// the global registry; src/ingest/metrics.cpp resolves the same names, so
+/// the sequential and batched paths share one set of counters.
+struct SkipCounters {
+  obs::Counter& link;
+  obs::Counter& truncated;
+  obs::Counter& undecodable;
+
+  static SkipCounters& get() {
+    static SkipCounters counters = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return SkipCounters{
+          reg.counter("ingest.skipped.link",
+                      "Frames dropped at the link layer (short frame or "
+                      "non-IPv4 EtherType)"),
+          reg.counter("ingest.skipped.truncated",
+                      "Frames dropped because the IPv4 total_length exceeds "
+                      "the captured bytes (snaplen truncation)"),
+          reg.counter("ingest.skipped.undecodable",
+                      "Frames dropped because the payload is not parseable "
+                      "IPv4"),
+      };
+    }();
+    return counters;
+  }
+};
 
 void write_u16le(std::ostream& out, std::uint16_t v) {
   const char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
@@ -95,6 +124,12 @@ PcapReader::PcapReader(std::istream& in) : in_(in) {
 std::optional<CapturedFrame> PcapReader::next_frame() {
   std::uint32_t hdr[4];
   if (!read_exact(in_, hdr, sizeof(hdr))) {
+    // A zero-byte short read is a clean EOF only when the stream actually
+    // reached end-of-file. A failed stream (badbit from the underlying
+    // source, or failbit without eofbit) also reports gcount() == 0; treating
+    // that as EOF would silently truncate the trace on an I/O error.
+    if (in_.bad() || !in_.eof())
+      throw std::runtime_error("PcapReader: stream read error mid-capture");
     if (in_.gcount() == 0) return std::nullopt;  // clean EOF
     throw std::runtime_error("PcapReader: truncated record header");
   }
@@ -108,26 +143,72 @@ std::optional<CapturedFrame> PcapReader::next_frame() {
   if (caplen > 1u << 26)
     throw std::runtime_error("PcapReader: implausible record length");
   frame.bytes.resize(caplen);
-  if (!read_exact(in_, frame.bytes.data(), caplen))
+  if (!read_exact(in_, frame.bytes.data(), caplen)) {
+    if (in_.bad() || !in_.eof())
+      throw std::runtime_error("PcapReader: stream read error mid-capture");
     throw std::runtime_error("PcapReader: truncated record body");
+  }
   return frame;
 }
 
 std::optional<PacketRecord> PcapReader::next_packet() {
+  auto& skips = SkipCounters::get();
   for (;;) {
     auto frame = next_frame();
     if (!frame) return std::nullopt;
-    std::span<const std::uint8_t> payload = frame->bytes;
-    if (link_type_ == kLinkTypeEthernet) {
-      if (payload.size() < 14) continue;
-      const std::uint16_t ethertype =
-          static_cast<std::uint16_t>((payload[12] << 8) | payload[13]);
-      if (ethertype != 0x0800) continue;  // not IPv4
-      payload = payload.subspan(14);
+    PacketRecord rec;
+    switch (decode_frame(frame->bytes, link_type_, frame->ts_sec,
+                         frame->ts_usec, rec)) {
+      case FrameDecode::kOk: return rec;
+      case FrameDecode::kSkipLink: skips.link.inc(); break;
+      case FrameDecode::kSkipTruncated: skips.truncated.inc(); break;
+      case FrameDecode::kSkipUndecodable: skips.undecodable.inc(); break;
     }
-    auto rec = decode_packet(payload, frame->ts_sec, frame->ts_usec);
-    if (rec) return rec;
   }
+}
+
+FrameDecode decode_frame(std::span<const std::uint8_t> bytes,
+                         std::uint32_t link_type, UnixSeconds ts_sec,
+                         std::uint32_t ts_usec, PacketRecord& rec) {
+  std::span<const std::uint8_t> payload = bytes;
+  if (link_type == kLinkTypeEthernet) {
+    if (payload.size() < 14) return FrameDecode::kSkipLink;
+    std::uint16_t ethertype =
+        static_cast<std::uint16_t>((payload[12] << 8) | payload[13]);
+    std::size_t offset = 14;
+    // Strip 802.1Q/802.1ad VLAN tags (4 bytes each: TPID already consumed as
+    // the EtherType, then TCI + the inner EtherType). Captures at IXP/core
+    // vantage points are routinely tagged; bounded nesting guards against
+    // adversarial tag chains.
+    for (int depth = 0;
+         (ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) &&
+         depth < 4;
+         ++depth) {
+      if (payload.size() < offset + 4) return FrameDecode::kSkipLink;
+      ethertype = static_cast<std::uint16_t>((payload[offset + 2] << 8) |
+                                             payload[offset + 3]);
+      offset += 4;
+    }
+    if (ethertype != kEtherTypeIpv4) return FrameDecode::kSkipLink;
+    payload = payload.subspan(offset);
+  }
+  // Snaplen truncation gate: an IPv4 packet whose total_length claims more
+  // bytes than the capture holds must not flow downstream as if complete —
+  // flow byte counts and transport fields would be computed from a partial
+  // packet. (total_length < captured size is fine: Ethernet pads.)
+  if (payload.size() < 20) {
+    return (!payload.empty() && (payload[0] >> 4) == 4)
+               ? FrameDecode::kSkipTruncated
+               : FrameDecode::kSkipUndecodable;
+  }
+  if ((payload[0] >> 4) == 4) {
+    const std::size_t total_length =
+        static_cast<std::size_t>((payload[2] << 8) | payload[3]);
+    if (total_length > payload.size()) return FrameDecode::kSkipTruncated;
+  }
+  if (!decode_packet_into(payload, ts_sec, ts_usec, rec))
+    return FrameDecode::kSkipUndecodable;
+  return FrameDecode::kOk;
 }
 
 std::vector<PacketRecord> decode_pcap(std::span<const std::uint8_t> file_bytes) {

@@ -5,7 +5,8 @@
 // backscatter as LINKTYPE_RAW (101) captures — raw IPv4 packets with no
 // link-layer header — and the detection pipeline replays them through
 // net::decode_packet. LINKTYPE_ETHERNET (1) files are also readable; the
-// 14-byte Ethernet header is stripped when the EtherType is IPv4.
+// 14-byte Ethernet header — plus any 802.1Q/802.1ad VLAN tags — is stripped
+// when the (inner) EtherType is IPv4.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +24,11 @@ namespace dosm::net {
 inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
 inline constexpr std::uint32_t kLinkTypeEthernet = 1;
 inline constexpr std::uint32_t kLinkTypeRaw = 101;
+
+/// 802.1Q / 802.1ad tag protocol identifiers (VLAN single- and double-tag).
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;
 
 /// A captured frame: timestamp plus raw bytes at the file's link layer.
 struct CapturedFrame {
@@ -66,11 +72,13 @@ class PcapReader {
 
   std::uint32_t link_type() const { return link_type_; }
 
-  /// Next raw frame, or nullopt at EOF. Throws on truncated records.
+  /// Next raw frame, or nullopt at clean EOF. Throws on truncated records
+  /// and on mid-capture stream errors (badbit / failbit without eofbit).
   std::optional<CapturedFrame> next_frame();
 
-  /// Next frame decoded to a PacketRecord (skipping frames that are not
-  /// parseable IPv4), or nullopt at EOF.
+  /// Next frame decoded to a PacketRecord via decode_frame (VLAN tags
+  /// stripped, snaplen-truncated and undecodable frames skipped and counted
+  /// in the ingest.skipped.* metrics), or nullopt at EOF.
   std::optional<PacketRecord> next_packet();
 
  private:
@@ -78,6 +86,25 @@ class PcapReader {
   std::uint32_t link_type_ = kLinkTypeRaw;
   bool swapped_ = false;
 };
+
+/// Outcome of decoding one captured frame to a PacketRecord. The skip kinds
+/// mirror the `ingest.skipped.*` counters: both the sequential reader and
+/// the batched ingest decoder (src/ingest) classify frames through
+/// decode_frame so the two front ends drop exactly the same frames.
+enum class FrameDecode : std::uint8_t {
+  kOk,                // `rec` holds the decoded packet
+  kSkipLink,          // link layer unusable (short frame, non-IPv4 EtherType)
+  kSkipTruncated,     // IPv4 total_length exceeds the captured bytes
+  kSkipUndecodable,   // not parseable IPv4
+};
+
+/// Decodes one frame's bytes at the given link layer: strips the Ethernet
+/// header (including 802.1Q/802.1ad VLAN tags) when `link_type` is
+/// kLinkTypeEthernet, rejects snaplen-truncated IPv4 (total_length beyond
+/// the capture), then parses via decode_packet_into.
+FrameDecode decode_frame(std::span<const std::uint8_t> bytes,
+                         std::uint32_t link_type, UnixSeconds ts_sec,
+                         std::uint32_t ts_usec, PacketRecord& rec);
 
 /// Reads every decodable packet from a pcap byte buffer (test helper).
 std::vector<PacketRecord> decode_pcap(std::span<const std::uint8_t> file_bytes);

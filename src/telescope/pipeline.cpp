@@ -9,6 +9,16 @@ void Pipeline::process(const net::PacketRecord& rec) {
   for (auto& plugin : plugins_) plugin->on_packet(rec);
 }
 
+std::uint64_t Pipeline::replay(std::istream& pcap_stream,
+                               const ingest::IngestOptions& options) {
+  const auto stats = ingest::run_ingest(
+      pcap_stream, options,
+      ingest::RecordBatchSink([this](std::span<const net::PacketRecord> records) {
+        for (const net::PacketRecord& rec : records) process(rec);
+      }));
+  return stats.packets;
+}
+
 std::uint64_t Pipeline::replay(net::PcapReader& reader) {
   std::uint64_t count = 0;
   while (auto rec = reader.next_packet()) {

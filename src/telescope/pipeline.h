@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/pipeline.h"
 #include "net/pcap.h"
 #include "telescope/flow_table.h"
 
@@ -44,7 +45,17 @@ class Pipeline {
 
   void process(const net::PacketRecord& rec);
 
-  /// Replays an entire pcap stream; returns the number of decoded packets.
+  /// Replays an entire pcap stream through the batched ingest front end
+  /// (capture thread -> SPSC ring -> decode on this thread); returns the
+  /// number of decoded packets. With the default kBlock policy the plugins
+  /// see exactly the packet sequence the sequential reader would produce,
+  /// at any batch size and ring capacity.
+  std::uint64_t replay(std::istream& pcap_stream,
+                       const ingest::IngestOptions& options = {});
+
+  /// Replays an entire pcap stream through the sequential one-packet-at-a-
+  /// time reader; returns the number of decoded packets. Reference path for
+  /// the batched front end's identity tests.
   std::uint64_t replay(net::PcapReader& reader);
 
   /// Replays an in-memory packet vector (must be time-ordered).

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "net/pcap.h"
 
@@ -147,6 +149,84 @@ TEST(Pcap, SnaplenTruncatesCapture) {
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->bytes.size(), 16u);
   EXPECT_EQ(frame->orig_len, packet.size());
+}
+
+/// Serves a fixed prefix and then fails like a torn-down pipe: underflow
+/// throws, which istream::read converts to badbit with the exception
+/// swallowed (the default exception mask).
+class FailingStreamBuf : public std::streambuf {
+ public:
+  explicit FailingStreamBuf(std::string data) : data_(std::move(data)) {
+    setg(data_.data(), data_.data(), data_.data() + data_.size());
+  }
+
+ protected:
+  int_type underflow() override {
+    throw std::runtime_error("simulated I/O error");
+  }
+
+ private:
+  std::string data_;
+};
+
+// Regression: a failed (non-EOF) stream used to read as a clean end of
+// capture — next_frame() saw gcount() == 0 and returned nullopt, silently
+// dropping the rest of the capture on any mid-read I/O error.
+TEST(Pcap, MidCaptureStreamErrorThrowsInsteadOfEof) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  PcapWriter writer(stream);
+  writer.write_packet(sample_packet(0));
+  // Cut the stream exactly at a record boundary: the reader consumes the
+  // global header plus one full record, then the next header read fails.
+  FailingStreamBuf buf(stream.str());
+  std::istream in(&buf);
+  PcapReader reader(in);
+  ASSERT_TRUE(reader.next_frame().has_value());
+  EXPECT_THROW(reader.next_frame(), std::runtime_error);
+}
+
+// Regression: VLAN-tagged Ethernet frames (TPID 0x8100 / 0x88a8) used to be
+// silently dropped because the EtherType check only accepted a bare 0x0800.
+TEST(Pcap, VlanTaggedFramesAreDecoded) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  PcapWriter writer(stream, kLinkTypeEthernet);
+  const auto ip = encode_packet(sample_packet(1));
+  auto tagged = [&](std::vector<std::uint8_t> tags) {
+    std::vector<std::uint8_t> frame(12, 0);
+    frame.insert(frame.end(), tags.begin(), tags.end());
+    frame.push_back(0x08);  // inner EtherType IPv4
+    frame.push_back(0x00);
+    frame.insert(frame.end(), ip.begin(), ip.end());
+    return frame;
+  };
+  // 802.1Q single tag.
+  writer.write_frame(1, 0, tagged({0x81, 0x00, 0x00, 0x64}));
+  // 802.1ad QinQ: outer service tag + inner customer tag.
+  writer.write_frame(2, 0,
+                     tagged({0x88, 0xa8, 0x00, 0xc8, 0x81, 0x00, 0x00, 0x64}));
+
+  PcapReader reader(stream);
+  const auto single = reader.next_packet();
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->src_port, 80);
+  const auto qinq = reader.next_packet();
+  ASSERT_TRUE(qinq.has_value());
+  EXPECT_EQ(qinq->src_port, 80);
+  EXPECT_FALSE(reader.next_packet().has_value());
+}
+
+// Regression: snaplen-truncated frames used to flow into decode_packet as if
+// complete, yielding bogus records (e.g. zero ports) instead of being
+// skipped. The IPv4 total_length must fit inside the captured bytes.
+TEST(Pcap, SnaplenTruncatedFramesAreSkippedByNextPacket) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  // 24-byte snaplen cuts the 40-byte TCP packet mid-transport-header.
+  PcapWriter writer(stream, kLinkTypeRaw, /*snaplen=*/24);
+  const auto packet = encode_packet(sample_packet(0));
+  ASSERT_GT(packet.size(), 24u);
+  writer.write_frame(1, 0, packet);
+  PcapReader reader(stream);
+  EXPECT_FALSE(reader.next_packet().has_value());
 }
 
 TEST(Pcap, DecodePcapHelper) {

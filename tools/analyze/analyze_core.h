@@ -50,7 +50,7 @@ struct AnalyzeOptions {
   // in their quoted-include closure — are in scope for shared-state-race.
   std::vector<std::string> race_roots = {"src/parallel/", "src/query/",
                                          "src/obs/", "src/serve/",
-                                         "src/storage/"};
+                                         "src/storage/", "src/ingest/"};
   // rel-path suffix -> sole exception type that file may throw.
   std::vector<std::pair<std::string, std::string>> throw_contracts = {
       {"src/core/serialize.cpp", "SerializeError"},

@@ -59,6 +59,8 @@
 #include "core/streaming.h"
 #include "core/taxonomy.h"
 #include "dps/classifier.h"
+#include "ingest/pipeline.h"
+#include "net/pcap.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "parallel/detect.h"
@@ -154,6 +156,9 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
 struct DetectOptions {
   parallel::WorkloadConfig workload;
   parallel::ParallelConfig parallel;
+  ingest::IngestOptions ingest;
+  std::string pcap_in;
+  std::string save_pcap;
   std::string save_events;
   std::string metrics_out;
   bool quiet = false;
@@ -166,13 +171,23 @@ struct DetectOptions {
       "  --direct N      ground-truth spoofed attacks (default 400)\n"
       "  --reflection N  ground-truth reflection attacks (default 120)\n"
       "  --hours H       capture window length in hours (default 4)\n"
+      "  --pcap F        replay a pcap capture through the batched ingest\n"
+      "                  front end (src/ingest) instead of the synthetic\n"
+      "                  workload; telescope detection only\n"
+      "  --batch-frames N   frames per ingest batch (default 512)\n"
+      "  --ring-capacity N  ingest ring capacity in batches (default 8)\n"
+      "  --ring-policy P    block|drop on a full ring (default block;\n"
+      "                     drop trades determinism for capture latency)\n"
+      "  --save-pcap F   write the synthetic telescope capture to F\n"
+      "                  (LINKTYPE_RAW) and exit\n"
       "  --threads N     worker threads (default 1)\n"
       "  --shards N      victim-hash shards (default: one per thread)\n"
       "  --save-events F write the fused events as a binary dump\n"
       "  --metrics-out F write pipeline metrics after the run\n"
       "                  (.prom -> Prometheus text, else JSON)\n"
       "  --quiet         suppress the text summary\n"
-      "Output is byte-identical for every --threads/--shards setting and\n"
+      "Output is byte-identical for every --threads/--shards setting, every\n"
+      "--batch-frames/--ring-capacity setting (with the block policy), and\n"
       "with or without --metrics-out.\n";
   std::exit(code);
 }
@@ -200,6 +215,26 @@ DetectOptions parse_detect_options(int argc, char** argv) {
       options.parallel.threads = std::stoi(need_value(i));
     } else if (arg == "--shards") {
       options.parallel.shards = std::stoi(need_value(i));
+    } else if (arg == "--pcap") {
+      options.pcap_in = need_value(i);
+    } else if (arg == "--save-pcap") {
+      options.save_pcap = need_value(i);
+    } else if (arg == "--batch-frames") {
+      options.ingest.batch_frames =
+          static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--ring-capacity") {
+      options.ingest.ring_capacity =
+          static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--ring-policy") {
+      const std::string policy = need_value(i);
+      if (policy == "block") {
+        options.ingest.policy = ingest::Backpressure::kBlock;
+      } else if (policy == "drop") {
+        options.ingest.policy = ingest::Backpressure::kDrop;
+      } else {
+        std::cerr << "--ring-policy must be block or drop\n";
+        detect_usage(2);
+      }
     } else if (arg == "--save-events") {
       options.save_events = need_value(i);
     } else if (arg == "--metrics-out") {
@@ -215,23 +250,60 @@ DetectOptions parse_detect_options(int argc, char** argv) {
     std::cerr << "--threads must be >= 1 and --shards >= 0\n";
     detect_usage(2);
   }
+  if (options.ingest.batch_frames < 1 || options.ingest.ring_capacity < 1) {
+    std::cerr << "--batch-frames and --ring-capacity must be >= 1\n";
+    detect_usage(2);
+  }
   return options;
 }
 
 int detect_main(int argc, char** argv) {
   const DetectOptions options = parse_detect_options(argc, argv);
 
-  auto workload = parallel::make_workload(options.workload);
-  std::cerr << "[dosmeter] capture: " << workload.packets.size()
-            << " telescope packets, "
-            << workload.fleet->total_requests() << " honeypot requests ("
-            << options.parallel.threads << " threads, "
-            << options.parallel.effective_shards() << " shards)\n";
+  // --pcap: the capture comes from a file through the batched ingest front
+  // end instead of the synthetic workload generator (telescope path only —
+  // there are no honeypot logs in a pcap).
+  std::vector<net::PacketRecord> capture_packets;
+  std::unique_ptr<amppot::HoneypotFleet> fleet;
+  if (!options.pcap_in.empty()) {
+    std::ifstream pcap(options.pcap_in, std::ios::binary);
+    if (!pcap) {
+      std::cerr << "cannot open " << options.pcap_in << "\n";
+      return 2;
+    }
+    capture_packets = ingest::read_packets(pcap, options.ingest);
+    std::cerr << "[dosmeter] capture: " << capture_packets.size()
+              << " packets from " << options.pcap_in << " (batched ingest, "
+              << options.parallel.threads << " threads)\n";
+  } else {
+    auto workload = parallel::make_workload(options.workload);
+    capture_packets = std::move(workload.packets);
+    fleet = std::move(workload.fleet);
+    std::cerr << "[dosmeter] capture: " << capture_packets.size()
+              << " telescope packets, " << fleet->total_requests()
+              << " honeypot requests (" << options.parallel.threads
+              << " threads, " << options.parallel.effective_shards()
+              << " shards)\n";
+  }
+
+  if (!options.save_pcap.empty()) {
+    std::ofstream out(options.save_pcap, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << options.save_pcap << "\n";
+      return 2;
+    }
+    net::PcapWriter writer(out);
+    for (const auto& rec : capture_packets) writer.write_packet(rec);
+    std::cerr << "[dosmeter] wrote " << writer.frames_written()
+              << " frames to " << options.save_pcap << "\n";
+    return 0;
+  }
 
   parallel::ParallelBackscatterDetector detector(options.parallel);
-  const auto telescope_events = detector.detect(workload.packets);
-  const auto honeypot_events =
-      parallel::parallel_harvest(*workload.fleet, {}, options.parallel);
+  const auto telescope_events = detector.detect(capture_packets);
+  const std::vector<amppot::AmpPotEvent> honeypot_events =
+      fleet ? parallel::parallel_harvest(*fleet, {}, options.parallel)
+            : std::vector<amppot::AmpPotEvent>{};
 
   std::vector<core::AttackEvent> events;
   events.reserve(telescope_events.size() + honeypot_events.size());
