@@ -1,0 +1,293 @@
+// Subscription-layer bench: a million synthetic watchers on the posting
+// index (src/subscribe) vs the scan-all baseline the index replaces.
+//
+// The subscription mix mirrors what a live deployment of the paper's §9
+// near-realtime loop would carry: mostly exact-victim (/32) watchers, a
+// large /24 netblock tier, ASN and country watchers, a protocol tier, and
+// a deliberately tiny unindexable tail (firehose + short prefixes) that
+// lands on the scan list.
+//
+// Before any timing runs, an identity check replays a shared alert stream
+// through SubscriptionIndex::match and the ScanOracle at the FULL
+// subscription count and requires identical match sets in identical order
+// — a timing number can never come from an index that dispatches wrong.
+//
+// Emits BENCH_subscribe.json and fails when the default-size run speeds up
+// dispatch by less than 10x over scan-all.
+//
+//   $ ./bench_subscribe [--smoke] [--out FILE]
+//     --smoke   20k subscriptions + short stream (CI wiring check; the
+//               10x gate only applies to the default size)
+//     --out F   baseline path (default BENCH_subscribe.json)
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/alert.h"
+#include "subscribe/dispatcher.h"
+#include "subscribe/index.h"
+#include "subscribe/oracle.h"
+
+namespace {
+
+using namespace dosm;
+using clock_type = std::chrono::steady_clock;  // lint:allow(wall-clock): benchmarks time real execution
+
+/// The watcher mix, as fractions of the total (remainder goes to /32).
+struct Mix {
+  std::size_t slash24 = 0;
+  std::size_t asn = 0;
+  std::size_t country = 0;
+  std::size_t proto = 0;
+  std::size_t scan = 0;  // firehose + /8 — the unindexable tail
+};
+
+Mix mix_for(std::size_t total) {
+  Mix mix;
+  mix.slash24 = total / 4;            // 25% netblock watchers
+  mix.asn = (total * 15) / 100;       // 15% ASN watchers
+  mix.country = total / 10;           // 10% country watchers
+  mix.proto = total / 100;            // 1% protocol watchers (2 hot values —
+                                      // any bigger tier and every alert
+                                      // would fan out to a fixed fraction
+                                      // of ALL watchers, which no posting
+                                      // scheme can make sublinear)
+  mix.scan = total / 1000;            // 0.1% scan-list tail (small by design)
+  return mix;
+}
+
+meta::CountryCode random_country(Rng& rng) {
+  const char code[2] = {static_cast<char>('A' + rng.next_below(26)),
+                        static_cast<char>('A' + rng.next_below(26))};
+  return meta::CountryCode(std::string_view(code, 2));
+}
+
+/// Victim space: 2^20 addresses under 10.0.0.0/12, so /32 watchers are
+/// sparse hits and /24 watchers cluster (4096 distinct /24s).
+constexpr std::uint32_t kVictimBase = 0x0a000000u;
+constexpr std::uint32_t kVictimSpace = 1u << 20;
+
+subscribe::Predicate random_subscription(Rng& rng, std::size_t i,
+                                         const Mix& mix) {
+  subscribe::Predicate p;
+  if (i < mix.slash24) {
+    p.match_prefix(net::Prefix(
+        net::Ipv4Addr{kVictimBase + (static_cast<std::uint32_t>(
+                                         rng.next_below(kVictimSpace >> 8))
+                                     << 8)},
+        24));
+  } else if (i < mix.slash24 + mix.asn) {
+    p.match_asn(
+        static_cast<meta::Asn>(64512 + rng.next_below(16384)));
+  } else if (i < mix.slash24 + mix.asn + mix.country) {
+    p.match_country(random_country(rng));
+  } else if (i < mix.slash24 + mix.asn + mix.country + mix.proto) {
+    p.match_proto(rng.bernoulli(0.5) ? 6 : 17);
+    if (rng.bernoulli(0.5)) p.match_kind(core::AlertKind::kNewAttack);
+  } else if (i < mix.slash24 + mix.asn + mix.country + mix.proto + mix.scan) {
+    if (rng.bernoulli(0.5))
+      p.match_prefix(net::Prefix(net::Ipv4Addr{kVictimBase}, 8));
+    // else firehose
+  } else {
+    p.match_prefix(net::Prefix(
+        net::Ipv4Addr{kVictimBase +
+                      static_cast<std::uint32_t>(rng.next_below(kVictimSpace))},
+        32));
+  }
+  return p;
+}
+
+core::Alert random_alert(Rng& rng) {
+  if (rng.bernoulli(0.1)) {
+    return core::spike_alert(rng.bernoulli(0.5)
+                                 ? core::AlertKind::kAttackSpike
+                                 : core::AlertKind::kTargetSpike,
+                             static_cast<int>(rng.next_below(731)),
+                             rng.uniform(100.0, 5000.0), 80.0);
+  }
+  core::AttackEvent event;
+  event.target = net::Ipv4Addr{
+      kVictimBase + static_cast<std::uint32_t>(rng.next_below(kVictimSpace))};
+  event.start = rng.uniform(0.0, 1e6);
+  event.end = event.start + rng.uniform(60.0, 3600.0);
+  event.intensity = rng.uniform(1.0, 1000.0);
+  event.ip_proto = rng.bernoulli(0.5) ? 6 : 17;
+  event.top_port = rng.bernoulli(0.5) ? 80 : 53;
+  return core::event_alert(
+      event, static_cast<int>(rng.next_below(731)),
+      static_cast<meta::Asn>(64512 + rng.next_below(16384)),
+      random_country(rng));
+}
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_subscribe.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::cerr << "usage: bench_subscribe [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t total = smoke ? 20'000 : 1'000'000;
+  const std::size_t identity_alerts = smoke ? 40 : 100;
+  const std::size_t index_alerts = smoke ? 400 : 2'000;
+  const std::size_t scan_alerts = smoke ? 20 : 50;
+  const std::size_t dispatch_alerts = smoke ? 50 : 200;
+
+  bench::print_header(
+      "Subscription dispatch: posting index vs scan-all at " +
+          std::to_string(total) + " watchers",
+      "push-based watch layer for the §9 near-realtime loop; no paper "
+      "table — baseline for BENCH_subscribe.json");
+
+  Rng rng(20170301);
+  const Mix mix = mix_for(total);
+  std::vector<subscribe::Predicate> predicates;
+  predicates.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    predicates.push_back(random_subscription(rng, i, mix));
+
+  subscribe::SubscriptionIndex index;
+  subscribe::ScanOracle oracle;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto id = static_cast<subscribe::SubscriptionId>(i + 1);
+    index.insert(id, predicates[i]);
+    oracle.insert(id, predicates[i]);
+  }
+  std::cerr << "[bench] indexed " << index.size() << " subscriptions ("
+            << index.scan_list_size() << " on the scan list)\n";
+  const auto lookup =
+      [&predicates](subscribe::SubscriptionId id) -> const subscribe::Predicate& {
+    return predicates[id - 1];
+  };
+
+  // One alert stream drives the identity check and both timed paths, so
+  // the two sides always see the same work.
+  Rng alert_rng(0xa1e47u);
+  std::vector<core::Alert> stream;
+  stream.reserve(index_alerts);
+  for (std::size_t i = 0; i < index_alerts; ++i)
+    stream.push_back(random_alert(alert_rng));
+
+  // --- Identity check (must pass before any timing) --------------------
+  {
+    std::vector<subscribe::SubscriptionId> via_index;
+    std::vector<subscribe::SubscriptionId> via_oracle;
+    for (std::size_t i = 0; i < identity_alerts; ++i) {
+      via_index.clear();
+      via_oracle.clear();
+      index.match(stream[i], lookup, via_index);
+      oracle.match(stream[i], via_oracle);
+      if (via_index != via_oracle) {
+        std::cerr << "bench_subscribe: identity check FAILED on alert " << i
+                  << " (index " << via_index.size() << " matches, oracle "
+                  << via_oracle.size() << ")\n";
+        return 1;
+      }
+    }
+    std::cout << "identity check: " << identity_alerts
+              << " alerts match identically through index and scan oracle\n";
+  }
+
+  // --- Timed match: posting index --------------------------------------
+  std::vector<subscribe::SubscriptionId> out;
+  std::uint64_t index_matches = 0;
+  const auto t_index = clock_type::now();
+  for (const core::Alert& alert : stream) {
+    out.clear();
+    index.match(alert, lookup, out);
+    index_matches += out.size();
+  }
+  const double index_s = seconds_since(t_index);
+  const double index_us =
+      index_s * 1e6 / static_cast<double>(stream.size());
+
+  // --- Timed match: scan-all baseline (fewer alerts; it is the slow side)
+  std::uint64_t scan_matches = 0;
+  const auto t_scan = clock_type::now();
+  for (std::size_t i = 0; i < scan_alerts; ++i) {
+    out.clear();
+    oracle.match(stream[i], out);
+    scan_matches += out.size();
+  }
+  const double scan_s = seconds_since(t_scan);
+  const double scan_us = scan_s * 1e6 / static_cast<double>(scan_alerts);
+  const double speedup = index_us > 0.0 ? scan_us / index_us : 0.0;
+
+  // --- End-to-end dispatch through the Dispatcher ----------------------
+  // The full path: match + coalescing stage + bounded-queue tick, at the
+  // same watcher count. max_pending is small so the drop policy runs too.
+  subscribe::DispatcherConfig dispatcher_config;
+  dispatcher_config.max_pending = 16;
+  subscribe::Dispatcher dispatcher(dispatcher_config);
+  for (const auto& predicate : predicates) dispatcher.subscribe(predicate);
+  const auto t_dispatch = clock_type::now();
+  for (std::size_t i = 0; i < dispatch_alerts; ++i) {
+    dispatcher.on_alert(stream[i]);
+    if (i % 16 == 15) dispatcher.tick();
+  }
+  dispatcher.tick();
+  const double dispatch_s = seconds_since(t_dispatch);
+  const double alerts_per_s =
+      static_cast<double>(dispatch_alerts) / dispatch_s;
+
+  TextTable table({"metric", "value"});
+  table.add_row({"subscriptions", std::to_string(total)});
+  table.add_row({"scan_list", std::to_string(index.scan_list_size())});
+  table.add_row({"index_us_per_alert", fixed(index_us, 2)});
+  table.add_row({"scan_us_per_alert", fixed(scan_us, 2)});
+  table.add_row({"speedup", fixed(speedup, 1) + "x"});
+  table.add_row({"matches_per_alert",
+                 fixed(static_cast<double>(index_matches) /
+                           static_cast<double>(stream.size()),
+                       1)});
+  table.add_row({"dispatch_alerts_per_s", fixed(alerts_per_s, 0)});
+  std::cout << table;
+
+  bench::JsonValue root;
+  root.set("bench", "subscribe")
+      .set("smoke", smoke)
+      .set("subscriptions", static_cast<std::uint64_t>(total))
+      .set("scan_list", static_cast<std::uint64_t>(index.scan_list_size()))
+      .set("identity_check", true)
+      .set("identity_alerts", static_cast<std::uint64_t>(identity_alerts))
+      .set("index_alerts", static_cast<std::uint64_t>(stream.size()))
+      .set("scan_alerts", static_cast<std::uint64_t>(scan_alerts))
+      .set("index_matches", index_matches)
+      .set("scan_matches", scan_matches)
+      .set("index_us_per_alert", index_us)
+      .set("scan_us_per_alert", scan_us)
+      .set("speedup", speedup)
+      .set("dispatch_alerts", static_cast<std::uint64_t>(dispatch_alerts))
+      .set("dispatch_alerts_per_s", alerts_per_s)
+      .set("dispatched_total", dispatcher.alerts_dispatched());
+  bench::write_json(out_path, root);
+
+  if (!smoke && speedup < 10.0) {
+    std::cerr << "bench_subscribe: " << fixed(speedup, 1)
+              << "x is below the 10x index-vs-scan-all baseline\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  return run(argc, argv);
+} catch (const std::exception& e) {
+  std::cerr << "bench_subscribe: " << e.what() << "\n";
+  return 1;
+}

@@ -8,8 +8,32 @@
 #include <iostream>
 
 #include "common/strings.h"
+#include "core/alert.h"
 #include "core/streaming.h"
 #include "sim/scenario.h"
+
+namespace {
+
+// Alert consumer for the demo: prints each spike against its baseline. The
+// same sink interface feeds the subscription dispatcher in production.
+class PrintingAlertSink final : public dosm::core::AlertSink {
+ public:
+  explicit PrintingAlertSink(const dosm::StudyWindow& window)
+      : window_(window) {}
+
+  void on_alert(const dosm::core::Alert& alert) override {
+    using dosm::fixed;
+    std::cout << to_string(window_.date_of_day(alert.day)) << "  *** "
+              << to_string(alert.kind) << ": " << fixed(alert.value, 0)
+              << " vs trailing baseline " << fixed(alert.baseline, 1) << " (x"
+              << fixed(alert.value / alert.baseline, 1) << ")\n";
+  }
+
+ private:
+  const dosm::StudyWindow& window_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dosm;
@@ -28,6 +52,7 @@ int main(int argc, char** argv) {
 
   double baseline_attacks = 0.0;
   int summaries = 0;
+  PrintingAlertSink alert_sink(world->window);
   core::StreamingFusion fusion(
       world->window, stream_config,
       [&](const core::DaySummary& s) {
@@ -40,12 +65,7 @@ int main(int argc, char** argv) {
                     << " target(s) hit by both detectors simultaneously\n";
         }
       },
-      [&](const core::StreamAlert& alert) {
-        std::cout << to_string(world->window.date_of_day(alert.day)) << "  *** "
-                  << to_string(alert.kind) << ": " << fixed(alert.value, 0)
-                  << " vs trailing baseline " << fixed(alert.baseline, 1)
-                  << " (x" << fixed(alert.value / alert.baseline, 1) << ")\n";
-      });
+      &alert_sink);
 
   for (const auto& event : world->store.events()) fusion.ingest(event);
   fusion.finish();

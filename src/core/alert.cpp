@@ -1,0 +1,45 @@
+#include "core/alert.h"
+
+namespace dosm::core {
+
+std::string to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kNewAttack:
+      return "new-attack";
+    case AlertKind::kAttackSpike:
+      return "attack-spike";
+    case AlertKind::kTargetSpike:
+      return "target-spike";
+  }
+  return "unknown";
+}
+
+std::optional<AlertKind> parse_alert_kind(std::string_view name) {
+  if (name == "new-attack") return AlertKind::kNewAttack;
+  if (name == "attack-spike") return AlertKind::kAttackSpike;
+  if (name == "target-spike") return AlertKind::kTargetSpike;
+  return std::nullopt;
+}
+
+Alert event_alert(const AttackEvent& event, int day, meta::Asn asn,
+                  meta::CountryCode country) {
+  Alert alert;
+  alert.kind = AlertKind::kNewAttack;
+  alert.day = day;
+  alert.has_event = true;
+  alert.event = event;
+  alert.asn = asn;
+  alert.country = country;
+  return alert;
+}
+
+Alert spike_alert(AlertKind kind, int day, double value, double baseline) {
+  Alert alert;
+  alert.kind = kind;
+  alert.day = day;
+  alert.value = value;
+  alert.baseline = baseline;
+  return alert;
+}
+
+}  // namespace dosm::core

@@ -1,0 +1,80 @@
+// Unified alert model (§9).
+//
+// Every alert producer in the repo — the streaming fusion spike detector,
+// the detectors' event output when lifted into notifications, and any
+// future anomaly source — emits the one `Alert` struct below into an
+// `AlertSink`. Consumers (CLI printers, test collectors, the subscription
+// dispatcher in src/subscribe/) implement the sink interface instead of
+// each producer growing a bespoke callback type. This replaces the old
+// `StreamAlert` + `AlertCallback` pair that was private to streaming.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/event.h"
+#include "meta/geo.h"
+#include "meta/pfx2as.h"
+
+namespace dosm::core {
+
+/// What happened. Spike kinds compare a day's activity against its trailing
+/// baseline; kNewAttack wraps a single detected attack event.
+enum class AlertKind : std::uint8_t {
+  kNewAttack,    // a detected attack event (carries the event payload)
+  kAttackSpike,  // the day's attack count spiked vs the trailing baseline
+  kTargetSpike,  // the day's unique-target count spiked
+};
+
+std::string to_string(AlertKind kind);
+
+/// Inverse of to_string; nullopt for unrecognized names.
+std::optional<AlertKind> parse_alert_kind(std::string_view name);
+
+/// One alert. For kNewAttack, `has_event` is true and `event`, `asn`, and
+/// `country` describe the victim (asn/country resolved at dispatch time;
+/// kUnknownAsn / empty country when unresolvable). Spike alerts have no
+/// victim: `has_event` is false and the event/asn/country fields hold their
+/// zero values.
+struct Alert {
+  AlertKind kind = AlertKind::kNewAttack;
+  int day = 0;           // offset within the study window
+  double value = 0.0;    // spike kinds: the day's value
+  double baseline = 0.0; // spike kinds: trailing mean it exceeded
+  bool has_event = false;
+  AttackEvent event{};
+  meta::Asn asn = meta::kUnknownAsn;
+  meta::CountryCode country{};
+};
+
+/// Builds a kNewAttack alert around one detected event.
+Alert event_alert(const AttackEvent& event, int day, meta::Asn asn,
+                  meta::CountryCode country);
+
+/// Builds a spike alert (kAttackSpike / kTargetSpike).
+Alert spike_alert(AlertKind kind, int day, double value, double baseline);
+
+/// The one alert-consumer interface. Producers call on_alert for each alert
+/// in emission order; implementations must tolerate being called from the
+/// producer's thread.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void on_alert(const Alert& alert) = 0;
+};
+
+/// Sink that collects alerts into a vector, for tests and batch analysis.
+class CollectSink final : public AlertSink {
+ public:
+  void on_alert(const Alert& alert) override { alerts_.push_back(alert); }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  void clear() { alerts_.clear(); }
+
+ private:
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace dosm::core

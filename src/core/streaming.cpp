@@ -40,23 +40,13 @@ struct FusionMetrics {
 
 }  // namespace
 
-std::string to_string(AlertKind kind) {
-  switch (kind) {
-    case AlertKind::kAttackSpike:
-      return "attack-spike";
-    case AlertKind::kTargetSpike:
-      return "target-spike";
-  }
-  return "unknown";
-}
-
 StreamingFusion::StreamingFusion(StudyWindow window, Config config,
                                  SummaryCallback on_summary,
-                                 AlertCallback on_alert)
+                                 AlertSink* alert_sink)
     : window_(window),
       config_(config),
       on_summary_(std::move(on_summary)),
-      on_alert_(std::move(on_alert)) {
+      alert_sink_(alert_sink) {
   if (!on_summary_)
     throw std::invalid_argument("StreamingFusion: summary callback required");
   if (config_.baseline_days < 1)
@@ -144,12 +134,12 @@ void StreamingFusion::close_day() {
 void StreamingFusion::check_spike(AlertKind kind, double value,
                                   std::deque<double>& history) {
   if (static_cast<int>(history.size()) >= config_.min_baseline_days &&
-      on_alert_) {
+      alert_sink_ != nullptr) {
     const double mean =
         std::accumulate(history.begin(), history.end(), 0.0) /
         static_cast<double>(history.size());
     if (mean > 0.0 && value > config_.spike_factor * mean) {
-      on_alert_({pending_.day, kind, value, mean});
+      alert_sink_->on_alert(spike_alert(kind, pending_.day, value, mean));
       ++alerts_fired_;
       if (kind == AlertKind::kAttackSpike)
         FusionMetrics::get().alerts_attack_spike.inc();

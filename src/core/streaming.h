@@ -12,11 +12,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/time.h"
+#include "core/alert.h"
 #include "core/event.h"
 
 namespace dosm::core {
@@ -33,22 +33,6 @@ struct DaySummary {
   std::uint64_t co_targeted = 0;
 };
 
-/// What spiked against the trailing baseline.
-enum class AlertKind : std::uint8_t {
-  kAttackSpike,  // the day's attack count
-  kTargetSpike,  // the day's unique-target count
-};
-
-std::string to_string(AlertKind kind);
-
-/// An anomaly detected against the trailing baseline.
-struct StreamAlert {
-  int day = 0;
-  AlertKind kind = AlertKind::kAttackSpike;
-  double value = 0.0;      // the day's value
-  double baseline = 0.0;   // trailing mean it was compared against
-};
-
 class StreamingFusion {
  public:
   struct Config {
@@ -63,13 +47,13 @@ class StreamingFusion {
   };
 
   using SummaryCallback = std::function<void(const DaySummary&)>;
-  using AlertCallback = std::function<void(const StreamAlert&)>;
 
   /// Validates config at construction: each field constraint above is
   /// enforced with a descriptive std::invalid_argument naming the field
-  /// and the offending value.
+  /// and the offending value. Spike alerts (kAttackSpike / kTargetSpike)
+  /// go to `alert_sink` if non-null; the sink must outlive the fusion.
   StreamingFusion(StudyWindow window, Config config,
-                  SummaryCallback on_summary, AlertCallback on_alert = {});
+                  SummaryCallback on_summary, AlertSink* alert_sink = nullptr);
 
   /// Ingests one event. Events must arrive in non-decreasing start order
   /// (each detector emits chronologically and the fusion layer merges);
@@ -91,7 +75,7 @@ class StreamingFusion {
   StudyWindow window_;
   Config config_;
   SummaryCallback on_summary_;
-  AlertCallback on_alert_;
+  AlertSink* alert_sink_;
 
   int current_day_ = -1;
   double last_start_ = -1.0e300;

@@ -5,6 +5,7 @@
 #include "common/time.h"
 #include "serve/json.h"
 #include "serve/metrics.h"
+#include "serve/router.h"
 
 namespace dosm::serve {
 namespace {
@@ -25,7 +26,6 @@ bool parse_f64(const std::string& s, double& out) {
 
 ApiCall bad_request(std::string error) {
   ApiCall call;
-  call.endpoint = Endpoint::kBadRequest;
   call.error = std::move(error);
   return call;
 }
@@ -157,37 +157,21 @@ ApiResponse execute_health(const query::Snapshot* snapshot) {
   return ApiResponse{200, std::string(kJson), std::move(w).take()};
 }
 
-ApiCall parse_api_call(const HttpRequest& request, const StudyWindow& window) {
+ApiCall parse_query_request(const HttpRequest& request,
+                            const StudyWindow& window) {
   ApiCall call;
-  if (request.path == "/" || request.path.empty()) {
-    call.endpoint = request.method == "GET" ? Endpoint::kRoot
-                                            : Endpoint::kMethodNotAllowed;
-    return call;
-  }
-  if (request.path == "/healthz") {
-    call.endpoint = request.method == "GET" ? Endpoint::kHealth
-                                            : Endpoint::kMethodNotAllowed;
-    return call;
-  }
-  if (request.path == "/metrics") {
-    call.endpoint = request.method == "GET" ? Endpoint::kMetrics
-                                            : Endpoint::kMethodNotAllowed;
-    return call;
-  }
-  if (request.path != "/query") {
-    call.endpoint = Endpoint::kNotFound;
-    return call;
-  }
-  if (request.method != "GET" && request.method != "POST") {
-    call.endpoint = Endpoint::kMethodNotAllowed;
-    return call;
-  }
 
   // POST bodies carry form-encoded parameters appended after URL ones.
   std::vector<std::pair<std::string, std::string>> params = request.params;
   if (request.method == "POST" && !request.body.empty() &&
       !parse_query_string(request.body, params))
     return bad_request("malformed form body");
+
+  // A key given twice (URL and body combined) is rejected rather than
+  // last-wins: silently dropping the first value would let two different
+  // request strings canonicalize to the same cache key.
+  std::vector<std::string_view> seen;
+  seen.reserve(params.size());
 
   // Time parameters resolve to one half-open [begin, end) range. Days and
   // raw seconds are mutually exclusive.
@@ -196,6 +180,9 @@ ApiCall parse_api_call(const HttpRequest& request, const StudyWindow& window) {
   std::optional<double> t0;
   std::optional<double> t1;
   for (const auto& [key, value] : params) {
+    for (const std::string_view prior : seen)
+      if (prior == key) return bad_request("duplicate parameter: " + key);
+    seen.push_back(key);
     try {
       if (key == "from") {
         from = parse_civil(value);
@@ -232,7 +219,6 @@ ApiCall parse_api_call(const HttpRequest& request, const StudyWindow& window) {
     call.query.between(begin, end);
   }
 
-  call.endpoint = Endpoint::kQuery;
   call.canonical = canonicalize(call);
   return call;
 }
@@ -339,6 +325,31 @@ ApiResponse execute_query(const query::Snapshot& snapshot, const ApiCall& call,
   } catch (const std::exception& e) {
     return error_response(500, e.what());
   }
+}
+
+void install_api_routes(Router& router) {
+  const auto no_parse = [](const HttpRequest&, const RequestContext&) {
+    return ApiCall{};
+  };
+  router.add("GET", "/", no_parse,
+             [](const ApiCall&, const RequestContext&) {
+               return execute_root();
+             });
+  router.add("GET", "/healthz", no_parse,
+             [](const ApiCall&, const RequestContext& ctx) {
+               return execute_health(ctx.snapshot.get());
+             });
+  const auto parse_query = [](const HttpRequest& request,
+                              const RequestContext& ctx) {
+    return parse_query_request(request, ctx.window);
+  };
+  const auto exec_query = [](const ApiCall& call, const RequestContext& ctx) {
+    if (ctx.snapshot == nullptr)
+      return error_response(503, "no snapshot published");
+    return execute_query(*ctx.snapshot, call, ctx.budget);
+  };
+  router.add("GET", "/query", parse_query, exec_query, /*cacheable=*/true);
+  router.add("POST", "/query", parse_query, exec_query, /*cacheable=*/true);
 }
 
 }  // namespace dosm::serve

@@ -1,0 +1,55 @@
+#include "serve/router.h"
+
+#include <stdexcept>
+
+namespace dosm::serve {
+
+Router& Router::add(std::string method, std::string path, ParseFn parse,
+                    ExecFn exec, bool cacheable) {
+  for (const Route& route : routes_)
+    if (route.method == method && route.path == path)
+      throw std::invalid_argument("Router: duplicate route " + method + " " +
+                                  path);
+  Route route;
+  route.method = std::move(method);
+  route.path = std::move(path);
+  route.parse = std::move(parse);
+  route.exec = std::move(exec);
+  route.cacheable = cacheable;
+  routes_.push_back(std::move(route));
+  return *this;
+}
+
+Router::Prepared Router::prepare(const HttpRequest& request,
+                                 const RequestContext& context) const {
+  const std::string_view path = request.path.empty()
+                                    ? std::string_view("/")
+                                    : std::string_view(request.path);
+  Prepared prepared;
+  bool path_known = false;
+  for (const Route& route : routes_) {
+    if (route.path != path) continue;
+    path_known = true;
+    if (route.method != request.method) continue;
+    prepared.call = route.parse(request, context);
+    if (!prepared.call.error.empty()) {
+      prepared.response = error_response(400, prepared.call.error);
+      return prepared;
+    }
+    prepared.route = &route;
+    return prepared;
+  }
+  prepared.response = path_known
+                          ? error_response(405, "method not allowed")
+                          : error_response(404, "no such endpoint");
+  return prepared;
+}
+
+std::vector<std::pair<std::string, std::string>> Router::routes() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(routes_.size());
+  for (const Route& route : routes_) out.emplace_back(route.method, route.path);
+  return out;
+}
+
+}  // namespace dosm::serve

@@ -1,0 +1,81 @@
+// Declarative route registry for the query server.
+//
+// Endpoints register as (method, path, parse, exec) entries instead of
+// growing the old Endpoint enum + switch in server.cpp: parse maps the
+// HTTP request to an ApiCall (pure; errors land in ApiCall::error), exec
+// maps the ApiCall to an ApiResponse given the per-request context. The
+// split mirrors the old parse_api_call/execute_query contract — the server
+// consults the result cache between the two for routes marked cacheable —
+// so the byte-determinism contract (identical bytes for the same request +
+// snapshot version at any worker count) carries over route-by-route, and
+// new endpoints (e.g. /subscribe, /watch) land as registrations, not
+// switch growth.
+//
+// Routing semantics, pinned byte-for-byte against the pre-router server by
+// tests/serve_golden_test.cpp: an empty path normalizes to "/"; an unknown
+// path answers 404 {"error":"no such endpoint"}; a known path with an
+// unregistered method answers 405 {"error":"method not allowed"}; a parse
+// error answers 400 {"error":"<message>"}.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/api.h"
+#include "serve/http.h"
+
+namespace dosm::serve {
+
+class Router {
+ public:
+  /// Request → call. Pure; reports problems via ApiCall::error.
+  using ParseFn =
+      std::function<ApiCall(const HttpRequest&, const RequestContext&)>;
+  /// Call → response. Never throws (maps failures to error bodies).
+  using ExecFn =
+      std::function<ApiResponse(const ApiCall&, const RequestContext&)>;
+
+  struct Route {
+    std::string method;
+    std::string path;
+    ParseFn parse;
+    ExecFn exec;
+    /// Cacheable routes go through the snapshot-keyed result cache when the
+    /// parse produced a canonical string (the cache-key material).
+    bool cacheable = false;
+  };
+
+  /// Registers one endpoint. Duplicate (method, path) registrations throw
+  /// std::invalid_argument — a route table with shadowed entries is a bug.
+  Router& add(std::string method, std::string path, ParseFn parse,
+              ExecFn exec, bool cacheable = false);
+
+  /// The outcome of routing + parsing one request. When `route` is null,
+  /// `response` is final (404 / 405 / 400); otherwise `call` is the parsed
+  /// call ready for execute() — with the cache consulted in between for
+  /// cacheable routes.
+  struct Prepared {
+    const Route* route = nullptr;
+    ApiCall call;
+    ApiResponse response;
+  };
+
+  Prepared prepare(const HttpRequest& request,
+                   const RequestContext& context) const;
+
+  ApiResponse execute(const Prepared& prepared,
+                      const RequestContext& context) const {
+    return prepared.route->exec(prepared.call, context);
+  }
+
+  /// Registered (method, path) pairs in registration order (for tests).
+  std::vector<std::pair<std::string, std::string>> routes() const;
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace dosm::serve

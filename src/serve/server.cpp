@@ -14,6 +14,7 @@
 #include "obs/export.h"
 #include "serve/api.h"
 #include "serve/metrics.h"
+#include "serve/subscribe_api.h"
 
 namespace dosm::serve {
 namespace {
@@ -112,12 +113,29 @@ std::size_t BoundedFdQueue::depth() const {
   return fds_.size();
 }
 
-Server::Server(const ServerConfig& config, query::QueryEngine& engine)
+Server::Server(const ServerConfig& config, query::QueryEngine& engine,
+               subscribe::Dispatcher* dispatcher)
     : config_(config),
       engine_(engine),
+      dispatcher_(dispatcher),
       cache_(config.cache_bytes),
       queue_(config.queue_capacity) {
   if (config_.workers == 0) config_.workers = 1;
+  install_api_routes(router_);
+  install_subscribe_routes(router_);
+  // /metrics lives here rather than in install_api_routes: it reads the
+  // process-wide obs registry, which is the server's dependency, not the
+  // query API's.
+  router_.add("GET", "/metrics",
+              [](const HttpRequest&, const RequestContext&) {
+                return ApiCall{};
+              },
+              [](const ApiCall&, const RequestContext&) {
+                return ApiResponse{
+                    200, "text/plain; version=0.0.4",
+                    obs::to_prometheus(obs::MetricsRegistry::global()
+                                           .snapshot())};
+              });
   open_listen_socket();
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(config_.workers);
@@ -261,61 +279,37 @@ std::string Server::handle(const HttpRequest& request, bool keep_alive) {
       cache_.purge_stale(version);
   }
 
+  RequestContext context;
+  context.snapshot = snapshot;
+  context.window = snapshot != nullptr ? snapshot->window() : StudyWindow{};
+  context.budget.max_rows = config_.max_rows;
+  if (config_.max_millis != 0)
+    context.budget.deadline_ns =
+        obs::monotonic_now_ns() + config_.max_millis * 1000000ull;
+  context.dispatcher = dispatcher_;
+
+  const Router::Prepared prepared = router_.prepare(request, context);
   ApiResponse response;
-  bool cacheable = false;
+  bool store = false;
   std::string cache_key;
-  do {
-    if (request.path == "/metrics" && request.method == "GET") {
-      response.status = 200;
-      response.content_type = "text/plain; version=0.0.4";
-      response.body =
-          obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
-      break;
+  if (prepared.route == nullptr) {
+    // Routing or parsing already produced the final 404/405/400.
+    response = prepared.response;
+  } else if (prepared.route->cacheable && snapshot != nullptr &&
+             !prepared.call.canonical.empty()) {
+    cache_key = ResultCache::make_key(snapshot->version(),
+                                      prepared.call.query.cache_key(),
+                                      prepared.call.canonical);
+    if (const std::shared_ptr<const CachedResponse> hit =
+            cache_.get(cache_key)) {
+      response = ApiResponse{hit->status, hit->content_type, hit->body};
+    } else {
+      response = router_.execute(prepared, context);
+      store = response.status == 200;
     }
-    const StudyWindow window =
-        snapshot != nullptr ? snapshot->window() : StudyWindow{};
-    const ApiCall call = parse_api_call(request, window);
-    switch (call.endpoint) {
-      case Endpoint::kRoot:
-        response = execute_root();
-        break;
-      case Endpoint::kHealth:
-        response = execute_health(snapshot.get());
-        break;
-      case Endpoint::kBadRequest:
-        response = error_response(400, call.error);
-        break;
-      case Endpoint::kNotFound:
-        response = error_response(404, "no such endpoint");
-        break;
-      case Endpoint::kMethodNotAllowed:
-        response = error_response(405, "method not allowed");
-        break;
-      case Endpoint::kMetrics:  // handled above; unreachable
-      case Endpoint::kQuery: {
-        if (snapshot == nullptr) {
-          response = error_response(503, "no snapshot published");
-          break;
-        }
-        cache_key = ResultCache::make_key(
-            snapshot->version(), call.query.cache_key(), call.canonical);
-        if (const std::shared_ptr<const CachedResponse> hit =
-                cache_.get(cache_key)) {
-          response =
-              ApiResponse{hit->status, hit->content_type, hit->body};
-          break;
-        }
-        query::ExecBudget budget;
-        budget.max_rows = config_.max_rows;
-        if (config_.max_millis != 0)
-          budget.deadline_ns =
-              obs::monotonic_now_ns() + config_.max_millis * 1000000ull;
-        response = execute_query(*snapshot, call, budget);
-        cacheable = response.status == 200;
-        break;
-      }
-    }
-  } while (false);
+  } else {
+    response = router_.execute(prepared, context);
+  }
 
   if (response.status < 400)
     metrics.responses_ok.inc();
@@ -324,7 +318,7 @@ std::string Server::handle(const HttpRequest& request, bool keep_alive) {
   else
     metrics.responses_server_error.inc();
 
-  if (cacheable && !cache_key.empty() && snapshot != nullptr) {
+  if (store && !cache_key.empty() && snapshot != nullptr) {
     auto entry = std::make_shared<CachedResponse>();
     entry->status = response.status;
     entry->content_type = response.content_type;

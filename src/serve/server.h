@@ -39,6 +39,7 @@
 #include "query/engine.h"
 #include "serve/cache.h"
 #include "serve/http.h"
+#include "serve/router.h"
 
 namespace dosm::serve {
 
@@ -79,8 +80,11 @@ class BoundedFdQueue {
 class Server {
  public:
   /// Binds and starts the acceptor + worker threads. Throws
-  /// std::runtime_error when the socket cannot be bound.
-  Server(const ServerConfig& config, query::QueryEngine& engine);
+  /// std::runtime_error when the socket cannot be bound. A non-null
+  /// dispatcher enables the /subscribe and /watch endpoints; without one
+  /// they answer 503 "subscriptions disabled".
+  Server(const ServerConfig& config, query::QueryEngine& engine,
+         subscribe::Dispatcher* dispatcher = nullptr);
   ~Server();
 
   Server(const Server&) = delete;
@@ -96,6 +100,9 @@ class Server {
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
 
+  /// The route table the server dispatches on (for tests/introspection).
+  const Router& router() const { return router_; }
+
  private:
   /// Binds config_.bind_address:config_.port and resolves port_. Throws
   /// std::runtime_error on socket/bind failure.
@@ -104,11 +111,13 @@ class Server {
   void worker_loop();
   /// Serves one connection until close / keep-alive exhaustion / error.
   void serve_connection(int fd);
-  /// Full request → response bytes (cache consulted for kQuery).
+  /// Full request → response bytes (cache consulted for cacheable routes).
   std::string handle(const HttpRequest& request, bool keep_alive);
 
   ServerConfig config_;
   query::QueryEngine& engine_;
+  subscribe::Dispatcher* dispatcher_ = nullptr;
+  Router router_;
   ResultCache cache_;
   BoundedFdQueue queue_;
   int listen_fd_ = -1;

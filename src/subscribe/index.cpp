@@ -1,0 +1,151 @@
+#include "subscribe/index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dosm::subscribe {
+namespace {
+
+/// Network key for a /24 posting: the enclosing /24's network address.
+constexpr std::uint32_t slash24_key(std::uint32_t addr) {
+  return addr & 0xffffff00u;
+}
+
+template <typename Map, typename Key>
+void probe(const Map& map, Key key, std::vector<SubscriptionId>& out) {
+  const auto it = map.find(key);
+  if (it != map.end())
+    out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
+template <typename Map, typename Key>
+bool erase_from(Map& map, Key key, SubscriptionId id) {
+  const auto it = map.find(key);
+  if (it == map.end()) return false;
+  auto& list = it->second;
+  const auto pos = std::lower_bound(list.begin(), list.end(), id);
+  if (pos == list.end() || *pos != id) return false;
+  list.erase(pos);
+  if (list.empty()) map.erase(it);
+  return true;
+}
+
+}  // namespace
+
+SubscriptionIndex::Slot SubscriptionIndex::slot_for(
+    const Predicate& predicate) {
+  // Most selective indexable field wins; unindexable predicates (prefixes
+  // wider than /24 with no other field, or the firehose) go to the scan
+  // list, which every alert pays for — kept small by construction.
+  if (predicate.prefix && predicate.prefix->length() == 32)
+    return Slot::kTarget;
+  if (predicate.prefix && predicate.prefix->length() >= 24)
+    return Slot::kSlash24;
+  if (predicate.asn) return Slot::kAsn;
+  if (predicate.country) return Slot::kCountry;
+  if (predicate.ip_proto) return Slot::kProto;
+  if (predicate.kind) return Slot::kKind;
+  return Slot::kScan;
+}
+
+std::uint16_t SubscriptionIndex::pack_country(meta::CountryCode country) {
+  const auto s = country.to_string();
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(s[0])) << 8) |
+      static_cast<unsigned char>(s[1]));
+}
+
+void SubscriptionIndex::insert(SubscriptionId id, const Predicate& predicate) {
+  validate(predicate);
+  if (id <= last_id_)
+    throw std::invalid_argument(
+        "SubscriptionIndex::insert: ids must be strictly increasing; got " +
+        std::to_string(id) + " after " + std::to_string(last_id_));
+  last_id_ = id;
+  switch (slot_for(predicate)) {
+    case Slot::kTarget:
+      by_target_[predicate.prefix->network().value()].push_back(id);
+      break;
+    case Slot::kSlash24:
+      by_slash24_[slash24_key(predicate.prefix->network().value())].push_back(
+          id);
+      break;
+    case Slot::kAsn:
+      by_asn_[*predicate.asn].push_back(id);
+      break;
+    case Slot::kCountry:
+      by_country_[pack_country(*predicate.country)].push_back(id);
+      break;
+    case Slot::kProto:
+      by_proto_[*predicate.ip_proto].push_back(id);
+      break;
+    case Slot::kKind:
+      by_kind_[static_cast<std::uint8_t>(*predicate.kind)].push_back(id);
+      break;
+    case Slot::kScan:
+      scan_.push_back(id);
+      break;
+  }
+  ++size_;
+}
+
+bool SubscriptionIndex::erase(SubscriptionId id, const Predicate& predicate) {
+  bool erased = false;
+  switch (slot_for(predicate)) {
+    case Slot::kTarget:
+      erased = erase_from(by_target_, predicate.prefix->network().value(), id);
+      break;
+    case Slot::kSlash24:
+      erased = erase_from(by_slash24_,
+                          slash24_key(predicate.prefix->network().value()), id);
+      break;
+    case Slot::kAsn:
+      erased = erase_from(by_asn_, *predicate.asn, id);
+      break;
+    case Slot::kCountry:
+      erased = erase_from(by_country_, pack_country(*predicate.country), id);
+      break;
+    case Slot::kProto:
+      erased = erase_from(by_proto_, *predicate.ip_proto, id);
+      break;
+    case Slot::kKind:
+      erased = erase_from(by_kind_,
+                          static_cast<std::uint8_t>(*predicate.kind), id);
+      break;
+    case Slot::kScan: {
+      const auto pos = std::lower_bound(scan_.begin(), scan_.end(), id);
+      if (pos != scan_.end() && *pos == id) {
+        scan_.erase(pos);
+        erased = true;
+      }
+      break;
+    }
+  }
+  if (erased) --size_;
+  return erased;
+}
+
+void SubscriptionIndex::collect(const core::Alert& alert,
+                                std::vector<SubscriptionId>& out) const {
+  if (alert.has_event) {
+    const std::uint32_t target = alert.event.target.value();
+    probe(by_target_, target, out);
+    probe(by_slash24_, slash24_key(target), out);
+    probe(by_asn_, static_cast<std::uint32_t>(alert.asn), out);
+    probe(by_country_, pack_country(alert.country), out);
+    probe(by_proto_, alert.event.ip_proto, out);
+  }
+  probe(by_kind_, static_cast<std::uint8_t>(alert.kind), out);
+  out.insert(out.end(), scan_.begin(), scan_.end());
+}
+
+void SubscriptionIndex::merge_ascending(std::vector<SubscriptionId>& out,
+                                        std::size_t first) {
+  // out[first..) is a concatenation of at most seven ascending, pairwise
+  // disjoint runs (one per posting family probed); a plain sort restores
+  // the global ascending order without needing a dedup pass.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+}  // namespace dosm::subscribe

@@ -1,0 +1,117 @@
+// SubscriptionIndex: the FrameIndex posting machinery run in reverse.
+//
+// query::FrameIndex maps an attribute value to the rows that carry it so a
+// query touches only matching rows. Here the roles flip: postings map an
+// attribute value to the subscriptions that watch for it, so dispatching an
+// alert is O(matching watchers), not O(all watchers). Each subscription is
+// indexed under exactly ONE primary attribute — the most selective field it
+// constrains, in fixed priority order:
+//
+//   exact /32 target > containing /24 (prefix length in [24,32)) > ASN
+//   > country > protocol > kind > scan list
+//
+// so the posting lists are pairwise disjoint and an alert's candidate set
+// is the union of at most seven probes: its target's /32 and /24 postings,
+// its ASN, country, and protocol postings, its kind posting, and the (small
+// by design) scan list of subscriptions too broad to index (prefixes
+// shorter than /24 and the firehose). Candidates are then verified against
+// the full predicate, because the primary attribute is only one conjunct.
+//
+// Determinism: ids are assigned monotonically and inserted in id order, so
+// every posting list is ascending and the merged candidate set — and
+// therefore the match set — comes out in ascending subscription-id order
+// without a sort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/alert.h"
+#include "subscribe/subscription.h"
+
+namespace dosm::subscribe {
+
+class SubscriptionIndex {
+ public:
+  /// Adds `id` under its primary attribute. Ids must be inserted in
+  /// strictly increasing order (the Dispatcher's monotone assignment);
+  /// out-of-order insertion throws std::invalid_argument, as does an
+  /// invalid predicate (see validate()).
+  void insert(SubscriptionId id, const Predicate& predicate);
+
+  /// Removes `id`; the predicate must be the one it was inserted with.
+  /// Returns false if the id is not present.
+  bool erase(SubscriptionId id, const Predicate& predicate);
+
+  /// Appends to `out` the ids whose full predicate matches `alert`, in
+  /// ascending id order. `lookup` resolves a candidate id to its predicate
+  /// (erased ids may linger in postings only transiently — the dispatcher
+  /// erases eagerly, so every candidate id resolves).
+  template <typename PredicateLookup>
+  void match(const core::Alert& alert, const PredicateLookup& lookup,
+             std::vector<SubscriptionId>& out) const {
+    const std::size_t first = out.size();
+    collect(alert, out);
+    merge_ascending(out, first);
+    verify(alert, lookup, out, first);
+  }
+
+  /// Candidate collection without verification (for stats/bench): appends
+  /// the union of probed postings in ascending id order.
+  void collect_candidates(const core::Alert& alert,
+                          std::vector<SubscriptionId>& out) const {
+    const std::size_t first = out.size();
+    collect(alert, out);
+    merge_ascending(out, first);
+  }
+
+  std::size_t size() const { return size_; }
+  /// Subscriptions that every alert must scan (unindexable predicates).
+  std::size_t scan_list_size() const { return scan_.size(); }
+
+ private:
+  // Which posting family a predicate's primary attribute lives in.
+  enum class Slot : std::uint8_t {
+    kTarget,   // prefix length 32
+    kSlash24,  // prefix length in [24, 32)
+    kAsn,
+    kCountry,
+    kProto,
+    kKind,
+    kScan,  // prefix shorter than /24, or no indexable field at all
+  };
+  static Slot slot_for(const Predicate& predicate);
+  static std::uint16_t pack_country(meta::CountryCode country);
+
+  // Appends raw candidates (each probed posting list in turn).
+  void collect(const core::Alert& alert,
+               std::vector<SubscriptionId>& out) const;
+  // Merges the concatenated ascending runs in out[first..) into one
+  // ascending run (lists are disjoint, so this is a sort of few runs).
+  static void merge_ascending(std::vector<SubscriptionId>& out,
+                              std::size_t first);
+  // Drops candidates whose full predicate does not match.
+  template <typename PredicateLookup>
+  void verify(const core::Alert& alert, const PredicateLookup& lookup,
+              std::vector<SubscriptionId>& out, std::size_t first) const {
+    std::size_t write = first;
+    for (std::size_t i = first; i < out.size(); ++i) {
+      if (lookup(out[i]).matches(alert)) out[write++] = out[i];
+    }
+    out.resize(write);
+  }
+
+  std::unordered_map<std::uint32_t, std::vector<SubscriptionId>> by_target_;
+  std::unordered_map<std::uint32_t, std::vector<SubscriptionId>> by_slash24_;
+  std::unordered_map<std::uint32_t, std::vector<SubscriptionId>> by_asn_;
+  std::unordered_map<std::uint16_t, std::vector<SubscriptionId>> by_country_;
+  std::unordered_map<std::uint8_t, std::vector<SubscriptionId>> by_proto_;
+  std::unordered_map<std::uint8_t, std::vector<SubscriptionId>> by_kind_;
+  std::vector<SubscriptionId> scan_;
+  SubscriptionId last_id_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dosm::subscribe

@@ -1,0 +1,39 @@
+#include "subscribe/metrics.h"
+
+namespace dosm::subscribe {
+
+Metrics& Metrics::get() {
+  static Metrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return Metrics{
+        reg.counter("subscribe.subscriptions.created",
+                    "Subscriptions registered over the process lifetime"),
+        reg.counter("subscribe.subscriptions.removed",
+                    "Subscriptions unsubscribed"),
+        reg.gauge("subscribe.subscriptions.active",
+                  "Subscriptions currently registered"),
+        reg.counter("subscribe.events_ingested",
+                    "Attack events lifted into new-attack alerts"),
+        reg.counter("subscribe.alerts_dispatched",
+                    "Alerts run through the subscription matcher"),
+        reg.counter("subscribe.matches",
+                    "(alert, subscription) pairs the index matched"),
+        reg.counter("subscribe.coalesced",
+                    "Matches folded into an already-staged notification"),
+        reg.counter("subscribe.ticks", "Coalescing windows flushed"),
+        reg.counter("subscribe.enqueued",
+                    "Notifications flushed into per-subscription queues"),
+        reg.counter("subscribe.dropped",
+                    "Oldest notifications evicted by the per-subscription "
+                    "queue bound"),
+        reg.counter("subscribe.fetches", "fetch() calls answered"),
+        reg.counter("subscribe.delivered",
+                    "Notifications handed to fetchers"),
+        reg.gauge("subscribe.pending",
+                  "Notifications resident in subscription queues"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace dosm::subscribe

@@ -1,0 +1,36 @@
+// subscribe.* instrumentation: every counter/gauge the subscription
+// dispatcher reports through the process-wide obs registry, registered once
+// and cached as references (the obs contract: registration may lock,
+// updates never do). The drop-policy counters are the contract surface:
+// notifications_dropped is the only way a bounded per-subscription queue
+// sheds load, and it must be observable.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace dosm::subscribe {
+
+struct Metrics {
+  // Subscription lifecycle.
+  obs::Counter& subscriptions_created;
+  obs::Counter& subscriptions_removed;
+  obs::Gauge& subscriptions_active;
+
+  // Dispatch path.
+  obs::Counter& events_ingested;     // AttackEvents lifted into alerts
+  obs::Counter& alerts_dispatched;   // alerts entering the matcher
+  obs::Counter& matches;             // (alert, subscription) pairs matched
+  obs::Counter& coalesced;           // matches folded into a staged entry
+  obs::Counter& ticks;               // coalescing windows flushed
+
+  // Delivery and drop policy.
+  obs::Counter& enqueued;            // notifications flushed into queues
+  obs::Counter& dropped;             // drop-oldest evictions (queue bound)
+  obs::Counter& fetches;             // fetch() calls answered
+  obs::Counter& delivered;           // notifications handed to fetchers
+  obs::Gauge& pending;               // notifications resident in queues
+
+  static Metrics& get();
+};
+
+}  // namespace dosm::subscribe

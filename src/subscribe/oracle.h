@@ -1,0 +1,47 @@
+// ScanOracle: the naive O(all watchers) matcher the SubscriptionIndex is
+// verified against. Every registered predicate is evaluated against every
+// alert — no postings, no slots, no shortcuts — so any divergence between
+// oracle and index is an index bug by construction. Used by the property
+// suite (tests/subscribe_test.cpp) and as the scan-all baseline
+// bench_subscribe times the index against.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/alert.h"
+#include "subscribe/subscription.h"
+
+namespace dosm::subscribe {
+
+class ScanOracle {
+ public:
+  void insert(SubscriptionId id, const Predicate& predicate) {
+    subs_.emplace_back(id, predicate);
+  }
+
+  void erase(SubscriptionId id) {
+    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                               [id](const auto& entry) {
+                                 return entry.first == id;
+                               }),
+                subs_.end());
+  }
+
+  /// Appends every matching id in ascending id order (insertion is
+  /// ascending because ids are assigned monotonically).
+  void match(const core::Alert& alert,
+             std::vector<SubscriptionId>& out) const {
+    for (const auto& [id, predicate] : subs_) {
+      if (predicate.matches(alert)) out.push_back(id);
+    }
+  }
+
+  std::size_t size() const { return subs_.size(); }
+
+ private:
+  std::vector<std::pair<SubscriptionId, Predicate>> subs_;
+};
+
+}  // namespace dosm::subscribe

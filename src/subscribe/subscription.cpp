@@ -1,0 +1,57 @@
+#include "subscribe/subscription.h"
+
+#include <stdexcept>
+
+namespace dosm::subscribe {
+
+bool Predicate::matches(const core::Alert& alert) const {
+  if (kind && *kind != alert.kind) return false;
+  const bool needs_event = prefix || asn || country || ip_proto;
+  if (needs_event && !alert.has_event) return false;
+  if (prefix && !prefix->contains(alert.event.target)) return false;
+  if (asn && *asn != alert.asn) return false;
+  if (country && *country != alert.country) return false;
+  if (ip_proto && *ip_proto != alert.event.ip_proto) return false;
+  return true;
+}
+
+std::string Predicate::to_string() const {
+  std::string out;
+  const auto append = [&out](std::string_view field, std::string_view value) {
+    if (!out.empty()) out += ';';
+    out += field;
+    out += '=';
+    out += value;
+  };
+  std::string scratch;
+  if (prefix) {
+    scratch = prefix->to_string();
+    append("pfx", scratch);
+  }
+  if (asn) {
+    scratch = std::to_string(*asn);
+    append("asn", scratch);
+  }
+  if (country) {
+    scratch = country->to_string();
+    append("cc", scratch);
+  }
+  if (ip_proto) {
+    scratch = std::to_string(*ip_proto);
+    append("proto", scratch);
+  }
+  if (kind) {
+    scratch = core::to_string(*kind);
+    append("kind", scratch);
+  }
+  if (out.empty()) out.push_back('*');
+  return out;
+}
+
+void validate(const Predicate& predicate) {
+  if (predicate.country && !predicate.country->is_set())
+    throw std::invalid_argument(
+        "subscribe::Predicate: country field set to the empty country code");
+}
+
+}  // namespace dosm::subscribe

@@ -29,8 +29,11 @@
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/metrics.h"
+#include "serve/router.h"
 #include "serve/server.h"
+#include "serve/subscribe_api.h"
 #include "sim/scenario.h"
+#include "subscribe/dispatcher.h"
 
 namespace dosm::serve {
 namespace {
@@ -320,32 +323,117 @@ HttpRequest request_for(const std::string& target,
   return parsed.request;
 }
 
-TEST(ApiTest, RoutesEndpointsAndMethods) {
+/// A route table configured the way the server configures its own (minus
+/// /metrics, which the server registers itself).
+Router api_router() {
+  Router router;
+  install_api_routes(router);
+  install_subscribe_routes(router);
+  return router;
+}
+
+TEST(RouterTest, RoutesEndpointsAndMethods) {
+  const Router router = api_router();
+  const RequestContext context;
+
+  // Known (method, path) pairs resolve to a route.
+  for (const auto& [method, target] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"GET", "/"},
+           {"GET", "/healthz"},
+           {"GET", "/query"},
+           {"POST", "/query"}}) {
+    const auto prepared =
+        router.prepare(request_for(target, method), context);
+    EXPECT_NE(prepared.route, nullptr) << method << " " << target;
+  }
+
+  // Unknown paths are final 404s; known paths with wrong methods final 405s.
+  EXPECT_EQ(router.prepare(request_for("/nope"), context).route, nullptr);
+  EXPECT_EQ(router.prepare(request_for("/nope"), context).response.status,
+            404);
+  EXPECT_EQ(
+      router.prepare(request_for("/query", "DELETE"), context).response.status,
+      405);
+  EXPECT_EQ(
+      router.prepare(request_for("/healthz", "POST"), context).response.status,
+      405);
+
+  // Only the query routes are cacheable.
+  EXPECT_TRUE(router.prepare(request_for("/query"), context).route->cacheable);
+  EXPECT_TRUE(
+      router.prepare(request_for("/query", "POST"), context).route->cacheable);
+  EXPECT_FALSE(router.prepare(request_for("/"), context).route->cacheable);
+
+  // Parse failures become final 400s without reaching exec.
+  const auto bad = router.prepare(request_for("/query?bogus=1"), context);
+  EXPECT_EQ(bad.route, nullptr);
+  EXPECT_EQ(bad.response.status, 400);
+}
+
+TEST(RouterTest, SubscriptionEndpointsRegistered) {
+  const Router router = api_router();
+  const auto routes = router.routes();
+  const auto has = [&routes](std::string_view method, std::string_view path) {
+    for (const auto& [m, p] : routes)
+      if (m == method && p == path) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("POST", "/subscribe"));
+  EXPECT_TRUE(has("DELETE", "/subscribe"));
+  EXPECT_TRUE(has("GET", "/watch"));
+}
+
+TEST(RouterTest, DuplicateRegistrationThrows) {
+  Router router = api_router();
+  const auto noop_parse = [](const HttpRequest&, const RequestContext&) {
+    return ApiCall{};
+  };
+  const auto noop_exec = [](const ApiCall&, const RequestContext&) {
+    return ApiResponse{};
+  };
+  EXPECT_THROW(router.add("GET", "/query", noop_parse, noop_exec),
+               std::invalid_argument);
+  router.add("PUT", "/query", noop_parse, noop_exec);  // new method is fine
+}
+
+// Regression: ?asn=1&asn=2 used to apply last-wins silently, so two
+// DIFFERENT request strings canonicalized to the same cache-key string and
+// aliased one cache entry. Duplicates (across URL and POST body combined)
+// are now rejected outright.
+TEST(ApiTest, RejectsDuplicateParameters) {
   const StudyWindow window;
-  EXPECT_EQ(parse_api_call(request_for("/"), window).endpoint,
-            Endpoint::kRoot);
-  EXPECT_EQ(parse_api_call(request_for("/healthz"), window).endpoint,
-            Endpoint::kHealth);
-  EXPECT_EQ(parse_api_call(request_for("/metrics"), window).endpoint,
-            Endpoint::kMetrics);
-  EXPECT_EQ(parse_api_call(request_for("/query"), window).endpoint,
-            Endpoint::kQuery);
-  EXPECT_EQ(parse_api_call(request_for("/nope"), window).endpoint,
-            Endpoint::kNotFound);
-  EXPECT_EQ(parse_api_call(request_for("/query", "DELETE"), window).endpoint,
-            Endpoint::kMethodNotAllowed);
-  EXPECT_EQ(parse_api_call(request_for("/healthz", "POST"), window).endpoint,
-            Endpoint::kMethodNotAllowed);
+  const auto dup = parse_query_request(request_for("/query?asn=1&asn=2"),
+                                       window);
+  EXPECT_EQ(dup.error, "duplicate parameter: asn");
+
+  // Time keys are tracked too, not just the apply_param ones.
+  EXPECT_EQ(parse_query_request(
+                request_for("/query?from=2015-01-01&from=2015-01-02"), window)
+                .error,
+            "duplicate parameter: from");
+
+  // A key in the URL and again in the POST body is the same aliasing hazard.
+  const std::string raw =
+      "POST /query?k=5 HTTP/1.1\r\nContent-Length: 3\r\n\r\nk=9";
+  const auto parsed = parse(raw);
+  ASSERT_EQ(parsed.status, ParseStatus::kOk);
+  EXPECT_EQ(parse_query_request(parsed.request, window).error,
+            "duplicate parameter: k");
+
+  // The first occurrence alone stays valid.
+  EXPECT_TRUE(
+      parse_query_request(request_for("/query?asn=1"), window).error.empty());
 }
 
 TEST(ApiTest, MapsEveryFilterParameter) {
   const StudyWindow window;  // paper defaults; explicit from/to win anyway
-  const auto call = parse_api_call(
+  const auto call = parse_query_request(
       request_for("/query?from=2015-02-01&to=2015-02-07&source=telescope"
                   "&prefix=10.0.0.0/8&asn=65000&country=DE&port=80"
                   "&min_intensity=1.5&agg=top-targets&k=25&explain=1"),
       window);
-  ASSERT_EQ(call.endpoint, Endpoint::kQuery) << call.error;
+  ASSERT_TRUE(call.error.empty()) << call.error;
   const query::Query& q = call.query;
   ASSERT_TRUE(q.time.has_value());
   EXPECT_EQ(q.time->begin,
@@ -374,8 +462,7 @@ TEST(ApiTest, RejectsMalformedParameters) {
         "/query?min_intensity=x", "/query?agg=median", "/query?k=0",
         "/query?k=9999999", "/query?explain=maybe", "/query?bogus=1",
         "/query?from=2015-01-01&t0=5"}) {
-    const auto call = parse_api_call(request_for(target), window);
-    EXPECT_EQ(call.endpoint, Endpoint::kBadRequest) << target;
+    const auto call = parse_query_request(request_for(target), window);
     EXPECT_FALSE(call.error.empty()) << target;
   }
 }
@@ -390,8 +477,8 @@ TEST(ApiTest, CanonicalStringDistinguishesEveryParameter) {
       "/query?port=80", "/query?min_intensity=2"};
   std::vector<std::string> canonicals;
   for (const auto& target : targets) {
-    const auto call = parse_api_call(request_for(target), window);
-    ASSERT_EQ(call.endpoint, Endpoint::kQuery) << target << ": " << call.error;
+    const auto call = parse_query_request(request_for(target), window);
+    ASSERT_TRUE(call.error.empty()) << target << ": " << call.error;
     canonicals.push_back(call.canonical);
   }
   for (std::size_t i = 0; i < canonicals.size(); ++i)
@@ -714,6 +801,159 @@ TEST(ServeStressTest, ConcurrentClientsDuringPublishes) {
   const std::string final_summary = fetch(fd, "/query?agg=summary");
   EXPECT_EQ(status_of(final_summary), 200);
   ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Subscription endpoints over real sockets.
+// ---------------------------------------------------------------------------
+
+/// One request with an explicit method and optional form body, on its own
+/// connection.
+std::string roundtrip(std::uint16_t port, const std::string& method,
+                      const std::string& target, const std::string& body = "") {
+  const int fd = connect_to(port);
+  std::string raw = method + " " + target + " HTTP/1.1\r\n";
+  raw += "Connection: close\r\n";
+  if (!body.empty())
+    raw += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  raw += "\r\n";
+  raw += body;
+  send_all(fd, raw);
+  const std::string response = read_response(fd);
+  ::close(fd);
+  return response;
+}
+
+/// Pulls the subscription id out of a /subscribe response body.
+std::uint64_t subscription_id(const std::string& response) {
+  const std::string body = body_of(response);
+  const std::size_t at = body.find("\"subscription\":");
+  EXPECT_NE(at, std::string::npos) << body;
+  std::uint64_t id = 0;
+  std::from_chars(body.data() + at + 15, body.data() + body.size(), id);
+  return id;
+}
+
+core::AttackEvent event_on(std::string_view target, double start) {
+  core::AttackEvent event;
+  event.target = net::Ipv4Addr::parse(target);
+  event.start = start;
+  event.end = start + 60.0;
+  event.intensity = 100.0;
+  event.ip_proto = 6;
+  event.top_port = 80;
+  return event;
+}
+
+TEST(SubscribeServerTest, SubscribeWatchUnsubscribeLifecycle) {
+  subscribe::Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 2;
+  const Server server(config, shared_engine(), &dispatcher);
+
+  const std::string created =
+      roundtrip(server.port(), "POST", "/subscribe?prefix=10.1.2.3/32");
+  ASSERT_EQ(status_of(created), 200) << created;
+  EXPECT_NE(body_of(created).find("\"predicate\":\"pfx=10.1.2.3/32\""),
+            std::string::npos);
+  const std::uint64_t id = subscription_id(created);
+  ASSERT_GT(id, 0u);
+
+  // A matching and a non-matching event, flushed by one tick.
+  dispatcher.ingest(event_on("10.1.2.3", 1000.0));
+  dispatcher.ingest(event_on("192.0.2.9", 1000.0));
+  dispatcher.tick();
+
+  const std::string target =
+      "/watch?id=" + std::to_string(id) + "&cursor=0";
+  const std::string watch = roundtrip(server.port(), "GET", target);
+  ASSERT_EQ(status_of(watch), 200) << watch;
+  const std::string body = body_of(watch);
+  EXPECT_NE(body.find("\"target\":\"10.1.2.3\""), std::string::npos) << body;
+  EXPECT_EQ(body.find("192.0.2.9"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"next_cursor\":1"), std::string::npos) << body;
+
+  // Cursor replay is byte-deterministic — and identical across a second
+  // server with a different worker count sharing the dispatcher.
+  EXPECT_EQ(watch, roundtrip(server.port(), "GET", target));
+  ServerConfig other;
+  other.workers = 8;
+  const Server server8(other, shared_engine(), &dispatcher);
+  EXPECT_EQ(watch, roundtrip(server8.port(), "GET", target));
+
+  // Past the cursor there is nothing new.
+  const std::string drained = roundtrip(
+      server.port(), "GET", "/watch?id=" + std::to_string(id) + "&cursor=1");
+  EXPECT_NE(body_of(drained).find("\"notifications\":[]"), std::string::npos);
+
+  const std::string removed = roundtrip(server.port(), "DELETE",
+                                        "/subscribe?id=" + std::to_string(id));
+  EXPECT_EQ(status_of(removed), 200);
+  EXPECT_NE(body_of(removed).find("\"removed\":true"), std::string::npos);
+  EXPECT_EQ(status_of(roundtrip(server.port(), "GET", target)), 404);
+  EXPECT_EQ(status_of(roundtrip(server.port(), "DELETE",
+                                "/subscribe?id=" + std::to_string(id))),
+            404);
+}
+
+TEST(SubscribeServerTest, LongPollWakesOnTick) {
+  subscribe::Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 2;
+  const Server server(config, shared_engine(), &dispatcher);
+
+  const std::uint64_t id = subscription_id(
+      roundtrip(server.port(), "POST", "/subscribe?kind=new-attack"));
+  ASSERT_GT(id, 0u);
+
+  std::string watched;
+  std::thread poller([&] {
+    watched = roundtrip(
+        server.port(), "GET",
+        "/watch?id=" + std::to_string(id) + "&cursor=0&wait_ms=10000");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  dispatcher.ingest(event_on("203.0.113.7", 5000.0));
+  dispatcher.tick();
+  poller.join();
+  ASSERT_EQ(status_of(watched), 200) << watched;
+  EXPECT_NE(body_of(watched).find("\"target\":\"203.0.113.7\""),
+            std::string::npos)
+      << watched;
+}
+
+TEST(SubscribeServerTest, ValidationAndDisabledPaths) {
+  subscribe::Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 1;
+  const Server with(config, shared_engine(), &dispatcher);
+  EXPECT_EQ(status_of(roundtrip(with.port(), "POST", "/subscribe?kind=nope")),
+            400);
+  EXPECT_EQ(status_of(roundtrip(with.port(), "POST",
+                                "/subscribe?prefix=10.0.0.1/32&prefix=10.0.0.2/32")),
+            400);
+  EXPECT_EQ(status_of(roundtrip(with.port(), "GET", "/watch")), 400);
+  EXPECT_EQ(status_of(roundtrip(with.port(), "GET", "/watch?id=0")), 400);
+  EXPECT_EQ(status_of(roundtrip(with.port(), "GET", "/watch?id=999")), 404);
+  // Form-body predicates parse the same as URL ones.
+  const std::string via_body =
+      roundtrip(with.port(), "POST", "/subscribe", "asn=65000&kind=new-attack");
+  ASSERT_EQ(status_of(via_body), 200) << via_body;
+  EXPECT_NE(body_of(via_body).find("\"predicate\":\"asn=65000;kind=new-attack\""),
+            std::string::npos)
+      << via_body;
+
+  const Server without(config, shared_engine());
+  for (const auto& [method, target] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"POST", "/subscribe"},
+           {"DELETE", "/subscribe?id=1"},
+           {"GET", "/watch?id=1"}}) {
+    const std::string response = roundtrip(without.port(), method, target);
+    EXPECT_EQ(status_of(response), 503) << method << " " << target;
+    EXPECT_NE(body_of(response).find("subscriptions disabled"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

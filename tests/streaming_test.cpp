@@ -24,13 +24,13 @@ class StreamingTest : public ::testing::Test {
  protected:
   StudyWindow window_{};
   std::vector<DaySummary> summaries_;
-  std::vector<StreamAlert> alerts_;
+  CollectSink sink_;
+  const std::vector<Alert>& alerts_ = sink_.alerts();
 
   StreamingFusion make(StreamingFusion::Config config = {}) {
     return StreamingFusion(
         window_, config,
-        [this](const DaySummary& s) { summaries_.push_back(s); },
-        [this](const StreamAlert& a) { alerts_.push_back(a); });
+        [this](const DaySummary& s) { summaries_.push_back(s); }, &sink_);
   }
 };
 

@@ -50,7 +50,8 @@ struct AnalyzeOptions {
   // in their quoted-include closure — are in scope for shared-state-race.
   std::vector<std::string> race_roots = {"src/parallel/", "src/query/",
                                          "src/obs/", "src/serve/",
-                                         "src/storage/", "src/ingest/"};
+                                         "src/storage/", "src/ingest/",
+                                         "src/subscribe/"};
   // rel-path suffix -> sole exception type that file may throw.
   std::vector<std::pair<std::string, std::string>> throw_contracts = {
       {"src/core/serialize.cpp", "SerializeError"},

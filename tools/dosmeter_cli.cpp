@@ -34,19 +34,27 @@
 //
 //   dosmeter serve [world options] [--port N] [--workers N] ...
 //     starts the HTTP/JSON query server (src/serve) over a simulated
-//     world's snapshot; see serve_usage() below.
+//     world's snapshot, with a live subscription feed (/subscribe, /watch)
+//     replaying the dataset day by day; see serve_usage() below.
+//
+//   dosmeter watch [world options] [--prefix P] [--asn N] [--kind K] ...
+//     registers one subscription predicate, replays the dataset through
+//     the push dispatcher (src/subscribe), and prints the notifications a
+//     live watcher would have received; see watch_usage() below.
 //
 //   dosmeter archive save|load ...
 //     seals a snapshot into the compressed on-disk segment archive
 //     (src/storage) and queries it back through the tiered hot/cold path;
 //     see archive_usage() below.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/strings.h"
 #include "common/table.h"
@@ -71,6 +79,7 @@
 #include "sim/scenario.h"
 #include "storage/archive.h"
 #include "storage/tiered.h"
+#include "subscribe/dispatcher.h"
 
 namespace {
 
@@ -98,7 +107,9 @@ struct Options {
       "  dosmeter query --help    ad-hoc queries over the event store\n"
       "  dosmeter detect --help   packet-level parallel detection\n"
       "  dosmeter metrics --help  pipeline observability view\n"
-      "  dosmeter serve --help    HTTP/JSON query server\n";
+      "  dosmeter serve --help    HTTP/JSON query server\n"
+      "  dosmeter watch --help    push-based subscription replay\n"
+      "  dosmeter archive --help  on-disk segment archives\n";
   std::exit(code);
 }
 
@@ -762,6 +773,7 @@ struct ServeOptions {
   serve::ServerConfig server;
   int threads = 1;
   int segment_days = 0;
+  int tick_millis = 100;
 };
 
 [[noreturn]] void serve_usage(int code) {
@@ -783,8 +795,16 @@ struct ServeOptions {
       "  --max-millis N    per-query time budget -> 422 (default unlimited)\n"
       "  --threads N       snapshot build threads (default 1)\n"
       "  --segment-days N  days per snapshot segment (default 0 = one)\n"
-      "endpoints: /  /healthz  /metrics  /query — see src/serve/api.h for\n"
-      "the /query parameters (same filters as `dosmeter query`).\n";
+      "subscriptions:\n"
+      "  --tick-millis N   delay between replayed study days on the live\n"
+      "                    alert feed (default 100; 0 replays instantly).\n"
+      "                    The dataset's events stream through the push\n"
+      "                    dispatcher day by day, so /subscribe + /watch\n"
+      "                    clients see a live feed.\n"
+      "endpoints: /  /healthz  /metrics  /query  /subscribe  /watch — see\n"
+      "src/serve/api.h for the /query parameters (same filters as\n"
+      "`dosmeter query`) and src/serve/subscribe_api.h for /subscribe and\n"
+      "/watch.\n";
   std::exit(code);
 }
 
@@ -848,6 +868,12 @@ ServeOptions parse_serve_options(int argc, char** argv) {
         std::cerr << "--segment-days must be >= 0\n";
         serve_usage(2);
       }
+    } else if (arg == "--tick-millis") {
+      options.tick_millis = std::stoi(need_value(i));
+      if (options.tick_millis < 0) {
+        std::cerr << "--tick-millis must be >= 0\n";
+        serve_usage(2);
+      }
     } else {
       std::cerr << "unknown serve option: " << arg << "\n";
       serve_usage(2);
@@ -859,14 +885,16 @@ ServeOptions parse_serve_options(int argc, char** argv) {
 int serve_main(int argc, char** argv) {
   const ServeOptions options = parse_serve_options(argc, argv);
 
-  // Materialize the snapshot the same way `dosmeter query` does.
+  // Materialize the snapshot the same way `dosmeter query` does, keeping
+  // the event list around for the live subscription replay below.
   std::shared_ptr<const query::Snapshot> snapshot;
   const StudyWindow window = options.scenario.window;
   const meta::PrefixToAsMap empty_pfx2as;
   const meta::GeoDatabase empty_geo;
   std::unique_ptr<sim::World> world;
+  std::vector<core::AttackEvent> events;
   if (!options.load_events.empty()) {
-    const auto events = core::load_events(options.load_events);
+    events = core::load_events(options.load_events);
     std::cerr << "[dosmeter] loaded " << events.size() << " events from "
               << options.load_events << "\n";
     snapshot = query::Snapshot::build(
@@ -878,6 +906,7 @@ int serve_main(int argc, char** argv) {
     std::cerr << "[dosmeter] building " << window.num_days()
               << "-day world (seed " << options.scenario.seed << ")...\n";
     world = sim::build_world(options.scenario);
+    events.assign(world->store.events().begin(), world->store.events().end());
     snapshot = query::Snapshot::from_store(
         world->store,
         query::BuildContext{world->population.pfx2as(),
@@ -891,13 +920,214 @@ int serve_main(int argc, char** argv) {
 
   query::QueryEngine engine;
   engine.publish(std::move(snapshot));
-  const serve::Server server(options.server, engine);
+
+  subscribe::DispatcherConfig dispatcher_config;
+  dispatcher_config.window = window;
+  if (world != nullptr) {
+    dispatcher_config.pfx2as = &world->population.pfx2as();
+    dispatcher_config.geo = &world->population.geo();
+  }
+  subscribe::Dispatcher dispatcher(dispatcher_config);
+  const serve::Server server(options.server, engine, &dispatcher);
   std::cerr << "[dosmeter] serving at http://" << options.server.bind_address
             << ":" << server.port() << "/query (" << options.server.workers
             << " workers, queue " << options.server.queue_capacity
             << ", cache " << options.server.cache_bytes
             << " bytes; Ctrl-C to stop)\n";
+
+  // Live feed: replay the dataset through the dispatcher day by day so
+  // /subscribe + /watch clients get a stream instead of a fait accompli.
+  std::thread replay([&options, &dispatcher, &events, window] {
+    std::sort(events.begin(), events.end(), core::canonical_less);
+    int open_day = -1;
+    for (const auto& event : events) {
+      const auto t = static_cast<UnixSeconds>(event.start);
+      const int day = window.contains(t) ? window.day_of(t) : -1;
+      if (day != open_day && open_day != -1) {
+        dispatcher.tick();
+        if (options.tick_millis > 0)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options.tick_millis));
+      }
+      open_day = day;
+      dispatcher.ingest(event);
+    }
+    dispatcher.tick();
+    std::cerr << "[dosmeter] replay complete: "
+              << dispatcher.events_ingested()
+              << " events dispatched to subscribers\n";
+  });
   std::promise<void>().get_future().wait();  // serve until killed
+  replay.join();                             // unreachable; keeps the thread owned
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `dosmeter watch` — replay a dataset through the subscription dispatcher.
+// ---------------------------------------------------------------------------
+
+struct WatchOptions {
+  sim::ScenarioConfig scenario;
+  std::string load_events;
+  subscribe::Predicate predicate;
+  std::size_t max = 50;
+};
+
+[[noreturn]] void watch_usage(int code) {
+  std::cout <<
+      "dosmeter watch — replay a dataset through the subscription layer\n"
+      "Registers one subscription, replays the dataset's events through the\n"
+      "push dispatcher (one tick per study day, streaming-fusion spike\n"
+      "alerts included), and prints the notifications a live watcher would\n"
+      "have received. The same predicate fields drive the query server's\n"
+      "/subscribe + /watch endpoints (`dosmeter serve`).\n"
+      "dataset (pick one):\n"
+      "  --seed/--days/--domains/--direct/--reflection   simulate a world\n"
+      "  --load-events F   replay a binary event dump (dosmeter\n"
+      "                    --save-events); ASN/country resolve only with a\n"
+      "                    simulated world, so those filters match nothing\n"
+      "                    on a dump\n"
+      "predicate (ANDed; none = firehose):\n"
+      "  --prefix A.B.C.D/L  victim inside the CIDR prefix\n"
+      "  --asn N             victim's origin AS\n"
+      "  --country CC        victim's geolocated country\n"
+      "  --proto N           IP protocol of the attack (6=TCP, 17=UDP)\n"
+      "  --kind K            new-attack | attack-spike | target-spike\n"
+      "output:\n"
+      "  --max N             notifications to print (default 50; 0 = all)\n";
+  std::exit(code);
+}
+
+WatchOptions parse_watch_options(int argc, char** argv) {
+  WatchOptions options;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      watch_usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") watch_usage(0);
+    else if (arg == "--seed") options.scenario.seed = std::stoull(need_value(i));
+    else if (arg == "--days") {
+      const int days = std::stoi(need_value(i));
+      if (days < 2) {
+        std::cerr << "--days must be >= 2\n";
+        watch_usage(2);
+      }
+      options.scenario.window.end = civil_from_days(
+          days_from_civil(options.scenario.window.start) + days - 1);
+    } else if (arg == "--domains") {
+      options.scenario.hosting.num_domains = std::stoi(need_value(i));
+    } else if (arg == "--direct") {
+      options.scenario.attacker.direct_per_day = std::stod(need_value(i));
+    } else if (arg == "--reflection") {
+      options.scenario.attacker.reflection_per_day = std::stod(need_value(i));
+    } else if (arg == "--load-events") {
+      options.load_events = need_value(i);
+    } else if (arg == "--prefix") {
+      options.predicate.match_prefix(net::Prefix::parse(need_value(i)));
+    } else if (arg == "--asn") {
+      options.predicate.match_asn(
+          static_cast<meta::Asn>(std::stoul(need_value(i))));
+    } else if (arg == "--country") {
+      options.predicate.match_country(meta::CountryCode(need_value(i)));
+    } else if (arg == "--proto") {
+      options.predicate.match_proto(
+          static_cast<std::uint8_t>(std::stoi(need_value(i))));
+    } else if (arg == "--kind") {
+      const std::string name = need_value(i);
+      const auto kind = core::parse_alert_kind(name);
+      if (!kind) {
+        std::cerr << "--kind must be new-attack|attack-spike|target-spike\n";
+        watch_usage(2);
+      }
+      options.predicate.match_kind(*kind);
+    } else if (arg == "--max") {
+      options.max = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else {
+      std::cerr << "unknown watch option: " << arg << "\n";
+      watch_usage(2);
+    }
+  }
+  return options;
+}
+
+int watch_main(int argc, char** argv) {
+  const WatchOptions options = parse_watch_options(argc, argv);
+
+  std::vector<core::AttackEvent> events;
+  subscribe::DispatcherConfig config;
+  config.window = options.scenario.window;
+  std::unique_ptr<sim::World> world;
+  if (!options.load_events.empty()) {
+    events = core::load_events(options.load_events);
+    std::cerr << "[dosmeter] loaded " << events.size() << " events from "
+              << options.load_events << "\n";
+  } else {
+    std::cerr << "[dosmeter] building " << config.window.num_days()
+              << "-day world (seed " << options.scenario.seed << ")...\n";
+    world = sim::build_world(options.scenario);
+    events.assign(world->store.events().begin(), world->store.events().end());
+    config.pfx2as = &world->population.pfx2as();
+    config.geo = &world->population.geo();
+  }
+  std::sort(events.begin(), events.end(), core::canonical_less);
+
+  subscribe::Dispatcher dispatcher(config);
+  const subscribe::SubscriptionId id = dispatcher.subscribe(options.predicate);
+  std::cerr << "[dosmeter] watching " << options.predicate.to_string()
+            << " over " << events.size() << " events\n";
+
+  // The dispatcher doubles as the fusion's alert sink, so day-level spike
+  // alerts dispatch alongside the per-event kNewAttack alerts.
+  core::StreamingFusion fusion(config.window, {},
+                               [](const core::DaySummary&) {}, &dispatcher);
+  int open_day = -1;
+  for (const auto& event : events) {
+    const auto t = static_cast<UnixSeconds>(event.start);
+    const int day = config.window.contains(t) ? config.window.day_of(t) : -1;
+    if (day != open_day && open_day != -1) dispatcher.tick();
+    open_day = day;
+    fusion.ingest(event);
+    dispatcher.ingest(event);
+  }
+  fusion.finish();
+  dispatcher.tick();
+
+  const auto result = dispatcher.fetch(id, 0, options.max);
+  if (!result) {
+    std::cerr << "dosmeter: subscription vanished mid-replay\n";
+    return 1;
+  }
+  TextTable table({"seq", "kind", "day", "victim", "asn", "cc", "proto",
+                   "intensity", "folds"});
+  for (const auto& n : result->notifications) {
+    const core::Alert& alert = n.alert;
+    if (alert.has_event) {
+      table.add_row(
+          {std::to_string(n.seq), core::to_string(alert.kind),
+           std::to_string(alert.day), alert.event.target.to_string(),
+           alert.asn == meta::kUnknownAsn ? "-"
+                                          : "AS" + std::to_string(alert.asn),
+           alert.country.is_set() ? alert.country.to_string() : "-",
+           std::to_string(alert.event.ip_proto),
+           fixed(alert.event.intensity, 1), std::to_string(n.coalesced)});
+    } else {
+      table.add_row({std::to_string(n.seq), core::to_string(alert.kind),
+                     std::to_string(alert.day),
+                     fixed(alert.value, 0) + " vs " + fixed(alert.baseline, 1),
+                     "-", "-", "-", "-", std::to_string(n.coalesced)});
+    }
+  }
+  std::cout << table;
+  std::cout << result->notifications.size() << " notification(s)";
+  if (result->pending > 0)
+    std::cout << ", " << result->pending << " more queued (raise --max)";
+  std::cout << "; " << result->dropped << " dropped; "
+            << dispatcher.alerts_dispatched() << " alerts dispatched total\n";
   return 0;
 }
 
@@ -1129,6 +1359,8 @@ int main(int argc, char** argv) try {
     return metrics_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "serve")
     return serve_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "watch")
+    return watch_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "archive")
     return archive_main(argc, argv);
   const Options options = parse_options(argc, argv);

@@ -29,7 +29,7 @@ struct Rule {
 const std::vector<std::string> kAnalysisDirs = {
     "src/core/", "src/telescope/", "src/amppot/",
     "src/dps/",  "src/dns/",       "src/meta/",
-    "src/storage/", "src/ingest/",
+    "src/storage/", "src/ingest/", "src/subscribe/",
 };
 
 const std::vector<Rule>& rules() {
